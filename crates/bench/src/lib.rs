@@ -1,0 +1,54 @@
+//! Shared helpers for the DTexL benchmark harness.
+//!
+//! The actual figure regeneration lives in two places:
+//!
+//! * the **`figures` binary** (`cargo run --release -p dtexl-bench --bin
+//!   figures`) regenerates every table and figure of the paper at the
+//!   full Table II resolution and prints the same rows/series the paper
+//!   reports;
+//! * the **criterion benches** (`cargo bench -p dtexl-bench`) measure
+//!   the simulator's own performance per experiment kernel and print a
+//!   reduced-size preview of each figure as they run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dtexl::experiments::Setup;
+use dtexl_scene::Game;
+
+/// The reduced setup used by the criterion benches and smoke runs:
+/// quarter-ish resolution, three games spanning 2D/3D and small/large
+/// texture footprints.
+#[must_use]
+pub fn bench_setup() -> Setup {
+    Setup {
+        width: 512,
+        height: 256,
+        frame: 0,
+        games: vec![Game::CandyCrush, Game::TempleRun, Game::GravityTetris],
+        threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    }
+}
+
+/// The full paper setup (Table II resolution, all ten games).
+#[must_use]
+pub fn paper_setup() -> Setup {
+    Setup::table2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_are_consistent() {
+        let b = bench_setup();
+        assert_eq!(b.games.len(), 3);
+        assert!(b.width * b.height < 1960 * 768 / 4);
+        let p = paper_setup();
+        assert_eq!((p.width, p.height), (1960, 768));
+        assert_eq!(p.games.len(), 10);
+    }
+}

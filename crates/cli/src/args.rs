@@ -1,0 +1,110 @@
+//! Minimal dependency-free argument parsing.
+
+/// A consumed-on-read argument list: the subcommand is taken first,
+/// then options by name; [`Args::finish`] rejects leftovers so typos
+/// fail loudly.
+#[derive(Debug)]
+pub struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    /// Capture the argument iterator (without the program name).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        Self {
+            rest: args.collect(),
+        }
+    }
+
+    /// Take the leading subcommand, if any.
+    pub fn subcommand(&mut self) -> Option<String> {
+        if self.rest.first().is_some_and(|a| !a.starts_with('-')) {
+            Some(self.rest.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Take the value of `--name value`, if present.
+    pub fn value(&mut self, name: &str) -> Option<String> {
+        let i = self.rest.iter().position(|a| a == name)?;
+        if i + 1 >= self.rest.len() {
+            // Flag present without a value: remove it and report absent;
+            // finish() will not see it again, and callers treat missing
+            // values as missing options.
+            self.rest.remove(i);
+            return None;
+        }
+        self.rest.remove(i);
+        Some(self.rest.remove(i))
+    }
+
+    /// Take a boolean `--flag`.
+    pub fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fail if any argument was not consumed.
+    pub fn finish(&mut self) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {:?}", self.rest))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_then_options() {
+        let mut a = args("sim --game GTr --coupled --res 64x32");
+        assert_eq!(a.subcommand().as_deref(), Some("sim"));
+        assert_eq!(a.value("--game").as_deref(), Some("GTr"));
+        assert!(a.flag("--coupled"));
+        assert_eq!(a.value("--res").as_deref(), Some("64x32"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        let mut a = args("--game GTr");
+        assert!(a.subcommand().is_none());
+    }
+
+    #[test]
+    fn leftovers_are_rejected() {
+        let mut a = args("sim --game GTr --typo 3");
+        a.subcommand();
+        a.value("--game");
+        assert!(a.finish().unwrap_err().contains("--typo"));
+    }
+
+    #[test]
+    fn absent_options() {
+        let mut a = args("sim");
+        a.subcommand();
+        assert!(a.value("--game").is_none());
+        assert!(!a.flag("--coupled"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn dangling_value_flag() {
+        let mut a = args("sim --res");
+        a.subcommand();
+        assert!(a.value("--res").is_none());
+        assert!(a.finish().is_ok(), "dangling flag consumed");
+    }
+}

@@ -1,0 +1,246 @@
+//! `dtexl` — command-line interface to the DTexL simulator.
+//!
+//! ```text
+//! dtexl list
+//! dtexl sim         --game GTr [--schedule dtexl] [--res 1960x768]
+//!                   [--frames N] [--coupled]
+//! dtexl render      --game SoD --out frame.ppm [--res 980x384]
+//! dtexl characterize [--res 1960x768]
+//! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
+//! dtexl trace-sim   --in frame.dtxl [--schedule dtexl] [--res 1960x768]
+//! ```
+
+use dtexl::characterize::characterize_all;
+use dtexl::{SimConfig, Simulator, CLOCK_HZ};
+use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
+use dtexl_scene::{Game, Scene, SceneSpec};
+use dtexl_sched::{NamedMapping, ScheduleConfig};
+use std::process::ExitCode;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut args = Args::parse(std::env::args().skip(1));
+    let Some(command) = args.subcommand() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "sim" => cmd_sim(&mut args),
+        "render" => cmd_render(&mut args),
+        "characterize" => cmd_characterize(&mut args),
+        "trace-save" => cmd_trace_save(&mut args),
+        "trace-sim" => cmd_trace_sim(&mut args),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: dtexl <list|sim|render|characterize|trace-save|trace-sim> [options]\n\
+     run `dtexl list` for games and schedules"
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("games (Table I):");
+    for g in Game::ALL {
+        let info = g.info();
+        println!(
+            "  {:4} {} ({}, {} MiB textures, {})",
+            g.alias(),
+            info.title,
+            if info.is_3d { "3D" } else { "2D" },
+            info.texture_footprint_mib,
+            format!("{:?}", info.genre).to_lowercase(),
+        );
+    }
+    println!("\nschedules:");
+    println!("  baseline  FG-xshift2 / Z-order / const (coupled barriers)");
+    println!("  dtexl     CG-square / Hilbert / flp2 (decoupled barriers)");
+    for m in NamedMapping::FIG16 {
+        println!("  {:13} {}", m.name().to_lowercase(), m.config().label());
+    }
+    Ok(())
+}
+
+fn parse_game(args: &mut Args) -> Result<Game, String> {
+    let alias = args
+        .value("--game")
+        .ok_or_else(|| "missing --game <alias>".to_string())?;
+    Game::ALL
+        .into_iter()
+        .find(|g| g.alias().eq_ignore_ascii_case(&alias))
+        .ok_or_else(|| format!("unknown game '{alias}' (try `dtexl list`)"))
+}
+
+fn parse_res(args: &mut Args) -> Result<(u32, u32), String> {
+    match args.value("--res") {
+        None => Ok((1960, 768)),
+        Some(s) => {
+            let (w, h) = s
+                .split_once('x')
+                .ok_or_else(|| format!("bad --res '{s}', expected WxH"))?;
+            let w: u32 = w.parse().map_err(|_| format!("bad width '{w}'"))?;
+            let h: u32 = h.parse().map_err(|_| format!("bad height '{h}'"))?;
+            if w == 0 || h == 0 {
+                return Err("resolution must be non-zero".into());
+            }
+            Ok((w, h))
+        }
+    }
+}
+
+fn parse_schedule(args: &mut Args) -> Result<ScheduleConfig, String> {
+    match args.value("--schedule").as_deref() {
+        None | Some("dtexl") => Ok(ScheduleConfig::dtexl()),
+        Some("baseline") => Ok(ScheduleConfig::baseline()),
+        Some(name) => NamedMapping::FIG16
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .map(|m| m.config())
+            .ok_or_else(|| format!("unknown schedule '{name}' (try `dtexl list`)")),
+    }
+}
+
+fn cmd_sim(args: &mut Args) -> Result<(), String> {
+    let game = parse_game(args)?;
+    let (w, h) = parse_res(args)?;
+    let schedule = parse_schedule(args)?;
+    let coupled = args.flag("--coupled");
+    let frames: u32 = args
+        .value("--frames")
+        .map(|s| s.parse().map_err(|_| format!("bad --frames '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+    args.finish()?;
+
+    let config = SimConfig {
+        game,
+        width: w,
+        height: h,
+        frame: 0,
+        schedule,
+        pipeline: PipelineConfig::default(),
+        barrier: if coupled {
+            BarrierMode::Coupled
+        } else {
+            BarrierMode::Decoupled
+        },
+    };
+    if frames <= 1 {
+        let r = Simulator::simulate(&config);
+        println!(
+            "{} {}x{} {} [{:?}]",
+            game.alias(),
+            w,
+            h,
+            schedule.label(),
+            config.barrier
+        );
+        println!("  cycles       {}", r.cycles);
+        println!("  fps          {:.2}", r.fps);
+        println!("  L2 accesses  {}", r.l2_accesses);
+        println!("  quads shaded {}", r.quads_shaded);
+        println!("  energy       {:.4} mJ", r.energy.total_mj());
+    } else {
+        let seq = Simulator::simulate_sequence(&config, frames);
+        println!(
+            "{} × {frames} frames: {:.2} fps avg, {:.4} mJ total, {:.0} L2/frame",
+            game.alias(),
+            seq.mean_fps(),
+            seq.total_energy_mj(),
+            seq.mean_l2_accesses()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_render(args: &mut Args) -> Result<(), String> {
+    let game = parse_game(args)?;
+    let (w, h) = parse_res(args)?;
+    let schedule = parse_schedule(args)?;
+    let out = args.value("--out").unwrap_or_else(|| "frame.ppm".into());
+    args.finish()?;
+
+    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    let img = Renderer::render(&scene, &schedule, &PipelineConfig::default(), w, h);
+    let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    img.write_ppm(std::io::BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out} ({w}x{h}, digest {:016x})", img.digest());
+    Ok(())
+}
+
+fn cmd_characterize(args: &mut Args) -> Result<(), String> {
+    let (w, h) = parse_res(args)?;
+    args.finish()?;
+    println!(
+        "{:5} {:>9} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9}",
+        "game", "foot MiB", "draws", "quads", "overdraw", "reuse", "fps", "tex req"
+    );
+    for p in characterize_all(w, h, 0) {
+        println!(
+            "{:5} {:>9.2} {:>7} {:>9} {:>8.2}x {:>7.2}x {:>8.1} {:>9}",
+            p.game.alias(),
+            p.footprint_mib,
+            p.draws,
+            p.quads_shaded,
+            p.overdraw_factor,
+            p.reuse_factor,
+            p.baseline_fps,
+            p.texture_requests,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace_save(args: &mut Args) -> Result<(), String> {
+    let game = parse_game(args)?;
+    let (w, h) = parse_res(args)?;
+    let out = args
+        .value("--out")
+        .ok_or_else(|| "missing --out <file>".to_string())?;
+    args.finish()?;
+    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    dtexl_trace::save_trace(&scene, std::path::Path::new(&out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} draws, {} textures, {} vertices",
+        scene.draws.len(),
+        scene.textures.len(),
+        scene.vertices.len()
+    );
+    Ok(())
+}
+
+fn cmd_trace_sim(args: &mut Args) -> Result<(), String> {
+    let input = args
+        .value("--in")
+        .ok_or_else(|| "missing --in <file>".to_string())?;
+    let (w, h) = parse_res(args)?;
+    let schedule = parse_schedule(args)?;
+    let coupled = args.flag("--coupled");
+    args.finish()?;
+    let scene: Scene =
+        dtexl_trace::load_trace(std::path::Path::new(&input)).map_err(|e| e.to_string())?;
+    let r = FrameSim::run_with_resolution(&scene, &schedule, &PipelineConfig::default(), w, h);
+    let mode = if coupled {
+        BarrierMode::Coupled
+    } else {
+        BarrierMode::Decoupled
+    };
+    println!("{} under {} [{:?}]", input, schedule.label(), mode);
+    println!("  cycles       {}", r.total_cycles(mode));
+    println!("  fps          {:.2}", CLOCK_HZ / r.total_cycles(mode) as f64);
+    println!("  L2 accesses  {}", r.total_l2_accesses());
+    println!("  quads shaded {}", r.total_quads_shaded());
+    Ok(())
+}

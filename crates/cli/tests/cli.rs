@@ -1,0 +1,111 @@
+//! End-to-end tests of the `dtexl` binary (cargo builds it for us and
+//! exposes its path via `CARGO_BIN_EXE_dtexl`).
+
+use std::process::Command;
+
+fn dtexl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dtexl"))
+        .args(args)
+        .output()
+        .expect("spawn dtexl")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = dtexl(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn list_names_all_games_and_schedules() {
+    let out = dtexl(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for alias in ["CCS", "SoD", "TRu", "SWa", "CRa", "RoK", "DDS", "Snp", "Mze", "GTr"] {
+        assert!(stdout.contains(alias), "missing {alias}");
+    }
+    assert!(stdout.contains("hlb-flp2"));
+}
+
+#[test]
+fn sim_reports_metrics() {
+    let out = dtexl(&["sim", "--game", "GTr", "--res", "256x128"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cycles"));
+    assert!(stdout.contains("L2 accesses"));
+    assert!(stdout.contains("CG-square/Hilbert/flp2"));
+}
+
+#[test]
+fn sim_rejects_unknown_game_and_flags() {
+    let out = dtexl(&["sim", "--game", "XXX", "--res", "128x64"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown game"));
+
+    let out = dtexl(&["sim", "--game", "GTr", "--res", "128x64", "--bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+}
+
+#[test]
+fn trace_save_and_sim_roundtrip() {
+    let dir = std::env::temp_dir().join("dtexl_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("ccs.dtxl");
+    let trace_s = trace.to_str().unwrap();
+
+    let out = dtexl(&["trace-save", "--game", "CCS", "--out", trace_s, "--res", "256x128"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = dtexl(&[
+        "trace-sim",
+        "--in",
+        trace_s,
+        "--schedule",
+        "baseline",
+        "--coupled",
+        "--res",
+        "256x128",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FG-xshift2/Z-order/const"));
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn render_writes_a_ppm() {
+    let dir = std::env::temp_dir().join("dtexl_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ppm = dir.join("out.ppm");
+    let out = dtexl(&[
+        "render",
+        "--game",
+        "Mze",
+        "--out",
+        ppm.to_str().unwrap(),
+        "--res",
+        "128x64",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&ppm).unwrap();
+    assert!(bytes.starts_with(b"P6\n128 64\n255\n"));
+    std::fs::remove_file(&ppm).ok();
+}
+
+#[test]
+fn named_schedules_are_accepted() {
+    let out = dtexl(&[
+        "sim",
+        "--game",
+        "TRu",
+        "--schedule",
+        "Sorder-flp",
+        "--res",
+        "128x64",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CG-yrect/S-order/flp1"));
+}

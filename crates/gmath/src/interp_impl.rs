@@ -1,0 +1,205 @@
+//! Perspective-correct interpolation and screen-space derivatives.
+//!
+//! The rasterizer interpolates vertex attributes (texture coordinates,
+//! depth) across a primitive. With a perspective projection, attributes
+//! must be interpolated as `a/w` and divided by interpolated `1/w`
+//! ("perspective-correct"). Texture LOD selection needs the screen-space
+//! derivatives `∂(u,v)/∂x` and `∂(u,v)/∂y`, which the hardware computes
+//! per 2×2 quad by finite differences — exactly what
+//! [`attr_derivatives`] does.
+
+use crate::{Barycentric, Vec2};
+
+/// Per-primitive attribute plane set up once per triangle: stores the
+/// per-vertex `a/w` values plus per-vertex `1/w`, and evaluates the
+/// perspective-correct attribute at any barycentric position.
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_gmath::interp::AttrPlane;
+/// use dtexl_gmath::{Barycentric, Vec2};
+///
+/// // All three vertices at w = 1 degenerate to linear interpolation.
+/// let plane = AttrPlane::new(
+///     [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(0.0, 1.0)],
+///     [1.0, 1.0, 1.0],
+/// );
+/// let mid = Barycentric { l0: 1.0 / 3.0, l1: 1.0 / 3.0, l2: 1.0 / 3.0 };
+/// let uv = plane.eval(mid);
+/// assert!((uv.x - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttrPlane {
+    a_over_w: [Vec2; 3],
+    inv_w: [f32; 3],
+}
+
+impl AttrPlane {
+    /// Set up the plane from per-vertex attribute values and per-vertex
+    /// clip-space `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `w` is zero (primitives are clipped
+    /// against the near plane before rasterization).
+    #[must_use]
+    pub fn new(attrs: [Vec2; 3], w: [f32; 3]) -> Self {
+        debug_assert!(w.iter().all(|&w| w != 0.0));
+        let inv_w = [1.0 / w[0], 1.0 / w[1], 1.0 / w[2]];
+        Self {
+            a_over_w: [
+                attrs[0] * inv_w[0],
+                attrs[1] * inv_w[1],
+                attrs[2] * inv_w[2],
+            ],
+            inv_w,
+        }
+    }
+
+    /// Evaluate the perspective-correct attribute at `b`.
+    #[must_use]
+    pub fn eval(&self, b: Barycentric) -> Vec2 {
+        let aw = self.a_over_w[0] * b.l0 + self.a_over_w[1] * b.l1 + self.a_over_w[2] * b.l2;
+        let iw = b.l0 * self.inv_w[0] + b.l1 * self.inv_w[1] + b.l2 * self.inv_w[2];
+        persp_correct(aw, iw)
+    }
+}
+
+/// Recover an attribute from its interpolated `a/w` and `1/w`.
+///
+/// Falls back to returning `a_over_w` unchanged when `inv_w` is zero,
+/// which can only happen for samples outside the clipped primitive.
+#[must_use]
+pub fn persp_correct(a_over_w: Vec2, inv_w: f32) -> Vec2 {
+    if inv_w == 0.0 {
+        a_over_w
+    } else {
+        a_over_w / inv_w
+    }
+}
+
+/// Finite-difference derivatives over a 2×2 quad of attribute samples.
+///
+/// `q` is laid out `[top-left, top-right, bottom-left, bottom-right]`
+/// with one-pixel spacing, as produced by the rasterizer. Returns
+/// `(d/dx, d/dy)` — exactly what GPUs feed into texture LOD selection.
+#[must_use]
+pub fn attr_derivatives(q: [Vec2; 4]) -> (Vec2, Vec2) {
+    let ddx = ((q[1] - q[0]) + (q[3] - q[2])) * 0.5;
+    let ddy = ((q[2] - q[0]) + (q[3] - q[1])) * 0.5;
+    (ddx, ddy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triangle2;
+
+    #[test]
+    fn affine_case_matches_linear_interpolation() {
+        let plane = AttrPlane::new(
+            [
+                Vec2::new(0.0, 0.0),
+                Vec2::new(2.0, 0.0),
+                Vec2::new(0.0, 2.0),
+            ],
+            [1.0, 1.0, 1.0],
+        );
+        let b = Barycentric {
+            l0: 0.5,
+            l1: 0.25,
+            l2: 0.25,
+        };
+        let v = plane.eval(b);
+        assert!((v - Vec2::new(0.5, 0.5)).length() < 1e-6);
+    }
+
+    #[test]
+    fn perspective_correct_differs_from_affine() {
+        // Vertex 1 is twice as far (w = 2); midpoint between v0 and v1 in
+        // screen space is NOT the attribute midpoint.
+        let plane = AttrPlane::new(
+            [
+                Vec2::new(0.0, 0.0),
+                Vec2::new(1.0, 0.0),
+                Vec2::new(0.0, 1.0),
+            ],
+            [1.0, 2.0, 1.0],
+        );
+        let b = Barycentric {
+            l0: 0.5,
+            l1: 0.5,
+            l2: 0.0,
+        };
+        let v = plane.eval(b);
+        // perspective-correct value is u = (0.5*0 + 0.5*0.5)/(0.5 + 0.25) = 1/3
+        assert!((v.x - 1.0 / 3.0).abs() < 1e-6, "got {}", v.x);
+    }
+
+    #[test]
+    fn eval_at_vertices_returns_vertex_attr() {
+        let attrs = [
+            Vec2::new(0.1, 0.9),
+            Vec2::new(0.7, 0.2),
+            Vec2::new(0.4, 0.4),
+        ];
+        let plane = AttrPlane::new(attrs, [1.0, 3.0, 0.5]);
+        for (i, b) in [
+            Barycentric {
+                l0: 1.0,
+                l1: 0.0,
+                l2: 0.0,
+            },
+            Barycentric {
+                l0: 0.0,
+                l1: 1.0,
+                l2: 0.0,
+            },
+            Barycentric {
+                l0: 0.0,
+                l1: 0.0,
+                l2: 1.0,
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert!((plane.eval(*b) - attrs[i]).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn derivatives_of_linear_field() {
+        // u = 0.25 x, v = 0.5 y sampled on a unit quad
+        let q = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.25, 0.0),
+            Vec2::new(0.0, 0.5),
+            Vec2::new(0.25, 0.5),
+        ];
+        let (ddx, ddy) = attr_derivatives(q);
+        assert!((ddx - Vec2::new(0.25, 0.0)).length() < 1e-6);
+        assert!((ddy - Vec2::new(0.0, 0.5)).length() < 1e-6);
+    }
+
+    #[test]
+    fn plane_and_triangle_agree_on_screen_positions() {
+        // Interpolating the screen position itself must reproduce p.
+        let t = Triangle2::new(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(8.0, 0.0),
+            Vec2::new(0.0, 8.0),
+        );
+        let plane = AttrPlane::new([t.v0, t.v1, t.v2], [1.0, 1.0, 1.0]);
+        let p = Vec2::new(2.5, 3.5);
+        let b = t.barycentric(p).unwrap();
+        assert!((plane.eval(b) - p).length() < 1e-4);
+    }
+
+    #[test]
+    fn persp_correct_zero_inv_w() {
+        let v = Vec2::new(0.3, 0.4);
+        assert_eq!(persp_correct(v, 0.0), v);
+    }
+}

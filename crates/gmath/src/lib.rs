@@ -1,0 +1,65 @@
+//! Math substrate for the DTexL GPU simulator.
+//!
+//! This crate provides the small, dependency-free linear-algebra and
+//! rasterization-geometry toolkit used by the geometry pipeline, the
+//! tiling engine and the rasterizer:
+//!
+//! * [`Vec2`], [`Vec3`], [`Vec4`] — column vectors with the usual
+//!   component-wise arithmetic, dot/cross products and swizzle helpers.
+//! * [`Mat4`] — 4×4 column-major matrices with the standard model/view/
+//!   projection constructors ([`Mat4::perspective`], [`Mat4::look_at`],
+//!   [`Mat4::translation`], …).
+//! * [`Rect`] — half-open integer rectangles used for tiles, subtiles and
+//!   scissor regions.
+//! * [`Triangle2`] — screen-space triangles with edge functions and
+//!   barycentric interpolation, the core of the rasterizer.
+//! * [`interp`] — perspective-correct attribute interpolation and the
+//!   finite-difference derivative estimates used for texture LOD.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtexl_gmath::{Mat4, Vec3, Vec4};
+//!
+//! let mvp = Mat4::perspective(60f32.to_radians(), 16.0 / 9.0, 0.1, 100.0)
+//!     * Mat4::translation(Vec3::new(0.0, 0.0, -5.0));
+//! let clip = mvp * Vec4::new(0.0, 0.0, 0.0, 1.0);
+//! assert!(clip.w > 0.0, "point in front of the camera");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interp_impl;
+mod mat;
+mod rect;
+mod tri;
+mod vec;
+
+pub use mat::Mat4;
+pub use rect::Rect;
+pub use tri::{Barycentric, Triangle2};
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Perspective-correct interpolation and quad-derivative helpers.
+pub mod interp {
+    pub use crate::interp_impl::{attr_derivatives, persp_correct, AttrPlane};
+}
+
+/// Clamp `v` into `[lo, hi]`, tolerating `lo > hi` by returning `lo`.
+///
+/// A small convenience used throughout the rasterizer when intersecting
+/// primitive bounding boxes with tile bounds.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dtexl_gmath::clamp_i32(5, 0, 3), 3);
+/// ```
+#[must_use]
+pub fn clamp_i32(v: i32, lo: i32, hi: i32) -> i32 {
+    if hi < lo {
+        return lo;
+    }
+    v.max(lo).min(hi)
+}

@@ -1,0 +1,322 @@
+//! 4×4 column-major matrices.
+
+use crate::{Vec3, Vec4};
+use std::fmt;
+use std::ops::Mul;
+
+/// A 4×4 column-major `f32` matrix.
+///
+/// Column-major storage matches OpenGL conventions: `cols[c]` is the
+/// `c`-th column, and transforming a vector is `m * v`.
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_gmath::{Mat4, Vec3, Vec4};
+/// let t = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+/// let p = t * Vec4::new(0.0, 0.0, 0.0, 1.0);
+/// assert_eq!(p.xyz(), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    cols: [Vec4; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Build a matrix from four columns.
+    #[must_use]
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Self {
+            cols: [c0, c1, c2, c3],
+        }
+    }
+
+    /// The `c`-th column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 4`.
+    #[must_use]
+    pub fn col(&self, c: usize) -> Vec4 {
+        self.cols[c]
+    }
+
+    /// Element at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 4` or `c >= 4`.
+    #[must_use]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.cols[c][r]
+    }
+
+    /// Translation by `t`.
+    #[must_use]
+    pub fn translation(t: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[3] = Vec4::new(t.x, t.y, t.z, 1.0);
+        m
+    }
+
+    /// Non-uniform scale.
+    #[must_use]
+    pub fn scale(s: Vec3) -> Self {
+        Self::from_cols(
+            Vec4::new(s.x, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, s.y, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, s.z, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians around the X axis.
+    #[must_use]
+    pub fn rotation_x(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, c, s, 0.0),
+            Vec4::new(0.0, -s, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians around the Y axis.
+    #[must_use]
+    pub fn rotation_y(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(c, 0.0, -s, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(s, 0.0, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation of `angle` radians around the Z axis.
+    #[must_use]
+    pub fn rotation_z(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(c, s, 0.0, 0.0),
+            Vec4::new(-s, c, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Right-handed perspective projection (OpenGL clip conventions,
+    /// z ∈ [-w, w]).
+    ///
+    /// `fovy` is the vertical field of view in radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `near >= far`, `near <= 0` or
+    /// `aspect <= 0`.
+    #[must_use]
+    pub fn perspective(fovy: f32, aspect: f32, near: f32, far: f32) -> Self {
+        debug_assert!(near > 0.0 && far > near && aspect > 0.0);
+        let f = 1.0 / (fovy / 2.0).tan();
+        Self::from_cols(
+            Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, f, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, (far + near) / (near - far), -1.0),
+            Vec4::new(0.0, 0.0, 2.0 * far * near / (near - far), 0.0),
+        )
+    }
+
+    /// Right-handed orthographic projection (OpenGL clip conventions).
+    #[must_use]
+    pub fn orthographic(left: f32, right: f32, bottom: f32, top: f32, near: f32, far: f32) -> Self {
+        let rl = right - left;
+        let tb = top - bottom;
+        let fne = far - near;
+        Self::from_cols(
+            Vec4::new(2.0 / rl, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 2.0 / tb, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, -2.0 / fne, 0.0),
+            Vec4::new(
+                -(right + left) / rl,
+                -(top + bottom) / tb,
+                -(far + near) / fne,
+                1.0,
+            ),
+        )
+    }
+
+    /// Right-handed view matrix looking from `eye` toward `center`.
+    #[must_use]
+    pub fn look_at(eye: Vec3, center: Vec3, up: Vec3) -> Self {
+        let f = (center - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Self::from_cols(
+            Vec4::new(s.x, u.x, -f.x, 0.0),
+            Vec4::new(s.y, u.y, -f.y, 0.0),
+            Vec4::new(s.z, u.z, -f.z, 0.0),
+            Vec4::new(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+        )
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        let m = self;
+        Self::from_cols(
+            Vec4::new(m.at(0, 0), m.at(0, 1), m.at(0, 2), m.at(0, 3)),
+            Vec4::new(m.at(1, 0), m.at(1, 1), m.at(1, 2), m.at(1, 3)),
+            Vec4::new(m.at(2, 0), m.at(2, 1), m.at(2, 2), m.at(2, 3)),
+            Vec4::new(m.at(3, 0), m.at(3, 1), m.at(3, 2), m.at(3, 3)),
+        )
+    }
+}
+
+impl Mul<Vec4> for Mat4 {
+    type Output = Vec4;
+
+    fn mul(self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            cols: [
+                self * rhs.cols[0],
+                self * rhs.cols[1],
+                self * rhs.cols[2],
+                self * rhs.cols[3],
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Mat4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..4 {
+            writeln!(
+                f,
+                "[{:8.4} {:8.4} {:8.4} {:8.4}]",
+                self.at(r, 0),
+                self.at(r, 1),
+                self.at(r, 2),
+                self.at(r, 3)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec2;
+
+    fn approx(a: Vec4, b: Vec4) -> bool {
+        (a - b).length() < 1e-5
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let v = Vec4::new(1.0, -2.0, 3.0, 1.0);
+        assert_eq!(Mat4::IDENTITY * v, v);
+        let m = Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(Mat4::IDENTITY * m, m);
+        assert_eq!(m * Mat4::IDENTITY, m);
+    }
+
+    #[test]
+    fn translation_moves_points_not_directions() {
+        let t = Mat4::translation(Vec3::new(5.0, 0.0, 0.0));
+        let p = t * Vec4::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(p.xyz(), Vec3::new(6.0, 1.0, 1.0));
+        let d = t * Vec4::new(1.0, 1.0, 1.0, 0.0);
+        assert_eq!(d.xyz(), Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn scale_scales() {
+        let s = Mat4::scale(Vec3::new(2.0, 3.0, 4.0));
+        let p = s * Vec4::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(p.xyz(), Vec3::new(2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let r = Mat4::rotation_z(std::f32::consts::FRAC_PI_2);
+        let p = r * Vec4::new(1.0, 0.0, 0.0, 1.0);
+        assert!(approx(p, Vec4::new(0.0, 1.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let r = Mat4::rotation_x(0.7) * Mat4::rotation_y(-1.3) * Mat4::rotation_z(2.1);
+        let v = Vec4::new(1.0, 2.0, 3.0, 0.0);
+        assert!(((r * v).length() - v.length()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matrix_multiply_composes() {
+        let a = Mat4::translation(Vec3::new(1.0, 0.0, 0.0));
+        let b = Mat4::scale(Vec3::new(2.0, 2.0, 2.0));
+        let v = Vec4::new(1.0, 1.0, 1.0, 1.0);
+        // (a*b) v == a (b v)
+        assert_eq!((a * b) * v, a * (b * v));
+    }
+
+    #[test]
+    fn perspective_maps_near_far_to_clip_bounds() {
+        let p = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 100.0);
+        let near = (p * Vec4::new(0.0, 0.0, -1.0, 1.0)).project();
+        let far = (p * Vec4::new(0.0, 0.0, -100.0, 1.0)).project();
+        assert!((near.z + 1.0).abs() < 1e-4, "near plane maps to -1");
+        assert!((far.z - 1.0).abs() < 1e-4, "far plane maps to +1");
+    }
+
+    #[test]
+    fn orthographic_maps_box_to_ndc() {
+        let o = Mat4::orthographic(0.0, 10.0, 0.0, 5.0, 1.0, 11.0);
+        let lo = (o * Vec4::new(0.0, 0.0, -1.0, 1.0)).project();
+        let hi = (o * Vec4::new(10.0, 5.0, -11.0, 1.0)).project();
+        assert!((lo.xy() - Vec2::new(-1.0, -1.0)).length() < 1e-5);
+        assert!((hi.xy() - Vec2::new(1.0, 1.0)).length() < 1e-5);
+    }
+
+    #[test]
+    fn look_at_centers_target() {
+        let v = Mat4::look_at(
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let c = v * Vec4::new(0.0, 0.0, 0.0, 1.0);
+        assert!(approx(c, Vec4::new(0.0, 0.0, -5.0, 1.0)));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat4::perspective(1.0, 1.5, 0.1, 10.0);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+}

@@ -1,0 +1,179 @@
+//! Half-open integer rectangles.
+
+use std::fmt;
+
+/// A half-open, axis-aligned integer rectangle `[x0, x1) × [y0, y1)`.
+///
+/// Used for screen bounds, tiles, subtiles and scissor regions. An empty
+/// rectangle has `x1 <= x0` or `y1 <= y0`.
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_gmath::Rect;
+/// let tile = Rect::new(32, 0, 64, 32);
+/// assert_eq!(tile.width(), 32);
+/// assert!(tile.contains(32, 31));
+/// assert!(!tile.contains(64, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub x0: i32,
+    /// Inclusive top edge.
+    pub y0: i32,
+    /// Exclusive right edge.
+    pub x1: i32,
+    /// Exclusive bottom edge.
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Create a rectangle from its edges.
+    #[must_use]
+    pub const fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Create a rectangle from origin and size.
+    #[must_use]
+    pub const fn from_origin_size(x: i32, y: i32, w: i32, h: i32) -> Self {
+        Self::new(x, y, x + w, y + h)
+    }
+
+    /// Width (0 when empty).
+    #[must_use]
+    pub fn width(&self) -> i32 {
+        (self.x1 - self.x0).max(0)
+    }
+
+    /// Height (0 when empty).
+    #[must_use]
+    pub fn height(&self) -> i32 {
+        (self.y1 - self.y0).max(0)
+    }
+
+    /// Number of integer cells covered.
+    #[must_use]
+    pub fn area(&self) -> i64 {
+        i64::from(self.width()) * i64::from(self.height())
+    }
+
+    /// True when the rectangle covers no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x1 <= self.x0 || self.y1 <= self.y0
+    }
+
+    /// True when `(x, y)` lies inside.
+    #[must_use]
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Intersection with another rectangle (possibly empty).
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        Self::new(
+            self.x0.max(other.x0),
+            self.y0.max(other.y0),
+            self.x1.min(other.x1),
+            self.y1.min(other.y1),
+        )
+    }
+
+    /// True when the two rectangles share at least one cell.
+    #[must_use]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Self::new(
+            self.x0.min(other.x0),
+            self.y0.min(other.y0),
+            self.x1.max(other.x1),
+            self.y1.max(other.y1),
+        )
+    }
+
+    /// Iterate over every `(x, y)` cell in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = (i32, i32)> + '_ {
+        let xs = self.x0..self.x1.max(self.x0);
+        let ys = self.y0..self.y1.max(self.y0);
+        ys.flat_map(move |y| xs.clone().map(move |x| (x, y)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})x[{},{})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_area() {
+        let r = Rect::from_origin_size(10, 20, 5, 4);
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.height(), 4);
+        assert_eq!(r.area(), 20);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_rects() {
+        assert!(Rect::new(0, 0, 0, 10).is_empty());
+        assert!(Rect::new(5, 0, 3, 10).is_empty());
+        assert_eq!(Rect::new(5, 0, 3, 10).area(), 0);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let r = Rect::new(0, 0, 2, 2);
+        assert!(r.contains(0, 0));
+        assert!(r.contains(1, 1));
+        assert!(!r.contains(2, 0));
+        assert!(!r.contains(0, 2));
+        assert!(!r.contains(-1, 0));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersect(&b), Rect::new(5, 5, 10, 10));
+        assert!(a.overlaps(&b));
+        let c = Rect::new(10, 0, 20, 10);
+        assert!(!a.overlaps(&c), "touching edges do not overlap");
+    }
+
+    #[test]
+    fn union_ignores_empty() {
+        let a = Rect::new(0, 0, 1, 1);
+        let empty = Rect::default();
+        assert_eq!(a.union(&empty), a);
+        assert_eq!(empty.union(&a), a);
+        let b = Rect::new(5, 5, 6, 6);
+        assert_eq!(a.union(&b), Rect::new(0, 0, 6, 6));
+    }
+
+    #[test]
+    fn cells_row_major() {
+        let r = Rect::new(0, 0, 2, 2);
+        let v: Vec<_> = r.cells().collect();
+        assert_eq!(v, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+        assert_eq!(Rect::default().cells().count(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Screen-space triangles, edge functions and barycentric coordinates.
+
+use crate::{Rect, Vec2};
+
+/// Barycentric coordinates `(l0, l1, l2)` with `l0 + l1 + l2 = 1` for
+/// points inside the triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Barycentric {
+    /// Weight of vertex 0.
+    pub l0: f32,
+    /// Weight of vertex 1.
+    pub l1: f32,
+    /// Weight of vertex 2.
+    pub l2: f32,
+}
+
+impl Barycentric {
+    /// Interpolate a scalar attribute given its per-vertex values.
+    #[must_use]
+    pub fn interpolate(&self, a0: f32, a1: f32, a2: f32) -> f32 {
+        self.l0 * a0 + self.l1 * a1 + self.l2 * a2
+    }
+
+    /// Interpolate a 2-D attribute given its per-vertex values.
+    #[must_use]
+    pub fn interpolate2(&self, a0: Vec2, a1: Vec2, a2: Vec2) -> Vec2 {
+        a0 * self.l0 + a1 * self.l1 + a2 * self.l2
+    }
+
+    /// True when the point lies inside or on the triangle boundary.
+    #[must_use]
+    pub fn is_inside(&self) -> bool {
+        self.l0 >= 0.0 && self.l1 >= 0.0 && self.l2 >= 0.0
+    }
+}
+
+/// A triangle in continuous screen space.
+///
+/// The rasterizer samples it at pixel centers (`x + 0.5, y + 0.5`)
+/// using [`Triangle2::barycentric`].
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_gmath::{Triangle2, Vec2};
+/// let t = Triangle2::new(
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(4.0, 0.0),
+///     Vec2::new(0.0, 4.0),
+/// );
+/// assert!(t.covers(Vec2::new(1.0, 1.0)));
+/// assert!(!t.covers(Vec2::new(3.5, 3.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle2 {
+    /// First vertex.
+    pub v0: Vec2,
+    /// Second vertex.
+    pub v1: Vec2,
+    /// Third vertex.
+    pub v2: Vec2,
+}
+
+impl Triangle2 {
+    /// Create a triangle from three screen-space vertices.
+    #[must_use]
+    pub const fn new(v0: Vec2, v1: Vec2, v2: Vec2) -> Self {
+        Self { v0, v1, v2 }
+    }
+
+    /// Twice the signed area (positive for counter-clockwise winding in a
+    /// y-down coordinate system this is negative; the rasterizer accepts
+    /// both windings).
+    #[must_use]
+    pub fn double_area(&self) -> f32 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0)
+    }
+
+    /// True when the triangle has (numerically) zero area.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.double_area().abs() < 1e-12
+    }
+
+    /// Barycentric coordinates of `p`, for either winding.
+    ///
+    /// Returns `None` for degenerate triangles.
+    #[must_use]
+    pub fn barycentric(&self, p: Vec2) -> Option<Barycentric> {
+        let area2 = self.double_area();
+        if area2.abs() < 1e-12 {
+            return None;
+        }
+        let inv = 1.0 / area2;
+        let l1 = (p - self.v0).cross(self.v2 - self.v0) * inv;
+        let l2 = (self.v1 - self.v0).cross(p - self.v0) * inv;
+        Some(Barycentric {
+            l0: 1.0 - l1 - l2,
+            l1,
+            l2,
+        })
+    }
+
+    /// True when `p` is inside or on the boundary.
+    #[must_use]
+    pub fn covers(&self, p: Vec2) -> bool {
+        self.barycentric(p).is_some_and(|b| {
+            // tolerate tiny negative weights from float rounding on edges
+            b.l0 >= -1e-6 && b.l1 >= -1e-6 && b.l2 >= -1e-6
+        })
+    }
+
+    /// Integer pixel bounding box (conservative, half-open).
+    #[must_use]
+    pub fn pixel_bounds(&self) -> Rect {
+        let min = self.v0.min_elem(self.v1).min_elem(self.v2);
+        let max = self.v0.max_elem(self.v1).max_elem(self.v2);
+        Rect::new(
+            min.x.floor() as i32,
+            min.y.floor() as i32,
+            max.x.ceil() as i32,
+            max.y.ceil() as i32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Triangle2 {
+        Triangle2::new(
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(0.0, 10.0),
+        )
+    }
+
+    #[test]
+    fn barycentric_at_vertices() {
+        let t = tri();
+        let b = t.barycentric(t.v0).unwrap();
+        assert!((b.l0 - 1.0).abs() < 1e-6);
+        let b = t.barycentric(t.v1).unwrap();
+        assert!((b.l1 - 1.0).abs() < 1e-6);
+        let b = t.barycentric(t.v2).unwrap();
+        assert!((b.l2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn barycentric_sums_to_one() {
+        let t = tri();
+        for p in [
+            Vec2::new(1.0, 1.0),
+            Vec2::new(20.0, -3.0),
+            Vec2::new(3.3, 3.3),
+        ] {
+            let b = t.barycentric(p).unwrap();
+            assert!((b.l0 + b.l1 + b.l2 - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn covers_inside_and_outside() {
+        let t = tri();
+        assert!(t.covers(Vec2::new(2.0, 2.0)));
+        assert!(t.covers(Vec2::new(0.0, 0.0)), "vertex is covered");
+        assert!(t.covers(Vec2::new(5.0, 0.0)), "edge is covered");
+        assert!(!t.covers(Vec2::new(6.0, 6.0)));
+        assert!(!t.covers(Vec2::new(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn covers_works_for_both_windings() {
+        let t = tri();
+        let rev = Triangle2::new(t.v2, t.v1, t.v0);
+        assert!(rev.covers(Vec2::new(2.0, 2.0)));
+        assert!(!rev.covers(Vec2::new(6.0, 6.0)));
+    }
+
+    #[test]
+    fn degenerate_triangle() {
+        let t = Triangle2::new(
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(3.0, 3.0),
+        );
+        assert!(t.is_degenerate());
+        assert!(t.barycentric(Vec2::new(1.5, 1.5)).is_none());
+        assert!(!t.covers(Vec2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let t = tri();
+        // attribute equal to x coordinate
+        let b = t.barycentric(Vec2::new(3.0, 4.0)).unwrap();
+        let x = b.interpolate(t.v0.x, t.v1.x, t.v2.x);
+        assert!((x - 3.0).abs() < 1e-5);
+        let p = b.interpolate2(t.v0, t.v1, t.v2);
+        assert!((p - Vec2::new(3.0, 4.0)).length() < 1e-4);
+    }
+
+    #[test]
+    fn pixel_bounds_conservative() {
+        let t = Triangle2::new(
+            Vec2::new(0.5, 0.5),
+            Vec2::new(9.5, 0.5),
+            Vec2::new(0.5, 9.5),
+        );
+        let b = t.pixel_bounds();
+        assert_eq!(b, Rect::new(0, 0, 10, 10));
+    }
+
+    #[test]
+    fn double_area_sign_tracks_winding() {
+        let t = tri();
+        let rev = Triangle2::new(t.v2, t.v1, t.v0);
+        assert_eq!(t.double_area(), -rev.double_area());
+        assert_eq!(t.double_area().abs(), 100.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Column vectors with component-wise arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_binop {
+    ($ty:ident, $($f:ident),+) => {
+        impl Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self { $($f: self.$f + rhs.$f),+ }
+            }
+        }
+        impl Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($f: self.$f - rhs.$f),+ }
+            }
+        }
+        impl Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self { $($f: -self.$f),+ }
+            }
+        }
+        impl Mul<f32> for $ty {
+            type Output = Self;
+            fn mul(self, s: f32) -> Self {
+                Self { $($f: self.$f * s),+ }
+            }
+        }
+        impl Mul<$ty> for f32 {
+            type Output = $ty;
+            fn mul(self, v: $ty) -> $ty {
+                v * self
+            }
+        }
+        impl Div<f32> for $ty {
+            type Output = Self;
+            fn div(self, s: f32) -> Self {
+                Self { $($f: self.$f / s),+ }
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+        impl MulAssign<f32> for $ty {
+            fn mul_assign(&mut self, s: f32) {
+                *self = *self * s;
+            }
+        }
+        impl DivAssign<f32> for $ty {
+            fn div_assign(&mut self, s: f32) {
+                *self = *self / s;
+            }
+        }
+        impl $ty {
+            /// Dot product.
+            #[must_use]
+            pub fn dot(self, rhs: Self) -> f32 {
+                let mut acc = 0.0;
+                $(acc += self.$f * rhs.$f;)+
+                acc
+            }
+
+            /// Euclidean length.
+            #[must_use]
+            pub fn length(self) -> f32 {
+                self.dot(self).sqrt()
+            }
+
+            /// Unit-length copy of this vector.
+            ///
+            /// Returns the vector unchanged when its length is zero, so
+            /// degenerate primitives never produce NaNs downstream.
+            #[must_use]
+            pub fn normalized(self) -> Self {
+                let len = self.length();
+                if len == 0.0 {
+                    self
+                } else {
+                    self / len
+                }
+            }
+
+            /// Component-wise multiplication.
+            #[must_use]
+            pub fn mul_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f * rhs.$f),+ }
+            }
+
+            /// Component-wise minimum.
+            #[must_use]
+            pub fn min_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.min(rhs.$f)),+ }
+            }
+
+            /// Component-wise maximum.
+            #[must_use]
+            pub fn max_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.max(rhs.$f)),+ }
+            }
+
+            /// Linear interpolation: `self + (rhs - self) * t`.
+            #[must_use]
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self + (rhs - self) * t
+            }
+        }
+    };
+}
+
+/// A 2-component `f32` vector (screen positions, texture coordinates).
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_gmath::Vec2;
+/// let uv = Vec2::new(0.25, 0.75);
+/// assert_eq!(uv + uv, Vec2::new(0.5, 1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f32,
+    /// Vertical component.
+    pub y: f32,
+}
+
+/// A 3-component `f32` vector (object-space positions, normals, colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// A 4-component `f32` vector (homogeneous/clip-space positions, RGBA).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W (homogeneous) component.
+    pub w: f32,
+}
+
+impl_binop!(Vec2, x, y);
+impl_binop!(Vec3, x, y, z);
+impl_binop!(Vec4, x, y, z, w);
+
+impl Vec2 {
+    /// Create a vector from components.
+    #[must_use]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// 2-D cross product (z of the 3-D cross), twice the signed area of
+    /// the triangle `(0, self, rhs)`.
+    #[must_use]
+    pub fn cross(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Perpendicular (rotated 90° counter-clockwise).
+    #[must_use]
+    pub fn perp(self) -> Self {
+        Self::new(-self.y, self.x)
+    }
+}
+
+impl Vec3 {
+    /// Create a vector from components.
+    #[must_use]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0, 0.0);
+
+    /// 3-D cross product.
+    #[must_use]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Extend to a homogeneous [`Vec4`] with the given `w`.
+    #[must_use]
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+
+    /// Drop the z component.
+    #[must_use]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+impl Vec4 {
+    /// Create a vector from components.
+    #[must_use]
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0, 0.0, 0.0);
+
+    /// Drop the w component.
+    #[must_use]
+    pub fn xyz(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Drop the z and w components.
+    #[must_use]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Perspective division: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `w == 0`; the geometry pipeline clips
+    /// against the near plane before dividing so this never fires there.
+    #[must_use]
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w != 0.0, "perspective division by w = 0");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+}
+
+impl From<[f32; 2]> for Vec2 {
+    fn from(a: [f32; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<[f32; 4]> for Vec4 {
+    fn from(a: [f32; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<Vec2> for [f32; 2] {
+    fn from(v: Vec2) -> Self {
+        [v.x, v.y]
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+impl From<Vec4> for [f32; 4] {
+    fn from(v: Vec4) -> Self {
+        [v.x, v.y, v.z, v.w]
+    }
+}
+
+impl Index<usize> for Vec4 {
+    type Output = f32;
+
+    fn index(&self, i: usize) -> &f32 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            3 => &self.w,
+            _ => panic!("Vec4 index {i} out of range"),
+        }
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {})", self.x, self.y, self.z, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn vec2_cross_is_signed_area() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn vec3_cross_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        let c = a.cross(b);
+        assert_eq!(c, Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(c.dot(a), 0.0);
+        assert_eq!(c.dot(b), 0.0);
+    }
+
+    #[test]
+    fn dot_and_length() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.dot(v), 25.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_is_identity() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn project_divides_by_w() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn elementwise_min_max() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(3.0, 2.0);
+        assert_eq!(a.min_elem(b), Vec2::new(1.0, 2.0));
+        assert_eq!(a.max_elem(b), Vec2::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        let a: [f32; 4] = v.into();
+        assert_eq!(Vec4::from(a), v);
+        assert_eq!(v.xyz().xy(), Vec2::new(1.0, 2.0));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[3], 4.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::new(1.0, 2.0, 3.0);
+        v -= Vec3::new(0.0, 1.0, 0.0);
+        v *= 2.0;
+        v /= 4.0;
+        assert_eq!(v, Vec3::new(1.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vec4_index_out_of_range() {
+        let _ = Vec4::ZERO[4];
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the math substrate.
+
+use dtexl_gmath::{clamp_i32, Barycentric, Mat4, Rect, Triangle2, Vec2, Vec3, Vec4};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-1.0e3f32..1.0e3).prop_filter("finite", |v| v.is_finite())
+}
+
+fn vec2() -> impl Strategy<Value = Vec2> {
+    (finite_f32(), finite_f32()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_f32(), finite_f32(), finite_f32()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-100i32..100, -100i32..100, 0i32..50, 0i32..50)
+        .prop_map(|(x, y, w, h)| Rect::from_origin_size(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn vec_add_commutes(a in vec3(), b in vec3()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in vec3(), b in vec3(), s in finite_f32()) {
+        let lhs = (a * s).dot(b);
+        let rhs = a.dot(b) * s;
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn cross_orthogonal_to_inputs(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = a.length() * b.length() + 1.0;
+        prop_assert!(c.dot(a).abs() / (scale * scale) < 1e-3);
+        prop_assert!(c.dot(b).abs() / (scale * scale) < 1e-3);
+    }
+
+    #[test]
+    fn normalized_has_unit_length(a in vec3()) {
+        prop_assume!(a.length() > 1e-3);
+        prop_assert!((a.normalized().length() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matrix_vector_distributes(t in vec3(), v in vec3()) {
+        let m = Mat4::translation(t);
+        let p = m * v.extend(1.0);
+        prop_assert!((p.xyz() - (v + t)).length() < 1e-3);
+    }
+
+    #[test]
+    fn matrix_mul_associative_on_vectors(t in vec3(), s in 0.1f32..10.0, v in vec3()) {
+        let a = Mat4::translation(t);
+        let b = Mat4::scale(Vec3::new(s, s, s));
+        let lhs = (a * b) * v.extend(1.0);
+        let rhs = a * (b * v.extend(1.0));
+        prop_assert!((lhs - rhs).length() < 1e-2 * (1.0 + lhs.length()));
+    }
+
+    #[test]
+    fn rect_intersection_is_subset(a in rect(), b in rect()) {
+        let i = a.intersect(&b);
+        if !i.is_empty() {
+            prop_assert!(i.area() <= a.area());
+            prop_assert!(i.area() <= b.area());
+            prop_assert!(a.contains(i.x0, i.y0));
+            prop_assert!(b.contains(i.x0, i.y0));
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        for r in [a, b] {
+            if !r.is_empty() {
+                prop_assert!(u.contains(r.x0, r.y0));
+                prop_assert!(u.contains(r.x1 - 1, r.y1 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_cells_count_matches_area(r in rect()) {
+        prop_assert_eq!(r.cells().count() as i64, r.area());
+    }
+
+    #[test]
+    fn barycentric_partition_of_unity(
+        v0 in vec2(), v1 in vec2(), v2 in vec2(), p in vec2()
+    ) {
+        let t = Triangle2::new(v0, v1, v2);
+        prop_assume!(t.double_area().abs() > 1e-1);
+        let b = t.barycentric(p).unwrap();
+        prop_assert!((b.l0 + b.l1 + b.l2 - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn barycentric_reconstructs_point(
+        v0 in vec2(), v1 in vec2(), v2 in vec2(), p in vec2()
+    ) {
+        let t = Triangle2::new(v0, v1, v2);
+        prop_assume!(t.double_area().abs() > 1.0);
+        let b = t.barycentric(p).unwrap();
+        let q = b.interpolate2(v0, v1, v2);
+        let scale = 1.0 + v0.length() + v1.length() + v2.length() + p.length();
+        prop_assert!((q - p).length() / scale < 1e-2);
+    }
+
+    #[test]
+    fn vertices_are_covered(v0 in vec2(), v1 in vec2(), v2 in vec2()) {
+        let t = Triangle2::new(v0, v1, v2);
+        prop_assume!(t.double_area().abs() > 1.0);
+        // Centroid is always inside.
+        let c = (v0 + v1 + v2) / 3.0;
+        prop_assert!(t.covers(c));
+    }
+
+    #[test]
+    fn clamp_in_range(v in any::<i32>(), lo in -100i32..100, hi in -100i32..100) {
+        let c = clamp_i32(v, lo, hi);
+        if lo <= hi {
+            prop_assert!(c >= lo && c <= hi);
+        } else {
+            prop_assert_eq!(c, lo);
+        }
+    }
+
+    #[test]
+    fn project_undoes_scale_by_w(x in finite_f32(), y in finite_f32(), z in finite_f32(), w in 0.1f32..100.0) {
+        let v = Vec4::new(x * w, y * w, z * w, w);
+        let p = v.project();
+        prop_assert!((p - Vec3::new(x, y, z)).length() < 1e-2 * (1.0 + p.length()));
+    }
+
+    #[test]
+    fn interpolate_constant_attr(l0 in 0.0f32..1.0, l1 in 0.0f32..1.0, k in finite_f32()) {
+        prop_assume!(l0 + l1 <= 1.0);
+        let b = Barycentric { l0, l1, l2: 1.0 - l0 - l1 };
+        let v = b.interpolate(k, k, k);
+        prop_assert!((v - k).abs() < 1e-3 * (1.0 + k.abs()));
+    }
+}

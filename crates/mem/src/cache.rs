@@ -1,0 +1,376 @@
+//! Set-associative cache model.
+
+use crate::replacement::{Lru, ReplacementPolicy};
+use crate::stats::CacheStats;
+use crate::{LineAddr, LINE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache (Table II style: size, line, associativity,
+/// access latency in cycles).
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_mem::CacheConfig;
+/// let l1 = CacheConfig::texture_l1();
+/// assert_eq!(l1.sets(), 16 * 1024 / 64 / 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles (hit latency).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's 16 KiB, 4-way, 1-cycle private L1 texture cache.
+    #[must_use]
+    pub const fn texture_l1() -> Self {
+        Self {
+            size_bytes: 16 * 1024,
+            line_bytes: LINE_BYTES,
+            ways: 4,
+            latency: 1,
+        }
+    }
+
+    /// The paper's 8 KiB, 4-way, 1-cycle L1 vertex cache.
+    #[must_use]
+    pub const fn vertex_l1() -> Self {
+        Self {
+            size_bytes: 8 * 1024,
+            line_bytes: LINE_BYTES,
+            ways: 4,
+            latency: 1,
+        }
+    }
+
+    /// The paper's 64 KiB, 4-way, 1-cycle tile cache.
+    #[must_use]
+    pub const fn tile_cache() -> Self {
+        Self {
+            size_bytes: 64 * 1024,
+            line_bytes: LINE_BYTES,
+            ways: 4,
+            latency: 1,
+        }
+    }
+
+    /// The paper's 1 MiB, 8-way, 12-cycle shared L2.
+    #[must_use]
+    pub const fn l2() -> Self {
+        Self {
+            size_bytes: 1024 * 1024,
+            line_bytes: LINE_BYTES,
+            ways: 8,
+            latency: 12,
+        }
+    }
+
+    /// A copy of this configuration scaled to `factor ×` the capacity
+    /// (used for the Fig. 16 upper bound: one SC with a 4× L1).
+    #[must_use]
+    pub fn scaled(mut self, factor: u64) -> Self {
+        self.size_bytes *= factor;
+        self
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero ways or a capacity
+    /// that is not a multiple of `line_bytes × ways`).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache must have at least one way");
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets * self.ways == lines as usize,
+            "capacity {} not divisible into {} ways of {}-byte lines",
+            self.size_bytes,
+            self.ways,
+            self.line_bytes,
+        );
+        sets
+    }
+}
+
+/// Result of a single cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// Line evicted to make room (misses only; `None` when an invalid
+    /// way was filled).
+    pub evicted: Option<LineAddr>,
+}
+
+/// A set-associative cache with pluggable replacement.
+///
+/// The model is *functional plus latency*: it tracks residency and
+/// statistics; timing (latency stacking, MSHR contention) is handled by
+/// the pipeline's shader-core model using [`CacheConfig::latency`].
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_mem::{CacheConfig, SetAssocCache};
+/// let mut c = SetAssocCache::new(CacheConfig::texture_l1());
+/// assert!(!c.access(42).hit);
+/// assert!(c.access(42).hit);
+/// assert_eq!(c.stats().accesses, 2);
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: usize,
+    /// `tags[set * ways + way]`; `None` = invalid.
+    tags: Vec<Option<LineAddr>>,
+    policy: Box<dyn ReplacementPolicy + Send>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Create a cache with LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is degenerate (see [`CacheConfig::sets`]).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Self::with_policy(config, Box::new(Lru::new(sets, config.ways)))
+    }
+
+    /// Create a cache with a custom replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is degenerate (see [`CacheConfig::sets`]).
+    #[must_use]
+    pub fn with_policy(config: CacheConfig, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        let sets = config.sets();
+        Self {
+            config,
+            sets,
+            tags: vec![None; sets * config.ways],
+            policy,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    /// Look up `line`, filling it on a miss. Returns hit/miss and any
+    /// eviction.
+    pub fn access(&mut self, line: LineAddr) -> AccessOutcome {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(line);
+        let base = set * self.config.ways;
+
+        // Hit?
+        for way in 0..self.config.ways {
+            if self.tags[base + way] == Some(line) {
+                self.policy.on_access(set, way, self.tick);
+                self.stats.hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                };
+            }
+        }
+
+        // Miss: fill an invalid way if there is one.
+        self.stats.misses += 1;
+        for way in 0..self.config.ways {
+            if self.tags[base + way].is_none() {
+                self.tags[base + way] = Some(line);
+                self.policy.on_access(set, way, self.tick);
+                return AccessOutcome {
+                    hit: false,
+                    evicted: None,
+                };
+            }
+        }
+
+        // Evict.
+        let way = self.policy.victim(set, self.tick);
+        debug_assert!(way < self.config.ways);
+        let evicted = self.tags[base + way];
+        self.tags[base + way] = Some(line);
+        self.policy.on_access(set, way, self.tick);
+        self.stats.evictions += 1;
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Whether `line` is currently resident (no state change).
+    #[must_use]
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.config.ways;
+        (0..self.config.ways).any(|w| self.tags[base + w] == Some(line))
+    }
+
+    /// Invalidate all contents, keeping statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::Fifo;
+
+    fn tiny() -> CacheConfig {
+        // 2 sets × 2 ways × 64 B = 256 B
+        CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            latency: 1,
+        }
+    }
+
+    #[test]
+    fn table2_configs() {
+        assert_eq!(CacheConfig::texture_l1().sets(), 64);
+        assert_eq!(CacheConfig::vertex_l1().sets(), 32);
+        assert_eq!(CacheConfig::tile_cache().sets(), 256);
+        assert_eq!(CacheConfig::l2().sets(), 2048);
+        assert_eq!(CacheConfig::texture_l1().scaled(4).size_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(tiny());
+        assert!(!c.access(0).hit);
+        assert!(c.access(0).hit);
+        assert!(c.probe(0));
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        let mut c = SetAssocCache::new(tiny());
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.access(0);
+        c.access(2);
+        let out = c.access(4);
+        assert!(!out.hit);
+        assert_eq!(out.evicted, Some(0), "LRU evicts line 0");
+        assert!(c.probe(2) && c.probe(4) && !c.probe(0));
+    }
+
+    #[test]
+    fn lru_refresh_changes_victim() {
+        let mut c = SetAssocCache::new(tiny());
+        c.access(0);
+        c.access(2);
+        c.access(0); // refresh 0
+        let out = c.access(4);
+        assert_eq!(out.evicted, Some(2));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = SetAssocCache::new(tiny());
+        c.access(0); // set 0
+        c.access(1); // set 1
+        c.access(2); // set 0
+        c.access(3); // set 1
+        assert_eq!(c.resident_lines(), 4);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = SetAssocCache::new(tiny());
+        for _ in 0..3 {
+            c.access(7);
+        }
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_clears_content_keeps_stats() {
+        let mut c = SetAssocCache::new(tiny());
+        c.access(0);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().accesses, 1);
+        assert!(!c.access(0).hit, "miss again after flush");
+    }
+
+    #[test]
+    fn custom_policy_is_used() {
+        let cfg = tiny();
+        let mut c = SetAssocCache::with_policy(cfg, Box::new(Fifo::new(cfg.sets(), cfg.ways)));
+        c.access(0);
+        c.access(2);
+        c.access(0); // FIFO ignores the re-hit
+        let out = c.access(4);
+        assert_eq!(out.evicted, Some(0), "FIFO still evicts first-filled");
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn degenerate_config_panics() {
+        let _ = SetAssocCache::new(CacheConfig {
+            size_bytes: 100,
+            line_bytes: 64,
+            ways: 3,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    fn working_set_equal_to_capacity_fits() {
+        let cfg = tiny();
+        let mut c = SetAssocCache::new(cfg);
+        let lines = cfg.size_bytes / cfg.line_bytes;
+        for l in 0..lines {
+            c.access(l);
+        }
+        for l in 0..lines {
+            assert!(c.access(l).hit, "line {l} should be resident");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Replacement policies for [`SetAssocCache`](crate::SetAssocCache).
+//!
+//! The baseline GPU uses LRU everywhere (Table II); [`Fifo`] and
+//! [`PseudoRandom`] exist for the ablation benches, to show that DTexL's
+//! gains are not an artifact of the replacement policy.
+
+/// A per-set replacement policy.
+///
+/// The cache calls [`on_access`](ReplacementPolicy::on_access) on every
+/// hit or fill and asks [`victim`](ReplacementPolicy::victim) which way
+/// to evict when a set is full. Implementations keep whatever per-way
+/// state they need; `ways` is fixed at construction.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Record that `way` in `set` was touched at logical time `tick`.
+    fn on_access(&mut self, set: usize, way: usize, tick: u64);
+
+    /// Choose the way to evict from `set` at logical time `tick`.
+    fn victim(&mut self, set: usize, tick: u64) -> usize;
+}
+
+/// Least-recently-used replacement (the baseline policy).
+#[derive(Debug, Clone)]
+pub struct Lru {
+    last_used: Vec<u64>,
+    ways: usize,
+}
+
+impl Lru {
+    /// Create LRU state for `sets × ways` lines.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            last_used: vec![0; sets * ways],
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_access(&mut self, set: usize, way: usize, tick: u64) {
+        self.last_used[set * self.ways + way] = tick;
+    }
+
+    fn victim(&mut self, set: usize, tick: u64) -> usize {
+        let _ = tick;
+        let base = set * self.ways;
+        let mut best = 0;
+        let mut best_tick = u64::MAX;
+        for w in 0..self.ways {
+            let t = self.last_used[base + w];
+            if t < best_tick {
+                best_tick = t;
+                best = w;
+            }
+        }
+        best
+    }
+}
+
+/// First-in-first-out replacement (ablation only).
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    filled_at: Vec<u64>,
+    ways: usize,
+}
+
+impl Fifo {
+    /// Create FIFO state for `sets × ways` lines.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            filled_at: vec![u64::MAX; sets * ways],
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn on_access(&mut self, set: usize, way: usize, tick: u64) {
+        // FIFO only records the *fill* time: the first touch of a way.
+        let slot = &mut self.filled_at[set * self.ways + way];
+        if *slot == u64::MAX {
+            *slot = tick;
+        }
+    }
+
+    fn victim(&mut self, set: usize, tick: u64) -> usize {
+        let _ = tick;
+        let base = set * self.ways;
+        let mut best = 0;
+        let mut best_tick = u64::MAX;
+        for w in 0..self.ways {
+            let t = self.filled_at[base + w];
+            if t < best_tick {
+                best_tick = t;
+                best = w;
+            }
+        }
+        // The chosen way is being refilled: reset its fill time.
+        self.filled_at[base + best] = u64::MAX;
+        best
+    }
+}
+
+/// Deterministic pseudo-random replacement (ablation only).
+///
+/// Uses a per-policy xorshift stream so runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct PseudoRandom {
+    state: u64,
+    ways: usize,
+}
+
+impl PseudoRandom {
+    /// Create the policy with a fixed seed.
+    #[must_use]
+    pub fn new(ways: usize, seed: u64) -> Self {
+        Self {
+            state: seed | 1,
+            ways,
+        }
+    }
+}
+
+impl ReplacementPolicy for PseudoRandom {
+    fn on_access(&mut self, _set: usize, _way: usize, _tick: u64) {}
+
+    fn victim(&mut self, set: usize, tick: u64) -> usize {
+        let mut x = self.state ^ (set as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tick;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x % self.ways as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(1, 4);
+        for (tick, way) in [(1, 0), (2, 1), (3, 2), (4, 3)] {
+            lru.on_access(0, way, tick);
+        }
+        lru.on_access(0, 0, 5); // refresh way 0
+        assert_eq!(lru.victim(0, 6), 1, "way 1 is now the oldest");
+    }
+
+    #[test]
+    fn lru_tracks_sets_independently() {
+        let mut lru = Lru::new(2, 2);
+        lru.on_access(0, 0, 10);
+        lru.on_access(0, 1, 1);
+        lru.on_access(1, 0, 1);
+        lru.on_access(1, 1, 10);
+        assert_eq!(lru.victim(0, 11), 1);
+        assert_eq!(lru.victim(1, 11), 0);
+    }
+
+    #[test]
+    fn fifo_ignores_rehits() {
+        let mut fifo = Fifo::new(1, 2);
+        fifo.on_access(0, 0, 1); // fill way 0
+        fifo.on_access(0, 1, 2); // fill way 1
+        fifo.on_access(0, 0, 99); // re-hit does not refresh
+        assert_eq!(fifo.victim(0, 100), 0, "way 0 filled first");
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let mut a = PseudoRandom::new(4, 42);
+        let mut b = PseudoRandom::new(4, 42);
+        for tick in 0..100 {
+            let va = a.victim(tick as usize % 8, tick);
+            let vb = b.victim(tick as usize % 8, tick);
+            assert_eq!(va, vb);
+            assert!(va < 4);
+        }
+    }
+}

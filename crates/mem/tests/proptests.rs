@@ -1,0 +1,164 @@
+//! Property-based tests for the cache and hierarchy models.
+
+use dtexl_mem::{
+    CacheConfig, DramConfig, DramModel, SetAssocCache, TextureHierarchy, TextureHierarchyConfig,
+};
+use proptest::prelude::*;
+
+fn small_cache() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 1024,
+        line_bytes: 64,
+        ways: 4,
+        latency: 1,
+    }
+}
+
+/// A trivially-correct reference LRU: per set, a `Vec` ordered from
+/// most- to least-recently used.
+#[derive(Debug)]
+struct RefLru {
+    sets: usize,
+    ways: usize,
+    content: Vec<Vec<u64>>,
+}
+
+impl RefLru {
+    fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            sets: cfg.sets(),
+            ways: cfg.ways,
+            content: vec![Vec::new(); cfg.sets()],
+        }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let set = &mut self.content[(line % self.sets as u64) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            true
+        } else {
+            set.insert(0, line);
+            set.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production set-associative cache agrees hit-for-hit with a
+    /// trivially-correct reference LRU model on arbitrary traces.
+    #[test]
+    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u64..256, 1..600)) {
+        let cfg = small_cache();
+        let mut cache = SetAssocCache::new(cfg);
+        let mut reference = RefLru::new(&cfg);
+        for (i, &a) in addrs.iter().enumerate() {
+            let got = cache.access(a).hit;
+            let want = reference.access(a);
+            prop_assert_eq!(got, want, "divergence at access {} (line {})", i, a);
+        }
+    }
+
+    /// A line just accessed is always resident immediately afterwards.
+    #[test]
+    fn access_makes_resident(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut c = SetAssocCache::new(small_cache());
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a));
+        }
+    }
+
+    /// hits + misses == accesses, and evictions never exceed misses.
+    #[test]
+    fn stats_invariants(addrs in proptest::collection::vec(0u64..512, 0..300)) {
+        let mut c = SetAssocCache::new(small_cache());
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!(c.resident_lines() <= 1024 / 64);
+    }
+
+    /// Accessing the same short sequence twice in a row: if the working
+    /// set fits one set's ways, the second pass is all hits.
+    #[test]
+    fn rewalk_of_fitting_set_hits(start in 0u64..1000) {
+        let cfg = small_cache();
+        let sets = cfg.sets() as u64;
+        let mut c = SetAssocCache::new(cfg);
+        // Four lines mapping to the same set (ways = 4): they all fit.
+        let lines: Vec<u64> = (0..4).map(|i| start + i * sets).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        for &l in &lines {
+            prop_assert!(c.access(l).hit);
+        }
+    }
+
+    /// Hierarchy invariant: L2 accesses == total L1 misses, DRAM accesses
+    /// == L2 misses, for any access pattern over any core.
+    #[test]
+    fn hierarchy_flow_conservation(
+        ops in proptest::collection::vec((0usize..4, 0u64..50_000), 0..500)
+    ) {
+        let mut h = TextureHierarchy::new(TextureHierarchyConfig::default());
+        for &(sc, line) in &ops {
+            h.access(sc, line);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1_misses(), s.l2.accesses);
+        prop_assert_eq!(s.l2.misses, s.dram_accesses);
+        prop_assert_eq!(s.l1_accesses(), ops.len() as u64);
+    }
+
+    /// Replication degree is bounded by the number of private L1s.
+    #[test]
+    fn replication_bounded(
+        ops in proptest::collection::vec((0usize..4, 0u64..64), 1..200)
+    ) {
+        let mut h = TextureHierarchy::new(TextureHierarchyConfig::default());
+        for &(sc, line) in &ops {
+            h.access(sc, line);
+        }
+        for line in 0..64 {
+            prop_assert!(h.replication_of(line) <= 4);
+        }
+    }
+
+    /// DRAM latencies always land in the configured window.
+    #[test]
+    fn dram_window(lo in 10u32..60, span in 0u32..80, lines in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut d = DramModel::new(DramConfig { min_latency: lo, max_latency: lo + span });
+        for &l in &lines {
+            let lat = d.request(l);
+            prop_assert!(lat >= lo && lat <= lo + span);
+        }
+    }
+
+    /// The upper-bound configuration has one L1, so no line is ever
+    /// replicated, and for traces whose working set fits the aggregated
+    /// capacity every non-compulsory access hits.
+    #[test]
+    fn upper_bound_never_replicates(
+        ops in proptest::collection::vec((0usize..4, 0u64..256), 1..400)
+    ) {
+        let cfg = TextureHierarchyConfig::default().upper_bound(4);
+        let mut unified = TextureHierarchy::new(cfg);
+        let mut distinct = std::collections::HashSet::new();
+        for &(_sc, line) in &ops {
+            unified.access(0, line);
+            distinct.insert(line);
+        }
+        for line in 0..256 {
+            prop_assert!(unified.replication_of(line) <= 1);
+        }
+        // 256 distinct 64 B lines = 16 KiB << 64 KiB: only compulsory misses.
+        prop_assert_eq!(unified.stats().l2.accesses, distinct.len() as u64);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pipeline configuration (Table II defaults).
+
+use dtexl_mem::{CacheConfig, TextureHierarchyConfig};
+use serde::{Deserialize, Serialize};
+
+/// Barrier organization of the last three raster stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BarrierMode {
+    /// Baseline (Fig. 4): Early-Z, Fragment and Blend each process one
+    /// tile at a time; all four units synchronize at tile boundaries.
+    Coupled,
+    /// DTexL (Fig. 10): each parallel unit only waits for *its own*
+    /// previous subtile; color-buffer banks flush independently.
+    Decoupled,
+    /// Decoupled, but a unit may run at most `tiles_ahead` tiles ahead
+    /// of the slowest sibling unit (a bounded run-ahead credit). The
+    /// paper's proposal is unbounded; this variant shows how quickly
+    /// the benefit converges with modest buffering (DESIGN.md §6).
+    DecoupledBounded {
+        /// Maximum tiles a unit may lead the slowest unit by (0 ≡
+        /// coupled for the fragment chain).
+        tiles_ahead: u32,
+    },
+}
+
+/// Hardware configuration of the modeled GPU.
+///
+/// Defaults reproduce Table II: 600 MHz, 32×32 tiles, 4 SCs with 16 KiB
+/// private texture L1s, 1 MiB shared L2, 50–100-cycle DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Tile side in pixels (Table II: 32).
+    pub tile_size: u32,
+    /// Number of parallel raster pipelines / shader cores (4).
+    pub num_sc: usize,
+    /// Warp slots per shader core (multithreading depth for latency
+    /// hiding).
+    pub warp_slots: usize,
+    /// Rasterizer throughput in quads per cycle (feeds all pipelines).
+    pub raster_quads_per_cycle: u32,
+    /// Texture memory hierarchy (L1s + L2 + DRAM).
+    pub hierarchy: TextureHierarchyConfig,
+    /// L1 vertex cache geometry.
+    pub vertex_cache: CacheConfig,
+    /// Tile cache geometry (parameter buffer traffic).
+    pub tile_cache: CacheConfig,
+    /// Cycles the tile fetcher spends per primitive list entry.
+    pub fetch_cycles_per_prim: u32,
+    /// Cycles an L1 texture miss occupies the shader core's texture
+    /// unit (MSHR allocation + line fill). This bounds the miss
+    /// bandwidth of each core: multithreading hides miss *latency*, but
+    /// the fill port is a throughput resource, which is how reduced
+    /// replication (fewer L1 misses) turns into shader-core throughput
+    /// (§V-C2).
+    pub l1_miss_fill_cycles: u32,
+    /// Cycles to flush one color-buffer bank to memory at tile end.
+    pub flush_cycles_per_bank: u32,
+    /// Model the Fig. 16 upper bound: a single SC whose L1 aggregates
+    /// all private capacity (4×), eliminating replication.
+    pub upper_bound: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            tile_size: 32,
+            num_sc: 4,
+            warp_slots: 12,
+            raster_quads_per_cycle: 4,
+            hierarchy: TextureHierarchyConfig::default(),
+            vertex_cache: CacheConfig::vertex_l1(),
+            tile_cache: CacheConfig::tile_cache(),
+            fetch_cycles_per_prim: 2,
+            l1_miss_fill_cycles: 10,
+            // One bank holds 1/4 of a 32×32 RGBA8 tile = 1 KiB = 16
+            // lines; one line per cycle.
+            flush_cycles_per_bank: 16,
+            upper_bound: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Quads per tile row/column.
+    #[must_use]
+    pub fn quads_per_side(&self) -> u32 {
+        self.tile_size / 2
+    }
+
+    /// The effective texture-hierarchy configuration, honoring
+    /// [`upper_bound`](Self::upper_bound).
+    #[must_use]
+    pub fn effective_hierarchy(&self) -> TextureHierarchyConfig {
+        if self.upper_bound {
+            self.hierarchy.upper_bound(self.num_sc as u64)
+        } else {
+            self.hierarchy
+        }
+    }
+
+    /// Number of shader cores actually instantiated (1 in upper-bound
+    /// mode).
+    #[must_use]
+    pub fn effective_num_sc(&self) -> usize {
+        if self.upper_bound {
+            1
+        } else {
+            self.num_sc
+        }
+    }
+
+    /// Validate invariants the simulator depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is inconsistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tile_size == 0 || !self.tile_size.is_multiple_of(2) {
+            return Err(format!(
+                "tile size {} must be even and non-zero",
+                self.tile_size
+            ));
+        }
+        if self.num_sc != 4 {
+            return Err("the modeled raster pipeline has exactly 4 parallel units".into());
+        }
+        if self.warp_slots == 0 {
+            return Err("need at least one warp slot".into());
+        }
+        if self.raster_quads_per_cycle == 0 {
+            return Err("rasterizer throughput must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.tile_size, 32);
+        assert_eq!(c.num_sc, 4);
+        assert_eq!(c.quads_per_side(), 16);
+        assert_eq!(c.hierarchy.l1.size_bytes, 16 * 1024);
+        assert_eq!(c.hierarchy.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.vertex_cache.size_bytes, 8 * 1024);
+        assert_eq!(c.tile_cache.size_bytes, 64 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn upper_bound_rewires_hierarchy() {
+        let c = PipelineConfig {
+            upper_bound: true,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(c.effective_num_sc(), 1);
+        let h = c.effective_hierarchy();
+        assert_eq!(h.num_l1, 1);
+        assert_eq!(h.l1.size_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let c = PipelineConfig {
+            tile_size: 31,
+            ..PipelineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PipelineConfig {
+            warp_slots: 0,
+            ..PipelineConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = PipelineConfig {
+            num_sc: 8,
+            ..PipelineConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Whole-frame simulation: functional pass + metrics.
+
+use crate::config::{BarrierMode, PipelineConfig};
+use crate::geometry::{GeometryPipeline, GeometryStats};
+use crate::prim::Quad;
+use crate::raster::Rasterizer;
+use crate::shade::{ShaderCore, ShaderCoreStats};
+use crate::tiling::{TilingEngine, TilingStats};
+use crate::timing::{compose_frame, StageDurations};
+use crate::zbuffer::ZBuffer;
+use dtexl_gmath::Rect;
+use dtexl_mem::energy::EnergyEvents;
+use dtexl_mem::{HierarchyStats, TextureHierarchy, LINE_BYTES};
+use dtexl_scene::Scene;
+use dtexl_sched::{ScheduleConfig, TileSchedule};
+use dtexl_texture::TextureDesc;
+
+/// Per-tile outcome of the functional pass, indexed `[u]` by shader
+/// core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileRecord {
+    /// Tile coordinates.
+    pub tile: (u32, u32),
+    /// Quads emitted by the rasterizer per SC (pre early-Z).
+    pub quads_rasterized: [u32; 4],
+    /// Quads surviving early-Z per SC (shaded).
+    pub quads_shaded: [u32; 4],
+    /// Fragment-stage cycles per SC (from the warp model).
+    pub frag_cycles: [u64; 4],
+}
+
+/// Result of simulating one frame.
+///
+/// The functional pass is shared between barrier modes; call
+/// [`total_cycles`](Self::total_cycles) with either mode to compose the
+/// corresponding frame time.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// The hardware configuration used.
+    pub config: PipelineConfig,
+    /// The schedule used.
+    pub schedule: ScheduleConfig,
+    /// Geometry-phase statistics.
+    pub geometry: GeometryStats,
+    /// Tiling-engine statistics.
+    pub tiling: TilingStats,
+    /// Per-tile records in traversal order.
+    pub tiles: Vec<TileRecord>,
+    /// Stage durations for frame-time composition.
+    pub durations: StageDurations,
+    /// Texture-hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+    /// Aggregated shader-core statistics.
+    pub shader: ShaderCoreStats,
+}
+
+impl FrameResult {
+    /// Total frame cycles under `mode` (geometry + tiling + raster
+    /// phase).
+    #[must_use]
+    pub fn total_cycles(&self, mode: BarrierMode) -> u64 {
+        self.geometry.cycles + self.tiling.build_cycles + compose_frame(&self.durations, mode)
+    }
+
+    /// Frames per second at `clock_hz` under `mode`.
+    #[must_use]
+    pub fn fps(&self, clock_hz: f64, mode: BarrierMode) -> f64 {
+        clock_hz / self.total_cycles(mode) as f64
+    }
+
+    /// Total L2 accesses — the paper's headline cache metric: texture
+    /// L1 misses, vertex- and tile-cache misses, plus the color-buffer
+    /// flush lines written back through the L2 (Fig. 5 routes the
+    /// Color Buffer's memory path through the shared L2). Texture
+    /// traffic dominates but the other streams are scheduler-invariant,
+    /// which is why the paper's *total* decrease (46.8%) is smaller
+    /// than the texture-only decrease.
+    #[must_use]
+    pub fn total_l2_accesses(&self) -> u64 {
+        self.hierarchy.l2.accesses
+            + self.geometry.vertex_cache.misses
+            + self.tiling.tile_cache.misses
+            + self.framebuffer_lines()
+    }
+
+    /// Cache lines of color-buffer flush traffic (tiles × tile bytes /
+    /// line size).
+    #[must_use]
+    pub fn framebuffer_lines(&self) -> u64 {
+        let tile_bytes = u64::from(self.config.tile_size) * u64::from(self.config.tile_size) * 4;
+        self.tiles.len() as u64 * tile_bytes / LINE_BYTES
+    }
+
+    /// Total quads shaded across the frame.
+    #[must_use]
+    pub fn total_quads_shaded(&self) -> u64 {
+        self.tiles
+            .iter()
+            .map(|t| t.quads_shaded.iter().map(|&q| u64::from(q)).sum::<u64>())
+            .sum()
+    }
+
+    /// Per-tile normalized mean deviation of the *quad count* per SC
+    /// (in percent) — the Fig. 1 / Fig. 12 / Fig. 15 load-balance
+    /// metric. Tiles with no work are skipped.
+    #[must_use]
+    pub fn quad_deviation_samples(&self) -> Vec<f64> {
+        self.per_tile_deviation(|t| t.quads_shaded.map(|q| q as f64))
+    }
+
+    /// Per-tile normalized mean deviation of the *fragment execution
+    /// time* per SC (in percent) — the Fig. 14 metric.
+    #[must_use]
+    pub fn time_deviation_samples(&self) -> Vec<f64> {
+        self.per_tile_deviation(|t| t.frag_cycles.map(|c| c as f64))
+    }
+
+    fn per_tile_deviation(&self, f: impl Fn(&TileRecord) -> [f64; 4]) -> Vec<f64> {
+        let n = self.config.num_sc as f64;
+        self.tiles
+            .iter()
+            .filter_map(|t| {
+                let v = f(t);
+                let mean = v.iter().sum::<f64>() / n;
+                if mean <= 0.0 {
+                    return None;
+                }
+                let dev = v.iter().map(|x| (x - mean).abs()).sum::<f64>() / n;
+                Some(100.0 * dev / mean)
+            })
+            .collect()
+    }
+
+    /// Mean of [`quad_deviation_samples`](Self::quad_deviation_samples).
+    #[must_use]
+    pub fn mean_quad_deviation(&self) -> f64 {
+        mean(&self.quad_deviation_samples())
+    }
+
+    /// Mean of [`time_deviation_samples`](Self::time_deviation_samples).
+    #[must_use]
+    pub fn mean_time_deviation(&self) -> f64 {
+        mean(&self.time_deviation_samples())
+    }
+
+    /// Energy-model event counts for this frame under `mode`.
+    #[must_use]
+    pub fn energy_events(&self, mode: BarrierMode) -> EnergyEvents {
+        let total_quads: u64 = self
+            .tiles
+            .iter()
+            .map(|t| {
+                t.quads_rasterized
+                    .iter()
+                    .map(|&q| u64::from(q))
+                    .sum::<u64>()
+                    + t.quads_shaded.iter().map(|&q| u64::from(q)).sum::<u64>()
+            })
+            .sum();
+        // Color flush: each tile writes its pixels to the framebuffer.
+        let fb_lines = self.framebuffer_lines();
+        EnergyEvents {
+            l1_accesses: self.hierarchy.l1_accesses()
+                + self.geometry.vertex_cache.accesses
+                + self.tiling.tile_cache.accesses,
+            l2_accesses: self.total_l2_accesses(),
+            dram_accesses: self.hierarchy.dram_accesses + fb_lines,
+            alu_ops: self.shader.alu_ops,
+            fixed_stage_quads: total_quads,
+            cycles: self.total_cycles(mode),
+        }
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// The frame simulator: runs the functional pass and produces a
+/// [`FrameResult`].
+#[derive(Debug)]
+pub struct FrameSim;
+
+impl FrameSim {
+    /// Simulate one frame of `scene` under `schedule` on `config`'s
+    /// hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or scene is invalid (see
+    /// [`PipelineConfig::validate`] and [`Scene::validate`]), or if the
+    /// scene's texture ids are not dense (`textures[i].id() == i`).
+    #[must_use]
+    pub fn run(scene: &Scene, schedule: &ScheduleConfig, config: &PipelineConfig) -> FrameResult {
+        Self::run_sized(scene, schedule, config, None)
+    }
+
+    /// Like [`run`](Self::run), but with an explicit screen size
+    /// (otherwise inferred as the tight bound of Table II's 1960×768
+    /// via the scene's draw extents is not possible, so callers pass
+    /// the resolution they generated the scene for).
+    #[must_use]
+    pub fn run_with_resolution(
+        scene: &Scene,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        width: u32,
+        height: u32,
+    ) -> FrameResult {
+        Self::run_sized(scene, schedule, config, Some((width, height)))
+    }
+
+    fn run_sized(
+        scene: &Scene,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        resolution: Option<(u32, u32)>,
+    ) -> FrameResult {
+        config.validate().expect("invalid pipeline configuration");
+        scene.validate().expect("invalid scene");
+        let (width, height) = resolution.unwrap_or((1960, 768));
+
+        // Texture table indexed by id.
+        let textures: Vec<TextureDesc> = scene.textures.clone();
+        for (i, t) in textures.iter().enumerate() {
+            assert_eq!(t.id() as usize, i, "texture ids must be dense");
+        }
+
+        // 1. Geometry phase.
+        let mut geom = GeometryPipeline::new(config.vertex_cache);
+        let gout = geom.run(scene, width, height);
+
+        // 2. Tiling engine.
+        let mut tiling = TilingEngine::new(config.tile_cache, config.tile_size);
+        let bins = tiling.bin(&gout.prims, width, height);
+
+        // 3. Schedule and raster phase.
+        let tsched = TileSchedule::build(schedule, bins.tiles_w(), bins.tiles_h());
+        let mut hierarchy = TextureHierarchy::new(config.effective_hierarchy());
+        let raster = Rasterizer::new(config.tile_size);
+        let core = ShaderCore::new(config.warp_slots, config.l1_miss_fill_cycles);
+        let mut zbuf = ZBuffer::new(config.tile_size);
+        let screen = Rect::new(0, 0, width as i32, height as i32);
+        let qps = config.quads_per_side();
+
+        let mut tiles = Vec::with_capacity(tsched.len());
+        let mut durations = StageDurations::default();
+        let mut shader_total = ShaderCoreStats::default();
+        let mut tile_quads: Vec<Quad> = Vec::new();
+        let mut per_sc: [Vec<Quad>; 4] = Default::default();
+
+        for (ti, (tx, ty), _assign) in tsched.iter() {
+            let list = bins.list(tx, ty);
+            let tile_px = (tx * config.tile_size) as i32;
+            let tile_py = (ty * config.tile_size) as i32;
+
+            // Tile fetcher cost.
+            durations
+                .fetch
+                .push(4 + list.len() as u64 * u64::from(config.fetch_cycles_per_prim));
+
+            // Rasterize the tile's primitives in program order.
+            tile_quads.clear();
+            for &pi in list {
+                raster.rasterize_into(
+                    &gout.prims[pi as usize],
+                    tile_px,
+                    tile_py,
+                    screen,
+                    &mut tile_quads,
+                );
+            }
+            durations
+                .raster
+                .push((tile_quads.len() as u64).div_ceil(u64::from(config.raster_quads_per_cycle)));
+
+            // Early-Z in submission order, then partition per SC.
+            zbuf.clear();
+            let mut rec = TileRecord {
+                tile: (tx, ty),
+                ..TileRecord::default()
+            };
+            for q in per_sc.iter_mut() {
+                q.clear();
+            }
+            for q in &tile_quads {
+                let sc = tsched.sc_of_quad(ti, q.qx, q.qy, qps, qps);
+                rec.quads_rasterized[sc] += 1;
+                // The depth buffer is updated in submission order either
+                // way; late-Z quads are shaded *unconditionally* (their
+                // shader may change depth, so early culling is illegal —
+                // §II-A) and only resolved afterwards.
+                let surviving = zbuf.test_and_update(q);
+                let shade_mask = if q.late_z { q.mask } else { surviving };
+                if shade_mask != 0 {
+                    let mut alive = q.clone();
+                    alive.mask = shade_mask;
+                    per_sc[sc].push(alive);
+                }
+            }
+
+            // Fragment stage: run each SC's subtile on the warp model.
+            // In upper-bound mode all quads execute on the single core,
+            // in slot order (cache metric only).
+            let mut ez = [0u64; 4];
+            let mut frag = [0u64; 4];
+            let mut blend = [0u64; 4];
+            if config.upper_bound {
+                let merged: Vec<Quad> = per_sc.iter().flat_map(|v| v.iter().cloned()).collect();
+                let (cycles, stats) = core.run_subtile(0, &merged, &textures, &mut hierarchy);
+                rec.quads_shaded[0] = merged.len() as u32;
+                rec.frag_cycles[0] = cycles;
+                shader_total += stats;
+                ez[0] = u64::from(rec.quads_rasterized.iter().sum::<u32>());
+                frag[0] = cycles;
+                blend[0] = merged.len() as u64 + u64::from(config.flush_cycles_per_bank);
+            } else {
+                for sc in 0..config.num_sc {
+                    let (cycles, stats) =
+                        core.run_subtile(sc, &per_sc[sc], &textures, &mut hierarchy);
+                    rec.quads_shaded[sc] = per_sc[sc].len() as u32;
+                    rec.frag_cycles[sc] = cycles;
+                    shader_total += stats;
+                    ez[sc] = u64::from(rec.quads_rasterized[sc]);
+                    frag[sc] = cycles;
+                    blend[sc] = per_sc[sc].len() as u64 + u64::from(config.flush_cycles_per_bank);
+                }
+            }
+            durations.early_z.push(ez);
+            durations.fragment.push(frag);
+            durations.blend.push(blend);
+            tiles.push(rec);
+        }
+
+        FrameResult {
+            config: *config,
+            schedule: *schedule,
+            geometry: gout.stats,
+            tiling: bins.stats,
+            tiles,
+            durations,
+            hierarchy: hierarchy.stats(),
+            shader: shader_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_scene::{Game, SceneSpec};
+
+    fn small_result(schedule: ScheduleConfig) -> FrameResult {
+        let scene = Game::GravityTetris.scene(&SceneSpec::new(256, 128, 0));
+        FrameSim::run_with_resolution(&scene, &schedule, &PipelineConfig::default(), 256, 128)
+    }
+
+    #[test]
+    fn frame_produces_work_and_metrics() {
+        let r = small_result(ScheduleConfig::baseline());
+        assert_eq!(r.tiles.len(), 8 * 4, "256×128 → 8×4 tiles");
+        assert!(r.total_quads_shaded() > 100);
+        assert!(r.total_l2_accesses() > 0);
+        assert!(r.total_cycles(BarrierMode::Coupled) > 0);
+        assert!(r.fps(600e6, BarrierMode::Coupled) > 0.0);
+    }
+
+    #[test]
+    fn decoupled_at_least_as_fast() {
+        for sched in [ScheduleConfig::baseline(), ScheduleConfig::dtexl()] {
+            let r = small_result(sched);
+            assert!(r.total_cycles(BarrierMode::Decoupled) <= r.total_cycles(BarrierMode::Coupled));
+        }
+    }
+
+    #[test]
+    fn cg_square_reduces_l2_accesses() {
+        let fg = small_result(ScheduleConfig::baseline());
+        let cg = small_result(ScheduleConfig::dtexl());
+        assert!(
+            (cg.total_l2_accesses() as f64) < 0.9 * fg.total_l2_accesses() as f64,
+            "CG {} vs FG {}",
+            cg.total_l2_accesses(),
+            fg.total_l2_accesses()
+        );
+    }
+
+    #[test]
+    fn fg_balances_quads_better_than_cg() {
+        let fg = small_result(ScheduleConfig::baseline());
+        let cg = small_result(ScheduleConfig::dtexl());
+        assert!(
+            fg.mean_quad_deviation() < cg.mean_quad_deviation(),
+            "FG dev {} must be below CG dev {}",
+            fg.mean_quad_deviation(),
+            cg.mean_quad_deviation()
+        );
+    }
+
+    #[test]
+    fn upper_bound_beats_split_caches() {
+        let scene = Game::GravityTetris.scene(&SceneSpec::new(256, 128, 0));
+        let cfg = PipelineConfig::default();
+        let ub_cfg = PipelineConfig {
+            upper_bound: true,
+            ..cfg
+        };
+        let split =
+            FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, 256, 128);
+        let ub =
+            FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &ub_cfg, 256, 128);
+        assert!(
+            ub.hierarchy.l2.accesses < split.hierarchy.l2.accesses,
+            "upper bound {} must beat split {}",
+            ub.hierarchy.l2.accesses,
+            split.hierarchy.l2.accesses
+        );
+    }
+
+    #[test]
+    fn ragged_edge_resolutions_work() {
+        // Resolutions that are not multiples of the tile size exercise
+        // partial tiles on the right/bottom edges.
+        for (w, h) in [(100u32, 50u32), (33, 33), (65, 31)] {
+            let scene = Game::CandyCrush.scene(&SceneSpec::new(w, h, 0));
+            for sched in [ScheduleConfig::baseline(), ScheduleConfig::dtexl()] {
+                let r = FrameSim::run_with_resolution(
+                    &scene,
+                    &sched,
+                    &PipelineConfig::default(),
+                    w,
+                    h,
+                );
+                assert_eq!(
+                    r.tiles.len() as u32,
+                    w.div_ceil(32) * h.div_ceil(32),
+                    "{w}x{h}"
+                );
+                assert!(r.total_quads_shaded() > 0, "{w}x{h}");
+                // No quad may cover pixels beyond the screen: bounded by
+                // the pixel count (4 fragments per quad).
+                let max_quads = (w.div_ceil(2) * h.div_ceil(2)) as u64;
+                let per_tile_max: u64 = r
+                    .tiles
+                    .iter()
+                    .map(|t| u64::from(*t.quads_shaded.iter().max().unwrap()))
+                    .sum();
+                assert!(per_tile_max <= max_quads * 8, "sanity bound");
+                assert!(
+                    r.total_cycles(BarrierMode::Decoupled)
+                        <= r.total_cycles(BarrierMode::Coupled)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = small_result(ScheduleConfig::dtexl());
+        let b = small_result(ScheduleConfig::dtexl());
+        assert_eq!(
+            a.total_cycles(BarrierMode::Coupled),
+            b.total_cycles(BarrierMode::Coupled)
+        );
+        assert_eq!(a.total_l2_accesses(), b.total_l2_accesses());
+    }
+
+    #[test]
+    fn energy_events_populated() {
+        let r = small_result(ScheduleConfig::baseline());
+        let ev = r.energy_events(BarrierMode::Coupled);
+        assert!(ev.l1_accesses > 0);
+        assert!(ev.l2_accesses > 0);
+        assert!(ev.alu_ops > 0);
+        assert!(ev.fixed_stage_quads > 0);
+        assert_eq!(ev.cycles, r.total_cycles(BarrierMode::Coupled));
+    }
+
+    #[test]
+    fn late_z_quads_are_always_shaded() {
+        use dtexl_scene::DepthMode;
+        let mut scene = Game::TempleRun.scene(&SceneSpec::new(256, 128, 0));
+        let early = FrameSim::run_with_resolution(
+            &scene,
+            &ScheduleConfig::baseline(),
+            &PipelineConfig::default(),
+            256,
+            128,
+        );
+        for d in &mut scene.draws {
+            d.depth_mode = DepthMode::Late;
+        }
+        let late = FrameSim::run_with_resolution(
+            &scene,
+            &ScheduleConfig::baseline(),
+            &PipelineConfig::default(),
+            256,
+            128,
+        );
+        assert!(
+            late.total_quads_shaded() > early.total_quads_shaded(),
+            "late-Z disables early culling: {} vs {}",
+            late.total_quads_shaded(),
+            early.total_quads_shaded()
+        );
+        assert!(
+            late.total_cycles(BarrierMode::Coupled) > early.total_cycles(BarrierMode::Coupled),
+            "the wasted shading costs time"
+        );
+    }
+
+    #[test]
+    fn row_major_layout_reduces_cg_benefit() {
+        use dtexl_texture::TexelLayout;
+        let scene = Game::GravityTetris.scene(&SceneSpec::new(256, 128, 0));
+        let cfg = PipelineConfig::default();
+        let ratio = |s: &dtexl_scene::Scene| {
+            let fg = FrameSim::run_with_resolution(s, &ScheduleConfig::baseline(), &cfg, 256, 128);
+            let cg = FrameSim::run_with_resolution(s, &ScheduleConfig::dtexl(), &cfg, 256, 128);
+            cg.hierarchy.l2.accesses as f64 / fg.hierarchy.l2.accesses as f64
+        };
+        let morton = ratio(&scene);
+        let linear = ratio(&scene.relayout(TexelLayout::RowMajor));
+        assert!(
+            morton < linear,
+            "Morton tiling exposes more schedulable locality: {morton:.3} vs {linear:.3}"
+        );
+    }
+
+    #[test]
+    fn early_z_kills_some_overdraw() {
+        let r = small_result(ScheduleConfig::baseline());
+        let rasterized: u64 = r
+            .tiles
+            .iter()
+            .map(|t| {
+                t.quads_rasterized
+                    .iter()
+                    .map(|&q| u64::from(q))
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(
+            r.total_quads_shaded() < rasterized,
+            "early-Z must cull something: {} vs {}",
+            r.total_quads_shaded(),
+            rasterized
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Screen-space primitives and quads.
+
+use dtexl_gmath::{Rect, Triangle2, Vec2};
+use dtexl_scene::{DepthMode, ShaderProfile};
+use dtexl_texture::TextureId;
+
+/// A triangle after the geometry pipeline: screen-space positions plus
+/// the per-vertex data the rasterizer interpolates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasterPrim {
+    /// Screen-space triangle (pixel coordinates).
+    pub tri: Triangle2,
+    /// Per-vertex depth in [0, 1] (after viewport transform).
+    pub z: [f32; 3],
+    /// Per-vertex clip-space w (for perspective-correct interpolation).
+    pub w: [f32; 3],
+    /// Per-vertex texture coordinates.
+    pub uv: [Vec2; 3],
+    /// Texture bound to the draw.
+    pub texture: TextureId,
+    /// Fragment-shader profile of the draw.
+    pub shader: ShaderProfile,
+    /// Whether the primitive writes depth (opaque) or blends.
+    pub opaque: bool,
+    /// Extra texture-coordinate scaling applied at sampling.
+    pub uv_scale: f32,
+    /// Early or late depth testing.
+    pub depth_mode: DepthMode,
+    /// Index of the originating draw command (program order).
+    pub draw_index: u32,
+}
+
+impl RasterPrim {
+    /// Conservative pixel bounding box, clipped to the screen.
+    #[must_use]
+    pub fn bounds(&self, screen: Rect) -> Rect {
+        self.tri.pixel_bounds().intersect(&screen)
+    }
+}
+
+/// A shaded work unit: 2×2 fragments at even pixel coordinates.
+///
+/// `mask` marks which of the four fragments are covered and alive;
+/// bit *i* corresponds to fragment *i* in the order top-left, top-right,
+/// bottom-left, bottom-right.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quad {
+    /// Quad x coordinate local to the tile (0..quads_per_side).
+    pub qx: u32,
+    /// Quad y coordinate local to the tile.
+    pub qy: u32,
+    /// Alive-fragment mask (non-zero).
+    pub mask: u8,
+    /// Per-fragment depth.
+    pub z: [f32; 4],
+    /// Per-fragment texture coordinates (already uv-scaled).
+    pub uv: [Vec2; 4],
+    /// Texture to sample.
+    pub texture: TextureId,
+    /// Shader cost profile.
+    pub shader: ShaderProfile,
+    /// Depth-writing primitive?
+    pub opaque: bool,
+    /// Late-Z quad: shaded unconditionally, depth-resolved after the
+    /// fragment stage.
+    pub late_z: bool,
+}
+
+impl Quad {
+    /// Number of live fragments.
+    #[must_use]
+    pub fn live_fragments(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_gmath::Vec2;
+
+    #[test]
+    fn bounds_are_clipped() {
+        let p = RasterPrim {
+            tri: Triangle2::new(
+                Vec2::new(-10.0, -10.0),
+                Vec2::new(50.0, 0.0),
+                Vec2::new(0.0, 50.0),
+            ),
+            z: [0.5; 3],
+            w: [1.0; 3],
+            uv: [Vec2::ZERO; 3],
+            texture: 0,
+            shader: ShaderProfile::simple(),
+            opaque: true,
+            uv_scale: 1.0,
+            depth_mode: DepthMode::Early,
+            draw_index: 0,
+        };
+        let b = p.bounds(Rect::new(0, 0, 32, 32));
+        assert_eq!(b, Rect::new(0, 0, 32, 32));
+    }
+
+    #[test]
+    fn live_fragment_count() {
+        let q = Quad {
+            qx: 0,
+            qy: 0,
+            mask: 0b1011,
+            z: [0.0; 4],
+            uv: [Vec2::ZERO; 4],
+            texture: 0,
+            shader: ShaderProfile::simple(),
+            opaque: true,
+            late_z: false,
+        };
+        assert_eq!(q.live_fragments(), 3);
+    }
+}

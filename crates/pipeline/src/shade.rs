@@ -1,0 +1,324 @@
+//! The shader-core (fragment stage) timing model.
+
+use crate::prim::Quad;
+use dtexl_mem::TextureHierarchy;
+use dtexl_texture::{Sampler, TextureDesc};
+
+/// Per-run statistics of a shader core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShaderCoreStats {
+    /// Quads (warps) executed.
+    pub quads: u64,
+    /// ALU instructions issued.
+    pub alu_ops: u64,
+    /// Texture sample instructions issued.
+    pub tex_instructions: u64,
+    /// Cache-line requests sent to the texture hierarchy.
+    pub line_accesses: u64,
+    /// Cycles the issue/fill port was occupied (useful work).
+    pub busy_cycles: u64,
+    /// Total cycles across the core's subtile batches (`busy +
+    /// ramp/drain idle`). `busy_cycles / total_cycles` is the core's
+    /// occupancy — the quantity §V-C2 argues is structurally low in
+    /// TBR because every subtile boundary drains the warps.
+    pub total_cycles: u64,
+}
+
+impl ShaderCoreStats {
+    /// Fraction of cycles the core was doing useful work (0 when it
+    /// never ran).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for ShaderCoreStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.quads += rhs.quads;
+        self.alu_ops += rhs.alu_ops;
+        self.tex_instructions += rhs.tex_instructions;
+        self.line_accesses += rhs.line_accesses;
+        self.busy_cycles += rhs.busy_cycles;
+        self.total_cycles += rhs.total_cycles;
+    }
+}
+
+/// Warp-level shader-core model.
+///
+/// Each quad is a warp occupying one of `warp_slots` scheduler slots.
+/// The core issues one instruction per cycle while any warp is ready; a
+/// texture sample stalls its warp for the memory latency, which other
+/// warps hide — unless occupancy is too low, which is precisely the
+/// situation at subtile boundaries that makes TBR shader cores
+/// "more susceptible to memory latency" (§V-C2).
+///
+/// A subtile is simulated as one batch starting from an empty core (the
+/// barrier — coupled or decoupled — drains the core between subtiles).
+#[derive(Debug, Clone, Copy)]
+pub struct ShaderCore {
+    warp_slots: usize,
+    miss_fill_cycles: u32,
+}
+
+impl ShaderCore {
+    /// Create a core with `warp_slots` warp slots and an L1-miss fill
+    /// occupancy of `miss_fill_cycles` (the MSHR / fill-port throughput
+    /// bound — see `PipelineConfig::l1_miss_fill_cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp_slots` is zero.
+    #[must_use]
+    pub fn new(warp_slots: usize, miss_fill_cycles: u32) -> Self {
+        assert!(warp_slots > 0, "need at least one warp slot");
+        Self {
+            warp_slots,
+            miss_fill_cycles,
+        }
+    }
+
+    /// Execute one subtile's quads on core `sc`, accessing textures
+    /// through `hierarchy`. `textures[id]` must be the descriptor for
+    /// texture `id`.
+    ///
+    /// Returns `(cycles, stats)` for the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quad references a texture not present in `textures`.
+    pub fn run_subtile(
+        &self,
+        sc: usize,
+        quads: &[Quad],
+        textures: &[TextureDesc],
+        hierarchy: &mut TextureHierarchy,
+    ) -> (u64, ShaderCoreStats) {
+        let mut slot_free = vec![0u64; self.warp_slots];
+        let mut port = 0u64;
+        let mut stats = ShaderCoreStats::default();
+        let mut group_latency: Vec<u32> = Vec::with_capacity(4);
+
+        for quad in quads {
+            let tex = &textures[quad.texture as usize];
+            debug_assert_eq!(tex.id(), quad.texture, "texture table must be id-indexed");
+            let sampler = Sampler::new(quad.shader.filter);
+            let lines = sampler.quad_footprint(tex, quad.uv);
+
+            // The texture unit coalesces each sample's line fetches in
+            // parallel; successive samples of a warp are dependent.
+            // Round-robin the footprint over the sample instructions and
+            // charge each sample the slowest of its lines.
+            let samples = quad.shader.tex_samples.max(1) as usize;
+            group_latency.clear();
+            group_latency.resize(samples, 0);
+            let mut misses = 0u64;
+            for (i, &line) in lines.iter().enumerate() {
+                let res = hierarchy.access(sc, line);
+                if !res.l1_hit {
+                    misses += 1;
+                }
+                let g = i % samples;
+                group_latency[g] = group_latency[g].max(res.latency);
+            }
+            let stall: u64 = group_latency.iter().map(|&l| u64::from(l)).sum();
+
+            // Dispatch the warp on the earliest-free slot; the issue
+            // port serializes instruction issue across warps, and each
+            // L1 miss occupies the fill port — a throughput cost that
+            // multithreading cannot hide.
+            let (slot, &free) = slot_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("warp_slots > 0");
+            let issue = u64::from(quad.shader.issue_slots());
+            let occupancy = issue + misses * u64::from(self.miss_fill_cycles);
+            let start = port.max(free);
+            port = start + occupancy;
+            slot_free[slot] = start + occupancy + stall;
+
+            stats.quads += 1;
+            stats.alu_ops += u64::from(quad.shader.alu_ops);
+            stats.tex_instructions += u64::from(quad.shader.tex_samples);
+            stats.line_accesses += lines.len() as u64;
+        }
+
+        let drain = slot_free.iter().copied().max().unwrap_or(0);
+        let cycles = port.max(drain);
+        stats.busy_cycles = port;
+        stats.total_cycles = cycles;
+        (cycles, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_gmath::Vec2;
+    use dtexl_mem::TextureHierarchyConfig;
+    use dtexl_scene::ShaderProfile;
+
+    fn textures() -> Vec<TextureDesc> {
+        vec![TextureDesc::new(0, 256, 256, 0x1000_0000)]
+    }
+
+    fn quad_at(qx: u32, qy: u32) -> Quad {
+        // UVs with a 1:1 texel:pixel mapping around the quad position.
+        let uv = |px: f32, py: f32| Vec2::new(px / 256.0, py / 256.0);
+        let x = qx as f32 * 2.0;
+        let y = qy as f32 * 2.0;
+        Quad {
+            qx,
+            qy,
+            mask: 0b1111,
+            z: [0.5; 4],
+            uv: [
+                uv(x, y),
+                uv(x + 1.0, y),
+                uv(x, y + 1.0),
+                uv(x + 1.0, y + 1.0),
+            ],
+            texture: 0,
+            shader: ShaderProfile::standard(),
+            opaque: true,
+            late_z: false,
+        }
+    }
+
+    fn hierarchy() -> TextureHierarchy {
+        TextureHierarchy::new(TextureHierarchyConfig::default())
+    }
+
+    #[test]
+    fn empty_subtile_is_free() {
+        let core = ShaderCore::new(16, 0);
+        let mut h = hierarchy();
+        let (cycles, stats) = core.run_subtile(0, &[], &textures(), &mut h);
+        assert_eq!(cycles, 0);
+        assert_eq!(stats, ShaderCoreStats::default());
+    }
+
+    #[test]
+    fn single_quad_pays_full_latency() {
+        let core = ShaderCore::new(16, 0);
+        let mut h = hierarchy();
+        let (cycles, stats) = core.run_subtile(0, &[quad_at(0, 0)], &textures(), &mut h);
+        // One warp: issue + cold-miss stall, nothing to hide it.
+        assert!(cycles > 60, "cold miss visible, got {cycles}");
+        assert_eq!(stats.quads, 1);
+        assert!(stats.line_accesses >= 1);
+    }
+
+    #[test]
+    fn multithreading_hides_latency() {
+        let tex = textures();
+        // 64 quads with disjoint footprints: all cold misses.
+        let quads: Vec<Quad> = (0..64)
+            .map(|i| quad_at((i % 16) * 4, (i / 16) * 4))
+            .collect();
+
+        let run = |slots: usize| {
+            let core = ShaderCore::new(slots, 0);
+            let mut h = hierarchy();
+            core.run_subtile(0, &quads, &tex, &mut h).0
+        };
+        let serial = run(1);
+        let threaded = run(16);
+        assert!(
+            threaded * 2 < serial,
+            "16 warps ({threaded}) must hide most of the serial latency ({serial})"
+        );
+    }
+
+    #[test]
+    fn cache_hits_speed_up_the_batch() {
+        let tex = textures();
+        let core = ShaderCore::new(4, 0);
+        // Same quad repeated: after the first, all L1 hits.
+        let quads = vec![quad_at(3, 3); 32];
+        let mut h = hierarchy();
+        let (warm, _) = core.run_subtile(0, &quads, &tex, &mut h);
+
+        // Disjoint quads: every one cold-misses.
+        let cold_quads: Vec<Quad> = (0..32)
+            .map(|i| quad_at((i * 5) % 64, (i / 8) * 8))
+            .collect();
+        let mut h2 = hierarchy();
+        let (cold, _) = core.run_subtile(0, &cold_quads, &tex, &mut h2);
+        assert!(warm < cold, "hits {warm} must beat misses {cold}");
+    }
+
+    #[test]
+    fn issue_port_bounds_throughput() {
+        let tex = textures();
+        let core = ShaderCore::new(64, 0);
+        let quads = vec![quad_at(0, 0); 100];
+        let mut h = hierarchy();
+        let (cycles, stats) = core.run_subtile(0, &quads, &tex, &mut h);
+        let issue_total: u64 = stats.alu_ops + stats.tex_instructions;
+        assert!(cycles >= issue_total, "can't beat the issue port");
+        // With full hits after warm-up, should be close to issue-bound.
+        assert!(cycles < issue_total + 200);
+    }
+
+    #[test]
+    fn stats_accumulate_per_quad() {
+        let tex = textures();
+        let core = ShaderCore::new(8, 0);
+        let mut h = hierarchy();
+        let (_c, stats) = core.run_subtile(0, &[quad_at(0, 0), quad_at(1, 0)], &tex, &mut h);
+        assert_eq!(stats.quads, 2);
+        assert_eq!(
+            stats.alu_ops,
+            2 * u64::from(ShaderProfile::standard().alu_ops)
+        );
+    }
+
+    #[test]
+    fn occupancy_falls_with_small_batches() {
+        // §V-C2: subtile boundaries drain the warps, so smaller
+        // batches mean lower occupancy on the same workload.
+        let tex = textures();
+        let core = ShaderCore::new(12, 0);
+        let quads: Vec<Quad> = (0..64).map(|i| quad_at((i % 16) * 3, (i / 16) * 5)).collect();
+        // One large batch.
+        let mut h = hierarchy();
+        let (_c, big) = core.run_subtile(0, &quads, &tex, &mut h);
+        // The same quads in 16 small batches (fresh hierarchy so the
+        // miss pattern is comparable).
+        let mut h2 = hierarchy();
+        let mut small = ShaderCoreStats::default();
+        for chunk in quads.chunks(4) {
+            let (_c, s) = core.run_subtile(0, chunk, &tex, &mut h2);
+            small += s;
+        }
+        assert!(
+            small.occupancy() < big.occupancy(),
+            "small batches {:.3} must be below large batches {:.3}",
+            small.occupancy(),
+            big.occupancy()
+        );
+        assert!(big.occupancy() <= 1.0 && small.occupancy() > 0.0);
+    }
+
+    #[test]
+    fn heavy_shader_takes_longer() {
+        let tex = textures();
+        let core = ShaderCore::new(8, 0);
+        let mk = |profile: ShaderProfile| {
+            let mut q = quad_at(0, 0);
+            q.shader = profile;
+            vec![q; 32]
+        };
+        let mut h1 = hierarchy();
+        let (light, _) = core.run_subtile(0, &mk(ShaderProfile::simple()), &tex, &mut h1);
+        let mut h2 = hierarchy();
+        let (heavy, _) = core.run_subtile(0, &mk(ShaderProfile::heavy()), &tex, &mut h2);
+        assert!(heavy > light);
+    }
+}

@@ -1,0 +1,276 @@
+//! Frame-time composition under coupled and decoupled barriers.
+
+use crate::config::BarrierMode;
+
+/// Per-tile durations of every raster-pipeline stage, in traversal
+/// order. Index `[t][u]` is tile `t`, parallel unit `u`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageDurations {
+    /// Tile fetcher (serial unit): cycles to fetch tile `t`'s list.
+    pub fetch: Vec<u64>,
+    /// Rasterizer (serial unit): cycles to emit tile `t`'s quads.
+    pub raster: Vec<u64>,
+    /// Early-Z units.
+    pub early_z: Vec<[u64; 4]>,
+    /// Fragment stage (shader cores) — measured by the SC model.
+    pub fragment: Vec<[u64; 4]>,
+    /// Blend units, including the per-bank color flush.
+    pub blend: Vec<[u64; 4]>,
+}
+
+impl StageDurations {
+    /// Number of tiles recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fragment.len()
+    }
+
+    /// Whether no tiles were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fragment.is_empty()
+    }
+
+    fn assert_consistent(&self) {
+        let n = self.len();
+        assert!(
+            self.fetch.len() == n
+                && self.raster.len() == n
+                && self.early_z.len() == n
+                && self.blend.len() == n,
+            "stage duration vectors must have equal length"
+        );
+    }
+}
+
+/// Compose the raster-phase execution time (in cycles) from per-tile
+/// stage durations under the given barrier mode.
+///
+/// Both modes share the front of the pipe: the tile fetcher and the
+/// rasterizer are single units processing tiles in order. The last
+/// three stages each have four parallel units:
+///
+/// * **Coupled** (Fig. 4): a stage starts tile *t* only after all of
+///   its units finished tile *t−1*, so each stage's tile time is the
+///   max over its units.
+/// * **Decoupled** (Fig. 10): unit *u* of a stage starts its subtile of
+///   tile *t* as soon as (a) the producing stage's unit delivered it
+///   and (b) *u* itself finished tile *t−1* — the per-unit chains
+///   advance independently.
+///
+/// # Panics
+///
+/// Panics if the duration vectors have inconsistent lengths.
+#[must_use]
+pub fn compose_frame(d: &StageDurations, mode: BarrierMode) -> u64 {
+    d.assert_consistent();
+    if d.is_empty() {
+        return 0;
+    }
+
+    let mut fetch_done = 0u64;
+    let mut raster_done = 0u64;
+    match mode {
+        BarrierMode::Coupled => {
+            let mut ez_done = 0u64;
+            let mut fr_done = 0u64;
+            let mut bl_done = 0u64;
+            for t in 0..d.len() {
+                fetch_done += d.fetch[t];
+                raster_done = raster_done.max(fetch_done) + d.raster[t];
+                let ez = *d.early_z[t].iter().max().expect("4 units");
+                ez_done = ez_done.max(raster_done) + ez;
+                let fr = *d.fragment[t].iter().max().expect("4 units");
+                fr_done = fr_done.max(ez_done) + fr;
+                let bl = *d.blend[t].iter().max().expect("4 units");
+                bl_done = bl_done.max(fr_done) + bl;
+            }
+            bl_done
+        }
+        BarrierMode::Decoupled => compose_decoupled(d, None),
+        BarrierMode::DecoupledBounded { tiles_ahead } => {
+            compose_decoupled(d, Some(tiles_ahead as usize))
+        }
+    }
+}
+
+/// Decoupled composition; with `credit = Some(k)`, a unit of a stage
+/// may not start its subtile of tile `t` before *every* unit of that
+/// same stage has finished tile `t - k - 1` — i.e. units of a stage can
+/// spread over at most `k + 1` consecutive tiles (bounded run-ahead
+/// buffering). Stages still hand subtiles to each other per unit, so
+/// even `k = 0` decouples *within* a tile; `k = ∞` (`None`) is the
+/// paper's fully decoupled pipeline.
+fn compose_decoupled(d: &StageDurations, credit: Option<usize>) -> u64 {
+    let mut fetch_done = 0u64;
+    let mut raster_done = 0u64;
+    let mut ez_done = [0u64; 4];
+    let mut fr_done = [0u64; 4];
+    let mut bl_done = [0u64; 4];
+    // Per-stage history of "all units finished tile t" times, used only
+    // when a credit bound is in force.
+    let mut ez_hist: Vec<u64> = Vec::new();
+    let mut fr_hist: Vec<u64> = Vec::new();
+    let mut bl_hist: Vec<u64> = Vec::new();
+    for t in 0..d.len() {
+        fetch_done += d.fetch[t];
+        raster_done = raster_done.max(fetch_done) + d.raster[t];
+        let (mut ez_floor, mut fr_floor, mut bl_floor) = (0u64, 0u64, 0u64);
+        if let Some(k) = credit {
+            if t > k {
+                ez_floor = ez_hist[t - k - 1];
+                fr_floor = fr_hist[t - k - 1];
+                bl_floor = bl_hist[t - k - 1];
+            }
+        }
+        let (mut ez_max, mut fr_max, mut bl_max) = (0u64, 0u64, 0u64);
+        for u in 0..4 {
+            ez_done[u] = ez_done[u].max(raster_done).max(ez_floor) + d.early_z[t][u];
+            fr_done[u] = fr_done[u].max(ez_done[u]).max(fr_floor) + d.fragment[t][u];
+            bl_done[u] = bl_done[u].max(fr_done[u]).max(bl_floor) + d.blend[t][u];
+            ez_max = ez_max.max(ez_done[u]);
+            fr_max = fr_max.max(fr_done[u]);
+            bl_max = bl_max.max(bl_done[u]);
+        }
+        if credit.is_some() {
+            ez_hist.push(ez_max);
+            fr_hist.push(fr_max);
+            bl_hist.push(bl_max);
+        }
+    }
+    *bl_done.iter().max().expect("4 units")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(tiles: usize, fr: [u64; 4]) -> StageDurations {
+        StageDurations {
+            fetch: vec![1; tiles],
+            raster: vec![2; tiles],
+            early_z: vec![[4; 4]; tiles],
+            fragment: vec![fr; tiles],
+            blend: vec![[4; 4]; tiles],
+        }
+    }
+
+    #[test]
+    fn empty_frame_is_zero() {
+        assert_eq!(
+            compose_frame(&StageDurations::default(), BarrierMode::Coupled),
+            0
+        );
+        assert_eq!(
+            compose_frame(&StageDurations::default(), BarrierMode::Decoupled),
+            0
+        );
+    }
+
+    #[test]
+    fn decoupled_never_slower() {
+        for fr in [[10, 10, 10, 10], [40, 10, 10, 10], [1, 2, 3, 100]] {
+            let d = uniform(20, fr);
+            assert!(
+                compose_frame(&d, BarrierMode::Decoupled)
+                    <= compose_frame(&d, BarrierMode::Coupled),
+                "{fr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_load_gains_nothing_from_decoupling() {
+        let d = uniform(50, [25, 25, 25, 25]);
+        assert_eq!(
+            compose_frame(&d, BarrierMode::Coupled),
+            compose_frame(&d, BarrierMode::Decoupled)
+        );
+    }
+
+    #[test]
+    fn imbalance_hurts_coupled_only() {
+        // Alternating bottleneck unit: coupled pays max every tile,
+        // decoupled lets the idle units run ahead.
+        let tiles = 100;
+        let mut d = uniform(tiles, [0; 4]);
+        for t in 0..tiles {
+            let mut fr = [10u64; 4];
+            fr[t % 4] = 70; // rotating hot subtile
+            d.fragment[t] = fr;
+        }
+        let coupled = compose_frame(&d, BarrierMode::Coupled);
+        let decoupled = compose_frame(&d, BarrierMode::Decoupled);
+        // Coupled: ≥ 70 per tile. Decoupled: each unit does 70 only
+        // every 4th tile → ~(70 + 3*10)/4 = 25 per tile amortized.
+        assert!(
+            decoupled * 2 < coupled,
+            "decoupled {decoupled} vs coupled {coupled}"
+        );
+    }
+
+    #[test]
+    fn permanently_hot_unit_limits_decoupling() {
+        // If the SAME unit is always the bottleneck (the paper's
+        // "partial" mapping problem), decoupling cannot help steady-state
+        // throughput.
+        let tiles = 200;
+        let mut d = uniform(tiles, [0; 4]);
+        for t in 0..tiles {
+            d.fragment[t] = [80, 10, 10, 10];
+        }
+        let coupled = compose_frame(&d, BarrierMode::Coupled);
+        let decoupled = compose_frame(&d, BarrierMode::Decoupled);
+        // Both are dominated by unit 0's 80-cycle chain.
+        assert!(decoupled >= tiles as u64 * 80);
+        assert!(coupled >= decoupled);
+        assert!((coupled - decoupled) < coupled / 10, "gain must be small");
+    }
+
+    #[test]
+    fn fetch_bound_pipeline() {
+        // A slow tile fetcher starves both modes equally.
+        let mut d = uniform(50, [5, 5, 5, 5]);
+        d.fetch = vec![1000; 50];
+        let c = compose_frame(&d, BarrierMode::Coupled);
+        let dec = compose_frame(&d, BarrierMode::Decoupled);
+        assert!(c >= 50_000 && dec >= 50_000);
+        assert!(c - dec <= 20, "bottleneck upstream → no decoupling gain");
+    }
+
+    #[test]
+    fn bounded_decoupling_interpolates() {
+        // Rotating hot unit: unbounded decoupling wins big; credit 0 is
+        // close to coupled; larger credits converge to unbounded.
+        let tiles = 100;
+        let mut d = uniform(tiles, [0; 4]);
+        for t in 0..tiles {
+            let mut fr = [10u64; 4];
+            fr[t % 4] = 70;
+            d.fragment[t] = fr;
+        }
+        let coupled = compose_frame(&d, BarrierMode::Coupled);
+        let unbounded = compose_frame(&d, BarrierMode::Decoupled);
+        let mut prev = coupled;
+        for ahead in [0u32, 1, 2, 4, 16] {
+            let bounded = compose_frame(&d, BarrierMode::DecoupledBounded { tiles_ahead: ahead });
+            assert!(bounded >= unbounded, "credit {ahead} can't beat unbounded");
+            assert!(bounded <= coupled, "credit {ahead} can't lose to coupled");
+            assert!(bounded <= prev, "more credit never hurts");
+            prev = bounded;
+        }
+        let wide = compose_frame(&d, BarrierMode::DecoupledBounded { tiles_ahead: 16 });
+        assert!(
+            wide <= unbounded + unbounded / 20,
+            "16 tiles of credit ≈ unbounded ({wide} vs {unbounded})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn inconsistent_lengths_panic() {
+        let mut d = uniform(3, [1; 4]);
+        d.fetch.pop();
+        let _ = compose_frame(&d, BarrierMode::Coupled);
+    }
+}

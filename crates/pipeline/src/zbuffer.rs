@@ -1,0 +1,153 @@
+//! The tile-sized depth buffer and Early-Z test.
+
+use crate::prim::Quad;
+
+/// The on-chip, tile-sized Z-buffer (Fig. 3).
+///
+/// The buffer is four-banked in hardware (one bank per parallel
+/// pipeline); banking only affects timing, which the frame composer
+/// models, so the functional buffer here is a flat tile.
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_pipeline::ZBuffer;
+/// let mut zb = ZBuffer::new(32);
+/// assert_eq!(zb.depth_at(0, 0), 1.0, "cleared to far");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZBuffer {
+    tile_size: u32,
+    depth: Vec<f32>,
+}
+
+impl ZBuffer {
+    /// Create a buffer for `tile_size`-pixel tiles, cleared to far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size` is zero or odd.
+    #[must_use]
+    pub fn new(tile_size: u32) -> Self {
+        assert!(tile_size > 0 && tile_size.is_multiple_of(2));
+        Self {
+            tile_size,
+            depth: vec![1.0; (tile_size * tile_size) as usize],
+        }
+    }
+
+    /// Reset to the far plane for the next tile.
+    pub fn clear(&mut self) {
+        self.depth.fill(1.0);
+    }
+
+    /// Depth currently stored at tile-local pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the tile.
+    #[must_use]
+    pub fn depth_at(&self, x: u32, y: u32) -> f32 {
+        assert!(x < self.tile_size && y < self.tile_size);
+        self.depth[(y * self.tile_size + x) as usize]
+    }
+
+    /// Early-Z test `quad` against the buffer: fragments at or behind
+    /// the stored depth are killed; surviving opaque fragments update
+    /// the buffer. Returns the surviving mask.
+    pub fn test_and_update(&mut self, quad: &Quad) -> u8 {
+        let mut out_mask = 0u8;
+        for (i, (dx, dy)) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)].iter().enumerate() {
+            if quad.mask & (1 << i) == 0 {
+                continue;
+            }
+            let x = quad.qx * 2 + dx;
+            let y = quad.qy * 2 + dy;
+            let idx = (y * self.tile_size + x) as usize;
+            if quad.z[i] < self.depth[idx] {
+                out_mask |= 1 << i;
+                if quad.opaque {
+                    self.depth[idx] = quad.z[i];
+                }
+            }
+        }
+        out_mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_gmath::Vec2;
+    use dtexl_scene::ShaderProfile;
+
+    fn quad(qx: u32, qy: u32, z: f32, opaque: bool) -> Quad {
+        Quad {
+            qx,
+            qy,
+            mask: 0b1111,
+            z: [z; 4],
+            uv: [Vec2::ZERO; 4],
+            texture: 0,
+            shader: ShaderProfile::simple(),
+            opaque,
+            late_z: false,
+        }
+    }
+
+    #[test]
+    fn first_fragment_always_passes() {
+        let mut zb = ZBuffer::new(32);
+        assert_eq!(zb.test_and_update(&quad(0, 0, 0.5, true)), 0b1111);
+        assert_eq!(zb.depth_at(0, 0), 0.5);
+    }
+
+    #[test]
+    fn occluded_fragment_is_killed() {
+        let mut zb = ZBuffer::new(32);
+        zb.test_and_update(&quad(3, 3, 0.3, true));
+        assert_eq!(zb.test_and_update(&quad(3, 3, 0.6, true)), 0);
+        // Front-to-back order kills overdraw; back-to-front does not.
+        assert_eq!(zb.test_and_update(&quad(3, 3, 0.1, true)), 0b1111);
+    }
+
+    #[test]
+    fn transparent_tests_but_does_not_write() {
+        let mut zb = ZBuffer::new(32);
+        assert_eq!(zb.test_and_update(&quad(1, 1, 0.5, false)), 0b1111);
+        assert_eq!(zb.depth_at(2, 2), 1.0, "no depth write");
+        // A later fragment behind the blend still passes (only opaque
+        // geometry occludes).
+        assert_eq!(zb.test_and_update(&quad(1, 1, 0.8, true)), 0b1111);
+    }
+
+    #[test]
+    fn partial_masks_respected() {
+        let mut zb = ZBuffer::new(32);
+        let mut q = quad(0, 0, 0.5, true);
+        q.mask = 0b0101;
+        assert_eq!(zb.test_and_update(&q), 0b0101);
+        assert_eq!(zb.depth_at(0, 0), 0.5);
+        assert_eq!(zb.depth_at(1, 0), 1.0, "masked lane untouched");
+    }
+
+    #[test]
+    fn clear_resets_to_far() {
+        let mut zb = ZBuffer::new(32);
+        zb.test_and_update(&quad(0, 0, 0.2, true));
+        zb.clear();
+        assert_eq!(zb.depth_at(0, 0), 1.0);
+        assert_eq!(zb.test_and_update(&quad(0, 0, 0.9, true)), 0b1111);
+    }
+
+    #[test]
+    fn per_fragment_depths() {
+        let mut zb = ZBuffer::new(32);
+        let mut front = quad(0, 0, 0.0, true);
+        front.z = [0.1, 0.9, 0.1, 0.9];
+        zb.test_and_update(&front);
+        let probe = quad(0, 0, 0.5, true);
+        // Lanes 1 and 3 had depth 0.9 → 0.5 passes there only.
+        assert_eq!(zb.test_and_update(&probe), 0b1010);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the raster pipeline's components.
+
+use dtexl_gmath::{Rect, Triangle2, Vec2};
+use dtexl_pipeline::{
+    compose_frame, BarrierMode, Quad, RasterPrim, Rasterizer, StageDurations, ZBuffer,
+};
+use dtexl_scene::{DepthMode, ShaderProfile};
+use proptest::prelude::*;
+
+fn arb_durations() -> impl Strategy<Value = StageDurations> {
+    let unit4 = proptest::array::uniform4(0u64..200);
+    (
+        proptest::collection::vec(0u64..50, 1..40),
+        proptest::collection::vec(0u64..50, 1..40),
+        proptest::collection::vec(unit4.clone(), 1..40),
+        proptest::collection::vec(unit4.clone(), 1..40),
+        proptest::collection::vec(unit4, 1..40),
+    )
+        .prop_map(|(fetch, raster, ez, fr, bl)| {
+            let n = fetch
+                .len()
+                .min(raster.len())
+                .min(ez.len())
+                .min(fr.len())
+                .min(bl.len());
+            StageDurations {
+                fetch: fetch[..n].to_vec(),
+                raster: raster[..n].to_vec(),
+                early_z: ez[..n].to_vec(),
+                fragment: fr[..n].to_vec(),
+                blend: bl[..n].to_vec(),
+            }
+        })
+}
+
+fn arb_tri() -> impl Strategy<Value = Triangle2> {
+    let pt = (-8.0f32..72.0, -8.0f32..72.0).prop_map(|(x, y)| Vec2::new(x, y));
+    (pt.clone(), pt.clone(), pt).prop_map(|(a, b, c)| Triangle2::new(a, b, c))
+}
+
+fn prim(tri: Triangle2) -> RasterPrim {
+    RasterPrim {
+        tri,
+        z: [0.3, 0.5, 0.7],
+        w: [1.0; 3],
+        uv: [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+        ],
+        texture: 0,
+        shader: ShaderProfile::simple(),
+        opaque: true,
+        uv_scale: 1.0,
+        depth_mode: DepthMode::Early,
+        draw_index: 0,
+    }
+}
+
+proptest! {
+    /// Barrier ordering: unbounded decoupled ≤ any bounded credit ≤
+    /// coupled-ish, and more credit never hurts — for arbitrary stage
+    /// durations.
+    #[test]
+    fn barrier_mode_ordering(d in arb_durations()) {
+        let coupled = compose_frame(&d, BarrierMode::Coupled);
+        let unbounded = compose_frame(&d, BarrierMode::Decoupled);
+        prop_assert!(unbounded <= coupled);
+        let mut prev = u64::MAX;
+        for ahead in [0u32, 1, 3, 8] {
+            let b = compose_frame(&d, BarrierMode::DecoupledBounded { tiles_ahead: ahead });
+            prop_assert!(b >= unbounded, "credit {ahead} beats unbounded");
+            prop_assert!(b <= prev, "credit {ahead} worse than smaller credit");
+            prev = b;
+        }
+    }
+
+    /// Frame time is monotone in stage durations: growing any fragment
+    /// duration never shortens the frame.
+    #[test]
+    fn frame_time_monotone(d in arb_durations(), tile_frac in 0.0f64..1.0, unit in 0usize..4, extra in 1u64..100) {
+        let t = (tile_frac * d.fragment.len() as f64) as usize % d.fragment.len();
+        let mut bigger = d.clone();
+        bigger.fragment[t][unit] += extra;
+        for mode in [BarrierMode::Coupled, BarrierMode::Decoupled] {
+            prop_assert!(compose_frame(&bigger, mode) >= compose_frame(&d, mode));
+        }
+    }
+
+    /// Rasterizer coverage equals brute-force point-in-triangle testing
+    /// at pixel centers.
+    #[test]
+    fn raster_matches_brute_force(tri in arb_tri()) {
+        let p = prim(tri);
+        let screen = Rect::new(0, 0, 64, 64);
+        let raster = Rasterizer::new(32);
+        let mut quads = Vec::new();
+        for (tx, ty) in [(0, 0), (32, 0), (0, 32), (32, 32)] {
+            raster.rasterize_into(&p, tx, ty, screen, &mut quads);
+        }
+        // Collect covered pixels from quads (tile-local → global needs
+        // the tile origin; recompute by brute force instead and compare
+        // total counts).
+        let brute: usize = (0..64)
+            .flat_map(|y| (0..64).map(move |x| (x, y)))
+            .filter(|&(x, y)| {
+                p.tri.covers(Vec2::new(x as f32 + 0.5, y as f32 + 0.5))
+            })
+            .count();
+        let covered: u32 = quads.iter().map(Quad::live_fragments).sum();
+        prop_assert_eq!(covered as usize, brute);
+    }
+
+    /// Z-buffer correctness: after submitting opaque quads in any
+    /// order, each pixel's stored depth is the minimum of the depths
+    /// submitted to it.
+    #[test]
+    fn zbuffer_keeps_minimum(depths in proptest::collection::vec(0.0f32..1.0, 1..20)) {
+        let mut zb = ZBuffer::new(32);
+        for &z in &depths {
+            let q = Quad {
+                qx: 2,
+                qy: 3,
+                mask: 0b1111,
+                z: [z; 4],
+                uv: [Vec2::ZERO; 4],
+                texture: 0,
+                shader: ShaderProfile::simple(),
+                opaque: true,
+                late_z: false,
+            };
+            zb.test_and_update(&q);
+        }
+        let min = depths.iter().copied().fold(f32::MAX, f32::min);
+        prop_assert_eq!(zb.depth_at(4, 6), min);
+    }
+
+    /// A quad passes the early-Z test iff it is strictly in front of
+    /// everything opaque submitted before it.
+    #[test]
+    fn zbuffer_pass_iff_in_front(zs in proptest::collection::vec(0.05f32..0.95, 2..12)) {
+        let mut zb = ZBuffer::new(32);
+        let mut front = f32::MAX;
+        for &z in &zs {
+            let q = Quad {
+                qx: 0,
+                qy: 0,
+                mask: 0b0001,
+                z: [z; 4],
+                uv: [Vec2::ZERO; 4],
+                texture: 0,
+                shader: ShaderProfile::simple(),
+                opaque: true,
+                late_z: false,
+            };
+            let passed = zb.test_and_update(&q) != 0;
+            prop_assert_eq!(passed, z < front);
+            front = front.min(z);
+        }
+    }
+}

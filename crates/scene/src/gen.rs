@@ -1,0 +1,589 @@
+//! Scene generation: layered 2-D boards and perspective 3-D scenes.
+
+use crate::games::{Game, GameInfo};
+use crate::scene::{DepthMode, DrawCommand, Scene, SceneSpec, Vertex};
+use crate::shader::ShaderProfile;
+use crate::TEXTURE_BASE_ADDR;
+use dtexl_gmath::{Mat4, Vec2, Vec3};
+use dtexl_texture::TextureDesc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scene-structure knobs per game (beyond Table I metadata).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenParams {
+    /// Target total texture footprint in bytes.
+    pub footprint_bytes: u64,
+    /// 3-D perspective scene (else layered 2-D sprites).
+    pub is_3d: bool,
+    /// 2-D: board cells per screen width.
+    pub sprite_cells: u32,
+    /// Full-screen background/overlay layers.
+    pub overdraw_layers: u32,
+    /// 3-D: terrain strip rows.
+    pub ground_rows: u32,
+    /// 3-D: scattered props (billboards).
+    pub prop_count: u32,
+    /// Fraction of draws using the heavy shader profile.
+    pub heavy_fraction: f64,
+    /// Fraction of non-background draws that blend (never z-culled).
+    pub transparent_fraction: f64,
+    /// Probability that a draw reuses an already-used texture.
+    pub texture_reuse: f64,
+    /// Multiplier on sprite density inside the horizontal overdraw
+    /// hotspot band.
+    pub hotspot_strength: f64,
+    /// Texel:pixel density multiplier. 1.0 means adjacent quads share
+    /// most texture lines (maximum inter-quad locality); higher values
+    /// dilute sharing — the calibration lever for the absolute size of
+    /// the CG-vs-FG L2 gap.
+    pub texel_density: f32,
+    /// Fraction of draws whose UV mapping is rotated relative to the
+    /// screen. Rotated mappings cut diagonally across Morton texel
+    /// blocks, so fewer screen-adjacent quads share a line — as in real
+    /// content (rotated sprites, perspective surfaces).
+    pub uv_rotation_fraction: f64,
+    /// Small heavy-shader "particle" quads scattered per frame
+    /// (sparks, pickups, UI glyphs): 1–2 quads each, they land on a
+    /// single SC and create the intra-tile workload lumps behind the
+    /// paper's execution-time deviation (Fig. 14).
+    pub particle_count: u32,
+    /// Fraction of draws using the texture-dominated profile
+    /// (multi-layer materials); these benefit most from locality.
+    pub texture_rich_fraction: f64,
+    /// Fraction of 3-D draws whose shader modifies depth, forcing the
+    /// Late-Z path (always shaded, culled after the fragment stage).
+    /// Zero for all Table I stand-ins; exercised by tests/ablations.
+    pub late_z_fraction: f64,
+}
+
+impl GenParams {
+    pub(crate) fn for_info(info: &GameInfo) -> Self {
+        Self {
+            footprint_bytes: (info.texture_footprint_mib * 1024.0 * 1024.0) as u64,
+            is_3d: info.is_3d,
+            sprite_cells: 8,
+            overdraw_layers: 2,
+            ground_rows: 8,
+            prop_count: 60,
+            heavy_fraction: 0.2,
+            transparent_fraction: 0.3,
+            texture_reuse: 0.4,
+            hotspot_strength: 1.5,
+            texel_density: 1.4,
+            uv_rotation_fraction: 0.5,
+            particle_count: 250,
+            texture_rich_fraction: 0.2,
+            late_z_fraction: 0.0,
+        }
+    }
+}
+
+/// Generate the scene for `game` at `spec`.
+pub(crate) fn generate(game: Game, spec: &SceneSpec) -> Scene {
+    let params = game.gen_params();
+    let mut rng = StdRng::seed_from_u64(
+        game.seed() ^ (u64::from(spec.frame)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let mut b = Builder::new(*spec, params, &mut rng);
+    if params.is_3d {
+        b.build_3d();
+    } else {
+        b.build_2d();
+    }
+    let scene = b.finish();
+    debug_assert_eq!(scene.validate(), Ok(()));
+    scene
+}
+
+/// Incremental scene builder.
+struct Builder<'r> {
+    spec: SceneSpec,
+    params: GenParams,
+    rng: &'r mut StdRng,
+    scene: Scene,
+    /// Orthographic screen-space transform (pixels → NDC).
+    ortho: Mat4,
+}
+
+impl<'r> Builder<'r> {
+    fn new(spec: SceneSpec, params: GenParams, rng: &'r mut StdRng) -> Self {
+        let ortho = Mat4::orthographic(0.0, spec.width as f32, spec.height as f32, 0.0, 0.1, 10.0);
+        let mut b = Self {
+            spec,
+            params,
+            rng,
+            scene: Scene::default(),
+            ortho,
+        };
+        b.make_textures();
+        b
+    }
+
+    fn finish(self) -> Scene {
+        self.scene
+    }
+
+    /// Build the texture set approximating the Table I footprint.
+    fn make_textures(&mut self) {
+        let target = self.params.footprint_bytes;
+        let mut base = TEXTURE_BASE_ADDR;
+        let mut id = 0u32;
+        let mut total = 0u64;
+        // Greedy: largest power-of-two square that still fits, with a
+        // floor of 64 so even tiny budgets get a usable texture.
+        while total < target || self.scene.textures.is_empty() {
+            let remaining = target.saturating_sub(total);
+            let mut side = 1024u32;
+            while side > 64 {
+                let fp = TextureDesc::new(id, side, side, base).footprint_bytes();
+                if fp <= remaining {
+                    break;
+                }
+                side /= 2;
+            }
+            let tex = TextureDesc::new(id, side, side, base);
+            base += tex.footprint_bytes();
+            // Align the next allocation to a line boundary (already is:
+            // footprints are multiples of 64).
+            total += tex.footprint_bytes();
+            self.scene.textures.push(tex);
+            id += 1;
+            if side == 64 && total >= target {
+                break;
+            }
+        }
+    }
+
+    /// Pick a texture id: with probability `texture_reuse` one that was
+    /// already returned, else the next unused (wrapping).
+    fn pick_texture(&mut self, used: &mut usize) -> u32 {
+        let n = self.scene.textures.len();
+        if *used > 0 && self.rng.gen_bool(self.params.texture_reuse) {
+            let bound = (*used).min(n);
+            self.scene.textures[self.rng.gen_range(0..bound)].id()
+        } else {
+            let idx = *used % n;
+            *used = (*used + 1).min(n);
+            self.scene.textures[idx].id()
+        }
+    }
+
+    /// UV corners for a quad sampling `uv_repeat` texture periods,
+    /// rotated around their centroid for a random fraction of draws
+    /// (see `GenParams::uv_rotation_fraction`).
+    fn uv_corners(&mut self, uv_repeat: f32) -> [Vec2; 4] {
+        let base = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(uv_repeat, 0.0),
+            Vec2::new(0.0, uv_repeat),
+            Vec2::new(uv_repeat, uv_repeat),
+        ];
+        if !self.rng.gen_bool(self.params.uv_rotation_fraction) {
+            return base;
+        }
+        let angle: f32 = self.rng.gen_range(0.0..std::f32::consts::TAU);
+        let (s, c) = angle.sin_cos();
+        let center = Vec2::new(uv_repeat / 2.0, uv_repeat / 2.0);
+        base.map(|uv| {
+            let d = uv - center;
+            center + Vec2::new(c * d.x - s * d.y, s * d.x + c * d.y)
+        })
+    }
+
+    /// Scatter small heavy "particle" quads (sparks, glyphs, pickups):
+    /// 1–2 quads each, biased toward the hotspot band.
+    fn push_particles(&mut self, used: &mut usize) {
+        let (w, h) = (self.spec.width as f32, self.spec.height as f32);
+        for _ in 0..self.params.particle_count {
+            let tex = self.pick_texture(used);
+            let size = self.rng.gen_range(3.0f32..9.0);
+            let x = self.rng.gen_range(0.0..(w - size).max(1.0));
+            let in_band = self.rng.gen_bool(0.5);
+            let y = if in_band {
+                self.rng
+                    .gen_range(h * 0.5..(h * 0.85 - size).max(h * 0.5 + 1.0))
+            } else {
+                self.rng.gen_range(0.0..(h - size).max(1.0))
+            };
+            let z = self.rng.gen_range(0.05..0.5);
+            let shader = if self.rng.gen_bool(0.6) {
+                ShaderProfile::heavy()
+            } else {
+                ShaderProfile::standard()
+            };
+            self.push_sprite(x, y, size, size, z, 0.05, tex, shader, false);
+        }
+    }
+
+    fn pick_shader(&mut self) -> ShaderProfile {
+        if self.rng.gen_bool(self.params.heavy_fraction) {
+            ShaderProfile::heavy()
+        } else if self.rng.gen_bool(self.params.texture_rich_fraction) {
+            ShaderProfile::texture_rich()
+        } else if self.rng.gen_bool(0.5) {
+            ShaderProfile::standard()
+        } else {
+            ShaderProfile::simple()
+        }
+    }
+
+    /// Append a screen-space quad (two triangles) as one draw.
+    #[allow(clippy::too_many_arguments)]
+    fn push_sprite(
+        &mut self,
+        x: f32,
+        y: f32,
+        w: f32,
+        h: f32,
+        z: f32,
+        uv_repeat: f32,
+        texture: u32,
+        shader: ShaderProfile,
+        opaque: bool,
+    ) {
+        let uv_repeat = uv_repeat * self.params.texel_density;
+        let uvs = self.uv_corners(uv_repeat);
+        let first = self.scene.vertices.len() as u32;
+        let p = |px: f32, py: f32| Vec3::new(px, py, -z);
+        let corners = [
+            (p(x, y), uvs[0]),
+            (p(x + w, y), uvs[1]),
+            (p(x, y + h), uvs[2]),
+            (p(x + w, y + h), uvs[3]),
+        ];
+        for &i in &[0usize, 1, 2, 2, 1, 3] {
+            self.scene
+                .vertices
+                .push(Vertex::new(corners[i].0, corners[i].1));
+        }
+        self.scene.draws.push(DrawCommand {
+            first_vertex: first,
+            vertex_count: 6,
+            texture,
+            shader,
+            transform: self.ortho,
+            opaque,
+            uv_scale: 1.0,
+            depth_mode: DepthMode::Early,
+        });
+    }
+
+    /// Append a world-space quad under a perspective transform.
+    #[allow(clippy::too_many_arguments)]
+    fn push_quad_3d(
+        &mut self,
+        corners: [Vec3; 4],
+        uv_repeat: f32,
+        texture: u32,
+        shader: ShaderProfile,
+        opaque: bool,
+        view_proj: Mat4,
+    ) {
+        let uv_repeat = uv_repeat * self.params.texel_density;
+        let uvs = self.uv_corners(uv_repeat);
+        let first = self.scene.vertices.len() as u32;
+        for &i in &[0usize, 1, 2, 2, 1, 3] {
+            self.scene.vertices.push(Vertex::new(corners[i], uvs[i]));
+        }
+        self.scene.draws.push(DrawCommand {
+            first_vertex: first,
+            vertex_count: 6,
+            texture,
+            shader,
+            transform: view_proj,
+            opaque,
+            uv_scale: 1.0,
+            // Guarded so a zero fraction leaves the RNG stream (and
+            // hence every calibrated scene) untouched.
+            depth_mode: if self.params.late_z_fraction > 0.0
+                && self.rng.gen_bool(self.params.late_z_fraction)
+            {
+                DepthMode::Late
+            } else {
+                DepthMode::Early
+            },
+        });
+    }
+
+    /// Layered 2-D game: backgrounds, a sprite board, and a horizontal
+    /// effects hotspot.
+    fn build_2d(&mut self) {
+        let (w, h) = (self.spec.width as f32, self.spec.height as f32);
+        let mut used = 0usize;
+
+        // Background layers, far to near; the first is opaque, the rest
+        // blend (parallax layers, vignettes).
+        for layer in 0..self.params.overdraw_layers {
+            let tex_id = self.pick_texture(&mut used);
+            let side = self.scene.texture(tex_id).unwrap().width() as f32;
+            self.push_sprite(
+                0.0,
+                0.0,
+                w,
+                h,
+                9.0 - layer as f32 * 0.5,
+                w / side, // ≈1:1 texel:pixel tiling
+                tex_id,
+                if layer == 0 {
+                    ShaderProfile::simple()
+                } else {
+                    ShaderProfile::standard()
+                },
+                layer == 0,
+            );
+        }
+
+        // The board: a grid of sprites (candy, map icons, …).
+        let cells_x = self.params.sprite_cells;
+        let cell = w / cells_x as f32;
+        let cells_y = (h / cell).ceil() as u32;
+        for cy in 0..cells_y {
+            for cx in 0..cells_x {
+                let x = cx as f32 * cell;
+                let y = cy as f32 * cell;
+                if self.rng.gen_bool(0.8) {
+                    let tex = self.pick_texture(&mut used);
+                    let side = self.scene.texture(tex).unwrap().width() as f32;
+                    let opaque = !self.rng.gen_bool(self.params.transparent_fraction);
+                    let shader = self.pick_shader();
+                    let z = self.rng.gen_range(1.0..8.0);
+                    self.push_sprite(x, y, cell, cell, z, cell / side, tex, shader, opaque);
+                }
+            }
+        }
+
+        // Horizontal hotspot band: stacked effect sprites concentrated
+        // in one band of rows (overdraw clustering, §V-A).
+        let band_y = h * 0.55;
+        let band_h = h * 0.25;
+        let extra = (self.params.hotspot_strength * cells_x as f64) as u32 * 2;
+        for _ in 0..extra {
+            let tex = self.pick_texture(&mut used);
+            let side = self.scene.texture(tex).unwrap().width() as f32;
+            let sw = cell * self.rng.gen_range(0.8..2.0);
+            let x = self.rng.gen_range(0.0..(w - sw).max(1.0));
+            let y = band_y + self.rng.gen_range(0.0..band_h);
+            let z = self.rng.gen_range(0.3..0.9);
+            self.push_sprite(
+                x,
+                y,
+                sw,
+                sw * 0.6,
+                z,
+                sw / side,
+                tex,
+                ShaderProfile::heavy(),
+                false,
+            );
+        }
+
+        self.push_particles(&mut used);
+    }
+
+    /// Perspective 3-D game: skybox, terrain strip, props, UI overlay.
+    fn build_3d(&mut self) {
+        let (w, h) = (self.spec.width as f32, self.spec.height as f32);
+        let aspect = w / h;
+        let t = self.spec.frame as f32 * 0.15;
+        let eye = Vec3::new((t * 0.3).sin() * 1.5, 2.5, 6.0);
+        let view = Mat4::look_at(eye, Vec3::new(0.0, 1.0, -10.0), Vec3::new(0.0, 1.0, 0.0));
+        let proj = Mat4::perspective(60f32.to_radians(), aspect, 0.5, 200.0);
+        let vp = proj * view;
+        let mut used = 0usize;
+
+        // Skybox: one huge far quad behind everything.
+        let sky = self.pick_texture(&mut used);
+        self.push_quad_3d(
+            [
+                Vec3::new(-150.0, -20.0, -180.0),
+                Vec3::new(150.0, -20.0, -180.0),
+                Vec3::new(-150.0, 120.0, -180.0),
+                Vec3::new(150.0, 120.0, -180.0),
+            ],
+            2.0,
+            sky,
+            ShaderProfile::simple(),
+            true,
+            vp,
+        );
+
+        // Terrain: strips of ground quads receding into the distance.
+        // These cover the bottom half of the screen — the horizontal
+        // overdraw/workload band.
+        let rows = self.params.ground_rows;
+        let ground_tex = self.pick_texture(&mut used);
+        for r in 0..rows {
+            let z0 = 4.0 - (r as f32) * 6.0;
+            let z1 = z0 - 6.0;
+            for c in 0..6 {
+                let x0 = -18.0 + c as f32 * 6.0;
+                self.push_quad_3d(
+                    [
+                        Vec3::new(x0, 0.0, z0),
+                        Vec3::new(x0 + 6.0, 0.0, z0),
+                        Vec3::new(x0, 0.0, z1),
+                        Vec3::new(x0 + 6.0, 0.0, z1),
+                    ],
+                    6.0,
+                    ground_tex,
+                    ShaderProfile::standard(),
+                    true,
+                    vp,
+                );
+            }
+        }
+
+        // Props: billboards clustered around the corridor the camera
+        // looks down (x ≈ 0), random depth. Random draw order → real
+        // overdraw that early-Z only partially removes.
+        for _ in 0..self.params.prop_count {
+            let tex = self.pick_texture(&mut used);
+            let x = {
+                // Approximate normal clustering via sum of uniforms.
+                let s: f32 = (0..4).map(|_| self.rng.gen_range(-1.0f32..1.0)).sum();
+                s * 3.0
+            };
+            let z = self.rng.gen_range(-45.0f32..0.0);
+            let size = self.rng.gen_range(0.8f32..3.5);
+            let y0 = 0.0;
+            let shader = self.pick_shader();
+            let opaque = !self.rng.gen_bool(self.params.transparent_fraction);
+            self.push_quad_3d(
+                [
+                    Vec3::new(x - size / 2.0, y0, z),
+                    Vec3::new(x + size / 2.0, y0, z),
+                    Vec3::new(x - size / 2.0, y0 + size, z),
+                    Vec3::new(x + size / 2.0, y0 + size, z),
+                ],
+                1.0,
+                tex,
+                shader,
+                opaque,
+                vp,
+            );
+        }
+
+        // UI overlay: a few screen-space sprites on top (transparent).
+        for i in 0..4 {
+            let tex = self.pick_texture(&mut used);
+            let side = self.scene.texture(tex).unwrap().width() as f32;
+            let sw = w * 0.12;
+            self.push_sprite(
+                w * 0.02 + i as f32 * sw * 1.1,
+                h * 0.02,
+                sw,
+                sw * 0.5,
+                0.2,
+                sw / side,
+                tex,
+                ShaderProfile::simple(),
+                false,
+            );
+        }
+
+        self.push_particles(&mut used);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_texture::Filter;
+
+    fn spec() -> SceneSpec {
+        SceneSpec::new(640, 360, 0)
+    }
+
+    #[test]
+    fn all_games_generate_valid_scenes() {
+        for game in Game::ALL {
+            let scene = game.scene(&spec());
+            assert_eq!(scene.validate(), Ok(()), "{}", game.alias());
+            assert!(!scene.draws.is_empty(), "{}", game.alias());
+            assert!(scene.triangle_count() > 10, "{}", game.alias());
+        }
+    }
+
+    #[test]
+    fn footprints_track_table1() {
+        for game in Game::ALL {
+            let scene = game.scene(&spec());
+            let target = game.info().texture_footprint_mib;
+            let actual = scene.texture_footprint_bytes() as f64 / (1024.0 * 1024.0);
+            assert!(
+                actual >= target * 0.7 && actual <= target * 1.6,
+                "{}: target {target} MiB, got {actual:.2} MiB",
+                game.alias()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Game::SonicDash.scene(&spec());
+        let b = Game::SonicDash.scene(&spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frames_differ() {
+        let a = Game::SonicDash.scene(&SceneSpec::new(640, 360, 0));
+        let b = Game::SonicDash.scene(&SceneSpec::new(640, 360, 5));
+        assert_ne!(a, b, "animation must change the scene");
+    }
+
+    #[test]
+    fn games_differ_from_each_other() {
+        let a = Game::CandyCrush.scene(&spec());
+        let b = Game::RiseOfKingdoms.scene(&spec());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scenes_mix_opaque_and_transparent() {
+        for game in [Game::CandyCrush, Game::Sniper3d] {
+            let scene = game.scene(&spec());
+            let opaque = scene.draws.iter().filter(|d| d.opaque).count();
+            let blended = scene.draws.len() - opaque;
+            assert!(opaque > 0 && blended > 0, "{}", game.alias());
+        }
+    }
+
+    #[test]
+    fn scenes_mix_shader_intensities() {
+        for game in Game::ALL {
+            let scene = game.scene(&spec());
+            let slots: std::collections::HashSet<u32> =
+                scene.draws.iter().map(|d| d.shader.issue_slots()).collect();
+            assert!(
+                slots.len() >= 2,
+                "{} must have heterogeneous shaders",
+                game.alias()
+            );
+        }
+    }
+
+    #[test]
+    fn texture_allocations_do_not_overlap() {
+        let scene = Game::RiseOfKingdoms.scene(&spec());
+        let mut ranges: Vec<(u64, u64)> = scene
+            .textures
+            .iter()
+            .map(|t| (t.base_addr(), t.base_addr() + t.footprint_bytes()))
+            .collect();
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "allocations overlap");
+        }
+    }
+
+    #[test]
+    fn trilinear_filter_used_by_heavy_draws() {
+        let scene = Game::TempleRun.scene(&spec());
+        assert!(scene
+            .draws
+            .iter()
+            .any(|d| d.shader.filter == Filter::Trilinear));
+    }
+}

@@ -1,0 +1,55 @@
+//! Synthetic game workloads for the DTexL GPU simulator.
+//!
+//! The paper evaluates DTexL on GLES traces of ten commercial Android
+//! games (Table I). Those traces are proprietary, so this crate builds
+//! the closest synthetic equivalents: for each game, a deterministic
+//! generator that produces a [`Scene`] (vertex buffers, textures, draw
+//! commands) whose *characteristics* match the paper's description:
+//!
+//! * **texture footprint** — total mip-chain bytes per Table I
+//!   (0.2 MiB for SWa up to 6.8 MiB for RoK);
+//! * **2D vs 3D** — 2D games are layered orthographic sprites, 3D games
+//!   are perspective meshes (terrain strips, boxes, billboards);
+//! * **overdraw clustering** — depth complexity concentrates in
+//!   horizontally-biased regions ("gravity forces objects to be more
+//!   horizontally shaped", §V-A), which is what makes coarse-grained
+//!   quad grouping load-imbalanced;
+//! * **shader heterogeneity** — draws carry different
+//!   [`ShaderProfile`]s (ALU length, texture lookups), so quads of the
+//!   same primitive have correlated workload intensity (Fig. 9).
+//!
+//! All generation is seeded per game: a scene is a pure function of
+//! `(game, resolution, frame)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtexl_scene::{Game, SceneSpec};
+//!
+//! let scene = Game::GravityTetris.scene(&SceneSpec::new(256, 256, 0));
+//! assert!(!scene.draws.is_empty());
+//! // Footprint lands near Table I's 0.7 MiB:
+//! let mib = scene.texture_footprint_bytes() as f64 / (1024.0 * 1024.0);
+//! assert!((0.3..1.4).contains(&mib));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod games;
+mod gen;
+mod scene;
+mod shader;
+
+pub use games::{Game, GameInfo, Genre};
+pub use scene::{DepthMode, DrawCommand, Scene, SceneSpec, Vertex, VERTEX_STRIDE};
+pub use shader::ShaderProfile;
+
+/// Base byte address of texture allocations.
+pub const TEXTURE_BASE_ADDR: u64 = 0x1000_0000;
+/// Base byte address of the shared vertex buffer.
+pub const VERTEX_BASE_ADDR: u64 = 0x2000_0000;
+/// Base byte address of the frame buffer in main memory.
+pub const FRAMEBUFFER_BASE_ADDR: u64 = 0x3000_0000;
+/// Base byte address of the parameter buffer (tiling engine).
+pub const PARAMETER_BUFFER_BASE_ADDR: u64 = 0x4000_0000;

@@ -1,0 +1,287 @@
+//! Scene description: vertices, textures and draw commands.
+
+use crate::shader::ShaderProfile;
+use crate::VERTEX_BASE_ADDR;
+use dtexl_gmath::{Mat4, Vec2, Vec3};
+use dtexl_texture::{TextureDesc, TextureId};
+
+/// Stride of one vertex in the vertex buffer, in bytes
+/// (position `3×f32` + UV `2×f32`, padded to 32 for alignment).
+pub const VERTEX_STRIDE: u64 = 32;
+
+/// One vertex: object-space position and texture coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: Vec3,
+    /// Texture coordinates (interpolated perspective-correctly).
+    pub uv: Vec2,
+}
+
+impl Vertex {
+    /// Create a vertex.
+    #[must_use]
+    pub const fn new(pos: Vec3, uv: Vec2) -> Self {
+        Self { pos, uv }
+    }
+
+    /// Byte address of vertex `index` in the shared vertex buffer
+    /// (used by the L1 vertex cache model).
+    #[must_use]
+    pub fn address_of(index: u32) -> u64 {
+        VERTEX_BASE_ADDR + u64::from(index) * VERTEX_STRIDE
+    }
+}
+
+/// Which depth test a draw uses.
+///
+/// The paper (§II): "Some rendering techniques require that the SC
+/// changes the depth of fragments, in which case the Early Z-Test is
+/// disabled and the Late Z-Test is employed" — late-Z fragments are
+/// always shaded and only culled after the fragment stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepthMode {
+    /// Depth is tested before shading (the common, cheap path).
+    #[default]
+    Early,
+    /// The shader may modify depth: test after shading.
+    Late,
+}
+
+/// A draw command: a triangle list with a texture, a shader profile and
+/// a model-view-projection transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrawCommand {
+    /// Index of the first vertex in the scene's vertex buffer.
+    pub first_vertex: u32,
+    /// Number of vertices (a multiple of 3; every 3 form a triangle).
+    pub vertex_count: u32,
+    /// Texture sampled by the fragment shader.
+    pub texture: TextureId,
+    /// Fragment shader cost profile.
+    pub shader: ShaderProfile,
+    /// Model-view-projection matrix applied by the vertex stage.
+    pub transform: Mat4,
+    /// Whether fragments write depth and occlude (false = blended
+    /// transparency, which can never be culled by early-Z).
+    pub opaque: bool,
+    /// Texture-coordinate multiplier applied at sampling time (controls
+    /// the texel:pixel ratio and hence the LOD).
+    pub uv_scale: f32,
+    /// Early or late depth testing (see [`DepthMode`]).
+    pub depth_mode: DepthMode,
+}
+
+impl DrawCommand {
+    /// Number of triangles in the draw.
+    #[must_use]
+    pub fn triangle_count(&self) -> u32 {
+        self.vertex_count / 3
+    }
+}
+
+/// Frame-generation parameters shared by all game generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneSpec {
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Frame number (animates the camera / sprites).
+    pub frame: u32,
+}
+
+impl SceneSpec {
+    /// Create a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32, frame: u32) -> Self {
+        assert!(width > 0 && height > 0, "resolution must be non-zero");
+        Self {
+            width,
+            height,
+            frame,
+        }
+    }
+
+    /// The paper's screen resolution (Table II: 1960×768).
+    #[must_use]
+    pub fn table2(frame: u32) -> Self {
+        Self::new(1960, 768, frame)
+    }
+}
+
+/// A complete frame description fed to the graphics pipeline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scene {
+    /// All textures referenced by draws.
+    pub textures: Vec<TextureDesc>,
+    /// The shared vertex buffer.
+    pub vertices: Vec<Vertex>,
+    /// Draw commands in submission order (API order must be respected
+    /// by the pipeline).
+    pub draws: Vec<DrawCommand>,
+}
+
+impl Scene {
+    /// Total texture allocation in bytes (the Table I footprint).
+    #[must_use]
+    pub fn texture_footprint_bytes(&self) -> u64 {
+        self.textures.iter().map(TextureDesc::footprint_bytes).sum()
+    }
+
+    /// Look up a texture by id.
+    #[must_use]
+    pub fn texture(&self, id: TextureId) -> Option<&TextureDesc> {
+        self.textures.iter().find(|t| t.id() == id)
+    }
+
+    /// Total triangles over all draws.
+    #[must_use]
+    pub fn triangle_count(&self) -> u32 {
+        self.draws.iter().map(DrawCommand::triangle_count).sum()
+    }
+
+    /// A copy of the scene whose textures use `layout` (same ids,
+    /// sizes and base addresses) — the lever for the texture-layout
+    /// ablation.
+    #[must_use]
+    pub fn relayout(&self, layout: dtexl_texture::TexelLayout) -> Self {
+        let mut out = self.clone();
+        out.textures = self
+            .textures
+            .iter()
+            .map(|t| TextureDesc::with_layout(t.id(), t.width(), t.height(), t.base_addr(), layout))
+            .collect();
+        out
+    }
+
+    /// Check internal consistency: draw ranges inside the vertex
+    /// buffer, referenced textures present, triangle-list counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, d) in self.draws.iter().enumerate() {
+            if d.vertex_count % 3 != 0 {
+                return Err(format!(
+                    "draw {i}: vertex count {} not a multiple of 3",
+                    d.vertex_count
+                ));
+            }
+            let end = u64::from(d.first_vertex) + u64::from(d.vertex_count);
+            if end > self.vertices.len() as u64 {
+                return Err(format!(
+                    "draw {i}: vertex range ends at {end}, buffer has {}",
+                    self.vertices.len()
+                ));
+            }
+            if self.texture(d.texture).is_none() {
+                return Err(format!("draw {i}: texture {} not in scene", d.texture));
+            }
+            if !(d.uv_scale.is_finite() && d.uv_scale > 0.0) {
+                return Err(format!("draw {i}: invalid uv scale {}", d.uv_scale));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_texture::TextureDesc;
+
+    fn tiny_scene() -> Scene {
+        Scene {
+            textures: vec![TextureDesc::new(0, 64, 64, crate::TEXTURE_BASE_ADDR)],
+            vertices: vec![
+                Vertex::new(Vec3::new(0.0, 0.0, 0.0), Vec2::new(0.0, 0.0)),
+                Vertex::new(Vec3::new(1.0, 0.0, 0.0), Vec2::new(1.0, 0.0)),
+                Vertex::new(Vec3::new(0.0, 1.0, 0.0), Vec2::new(0.0, 1.0)),
+            ],
+            draws: vec![DrawCommand {
+                first_vertex: 0,
+                vertex_count: 3,
+                texture: 0,
+                shader: ShaderProfile::standard(),
+                transform: Mat4::IDENTITY,
+                opaque: true,
+                uv_scale: 1.0,
+                depth_mode: DepthMode::Early,
+            }],
+        }
+    }
+
+    #[test]
+    fn valid_scene_passes() {
+        assert_eq!(tiny_scene().validate(), Ok(()));
+        assert_eq!(tiny_scene().triangle_count(), 1);
+    }
+
+    #[test]
+    fn bad_vertex_range_fails() {
+        let mut s = tiny_scene();
+        s.draws[0].vertex_count = 6;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn non_triangle_count_fails() {
+        let mut s = tiny_scene();
+        s.draws[0].vertex_count = 2;
+        assert!(s.validate().unwrap_err().contains("multiple of 3"));
+    }
+
+    #[test]
+    fn missing_texture_fails() {
+        let mut s = tiny_scene();
+        s.draws[0].texture = 42;
+        assert!(s.validate().unwrap_err().contains("texture"));
+    }
+
+    #[test]
+    fn invalid_uv_scale_fails() {
+        let mut s = tiny_scene();
+        s.draws[0].uv_scale = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn vertex_addresses_use_stride() {
+        assert_eq!(Vertex::address_of(0), VERTEX_BASE_ADDR);
+        assert_eq!(Vertex::address_of(2), VERTEX_BASE_ADDR + 64);
+    }
+
+    #[test]
+    fn footprint_sums_textures() {
+        let s = tiny_scene();
+        assert_eq!(s.texture_footprint_bytes(), s.textures[0].footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_resolution_panics() {
+        let _ = SceneSpec::new(0, 100, 0);
+    }
+
+    #[test]
+    fn relayout_preserves_everything_but_layout() {
+        use dtexl_texture::TexelLayout;
+        let s = tiny_scene();
+        let r = s.relayout(TexelLayout::RowMajor);
+        assert_eq!(r.draws, s.draws);
+        assert_eq!(r.vertices, s.vertices);
+        assert_eq!(r.textures[0].layout(), TexelLayout::RowMajor);
+        assert_eq!(
+            r.textures[0].footprint_bytes(),
+            s.textures[0].footprint_bytes()
+        );
+        assert_eq!(r.textures[0].base_addr(), s.textures[0].base_addr());
+        assert_eq!(r.validate(), Ok(()));
+    }
+}

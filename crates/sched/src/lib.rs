@@ -1,0 +1,56 @@
+//! Tile orders, quad groupings and subtile assignments for DTexL.
+//!
+//! This crate implements the paper's entire scheduling design space:
+//!
+//! * **Quad groupings** (Fig. 6, [`QuadGrouping`]) — the static mapping
+//!   from a quad's position inside a tile to one of the four subtiles.
+//!   Six fine-grained (FG) interleavings favor load balance; four
+//!   coarse-grained (CG) shapes (rectangles, triangles, squares) favor
+//!   texture locality.
+//! * **Tile orders** (Fig. 7, [`TileOrder`]) — the order in which the
+//!   raster pipeline consumes tiles: scanline, boustrophedon S-order,
+//!   Z-order (Morton), and the paper's rectangle-adapted Hilbert order
+//!   (Hilbert on 8×8-tile sub-frames, sub-frames traversed in an S).
+//! * **Subtile assignments** (Fig. 8, [`AssignMode`]) — the per-tile
+//!   permutation from subtile slots to shader cores: `const`, and the
+//!   `flip1`/`flip2`/`flip3` mirrorings that keep subtiles sharing a
+//!   tile edge on the same shader core without permanently favoring any
+//!   core.
+//! * **Named mappings** ([`NamedMapping`]) — the eight end-to-end
+//!   configurations evaluated in Fig. 16 (`Zorder-const` … `Sorder-flp`)
+//!   plus the fine-grained baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use dtexl_sched::{NamedMapping, TileSchedule};
+//!
+//! // The full DTexL schedule for a 8×4-tile frame:
+//! let cfg = NamedMapping::HilbertFlip2.config();
+//! let sched = TileSchedule::build(&cfg, 8, 4);
+//! assert_eq!(sched.len(), 32);
+//! // Every tile knows which shader core each subtile slot goes to:
+//! let scs = sched.assignment(0);
+//! let mut sorted = scs;
+//! sorted.sort_unstable();
+//! assert_eq!(sorted, [0, 1, 2, 3], "a permutation of the four SCs");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assign;
+mod grouping;
+mod order;
+mod presets;
+mod schedule;
+
+pub use assign::{AssignMode, SlotLayout, SubtileAssigner};
+pub use grouping::QuadGrouping;
+pub use order::{hilbert_d2xy, MoveDir, TileOrder};
+pub use presets::NamedMapping;
+pub use schedule::{ScheduleConfig, TileSchedule};
+
+/// Number of parallel raster pipelines / shader cores in the modeled GPU
+/// (the paper fixes this to four).
+pub const NUM_SC: usize = 4;

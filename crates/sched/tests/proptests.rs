@@ -1,0 +1,143 @@
+//! Property-based tests for schedules, orders and groupings.
+
+use dtexl_sched::{
+    AssignMode, MoveDir, NamedMapping, QuadGrouping, ScheduleConfig, TileOrder, TileSchedule,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn any_order() -> impl Strategy<Value = TileOrder> {
+    prop_oneof![
+        Just(TileOrder::Scanline),
+        Just(TileOrder::SOrder),
+        Just(TileOrder::ZOrder),
+        Just(TileOrder::HILBERT8),
+        Just(TileOrder::Hilbert { sub: 4 }),
+        Just(TileOrder::Spiral),
+    ]
+}
+
+fn any_grouping() -> impl Strategy<Value = QuadGrouping> {
+    proptest::sample::select(QuadGrouping::ALL.to_vec())
+}
+
+fn any_mode() -> impl Strategy<Value = AssignMode> {
+    prop_oneof![
+        Just(AssignMode::Const),
+        Just(AssignMode::Flip1),
+        Just(AssignMode::Flip2),
+        Just(AssignMode::Flip3),
+    ]
+}
+
+proptest! {
+    /// Every tile order visits every tile of any frame exactly once.
+    #[test]
+    fn orders_are_permutations(order in any_order(), w in 1u32..40, h in 1u32..40) {
+        let seq = order.sequence(w, h);
+        let set: HashSet<_> = seq.iter().copied().collect();
+        prop_assert_eq!(seq.len(), (w * h) as usize);
+        prop_assert_eq!(set.len(), seq.len());
+        prop_assert!(set.iter().all(|&(x, y)| x < w && y < h));
+    }
+
+    /// Every grouping maps every quad to a valid slot, and balances the
+    /// 4 slots within one quad location count on even-sized tiles.
+    #[test]
+    fn groupings_partition_the_tile(g in any_grouping()) {
+        let (w, h) = (16u32, 16u32);
+        let mut counts = [0usize; 4];
+        for qy in 0..h {
+            for qx in 0..w {
+                let s = g.subtile_of(qx, qy, w, h);
+                prop_assert!(s < 4);
+                counts[s] += 1;
+            }
+        }
+        prop_assert_eq!(counts, [64, 64, 64, 64]);
+    }
+
+    /// Schedules always produce SC permutations for every tile,
+    /// whatever the configuration and frame shape.
+    #[test]
+    fn schedules_always_permute(
+        g in any_grouping(), o in any_order(), m in any_mode(),
+        w in 1u32..24, h in 1u32..24,
+    ) {
+        let cfg = ScheduleConfig { grouping: g, order: o, assignment: m };
+        let sched = TileSchedule::build(&cfg, w, h);
+        prop_assert_eq!(sched.len(), (w * h) as usize);
+        for i in 0..sched.len() {
+            let mut a = sched.assignment(i);
+            a.sort_unstable();
+            prop_assert_eq!(a, [0, 1, 2, 3]);
+        }
+    }
+
+    /// Edge-sharing invariant: for flip modes with the CG-square
+    /// grouping, every adjacent transition keeps the SCs on the shared
+    /// edge equal on both sides.
+    #[test]
+    fn flips_preserve_edge_sharing(
+        m in prop_oneof![Just(AssignMode::Flip1), Just(AssignMode::Flip2)],
+        o in any_order(),
+        w in 2u32..20, h in 2u32..20,
+    ) {
+        let cfg = ScheduleConfig {
+            grouping: QuadGrouping::CgSquare,
+            order: o,
+            assignment: m,
+        };
+        let sched = TileSchedule::build(&cfg, w, h);
+        for i in 0..sched.len() - 1 {
+            let (ma, mb) = (sched.assignment(i), sched.assignment(i + 1));
+            match MoveDir::between(sched.tile(i), sched.tile(i + 1)) {
+                MoveDir::Right => {
+                    prop_assert_eq!(ma[1], mb[0]);
+                    prop_assert_eq!(ma[3], mb[2]);
+                }
+                MoveDir::Left => {
+                    prop_assert_eq!(ma[0], mb[1]);
+                    prop_assert_eq!(ma[2], mb[3]);
+                }
+                MoveDir::Down => {
+                    prop_assert_eq!(ma[2], mb[0]);
+                    prop_assert_eq!(ma[3], mb[1]);
+                }
+                MoveDir::Up => {
+                    prop_assert_eq!(ma[0], mb[2]);
+                    prop_assert_eq!(ma[1], mb[3]);
+                }
+                MoveDir::Jump => {}
+            }
+        }
+    }
+
+    /// sc_of_quad is always a valid SC and consistent with the
+    /// assignment table.
+    #[test]
+    fn sc_of_quad_consistent(
+        mapping in proptest::sample::select(NamedMapping::FIG16.to_vec()),
+        qx in 0u32..16, qy in 0u32..16,
+        tile_frac in 0.0f64..1.0,
+    ) {
+        let sched = TileSchedule::build(&mapping.config(), 8, 6);
+        let i = (tile_frac * sched.len() as f64) as usize % sched.len();
+        let sc = sched.sc_of_quad(i, qx, qy, 16, 16);
+        prop_assert!(sc < 4);
+        let slot = mapping.config().grouping.subtile_of(qx, qy, 16, 16);
+        prop_assert_eq!(sc, usize::from(sched.assignment(i)[slot]));
+    }
+
+    /// The schedule is a pure function of its configuration.
+    #[test]
+    fn schedules_deterministic(
+        g in any_grouping(), o in any_order(), m in any_mode(),
+        w in 1u32..16, h in 1u32..16,
+    ) {
+        let cfg = ScheduleConfig { grouping: g, order: o, assignment: m };
+        let a = TileSchedule::build(&cfg, w, h);
+        let b = TileSchedule::build(&cfg, w, h);
+        prop_assert_eq!(a, b);
+    }
+}

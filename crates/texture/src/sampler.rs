@@ -1,0 +1,374 @@
+//! LOD selection and filtering footprints.
+
+use crate::texture::TextureDesc;
+use dtexl_gmath::{interp::attr_derivatives, Vec2};
+use dtexl_mem::LineAddr;
+
+/// Texture filtering mode.
+///
+/// The paper notes that adjacent quads re-access neighboring texels
+/// "more so in trilinear and anisotropic filtering than in bilinear"
+/// — trilinear doubles the footprint (two mip levels) and anisotropic
+/// multiplies it along the anisotropy axis, increasing inter-quad
+/// sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Filter {
+    /// 2×2 texels from the nearest mip level.
+    #[default]
+    Bilinear,
+    /// 2×2 texels from each of the two surrounding mip levels.
+    Trilinear,
+    /// Up to `max_ratio` trilinear probes along the major axis.
+    Anisotropic {
+        /// Maximum anisotropy ratio (number of probes), ≥ 1.
+        max_ratio: u8,
+    },
+}
+
+/// Texture-coordinate wrap mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Wrap {
+    /// Tile the texture (GL_REPEAT) — the common case for game content.
+    #[default]
+    Repeat,
+    /// Clamp to the edge texel.
+    ClampToEdge,
+}
+
+/// A texture sampler: computes LOD from quad derivatives and expands
+/// fragments into cache-line footprints.
+///
+/// # Examples
+///
+/// ```
+/// use dtexl_texture::{Filter, Sampler, TextureDesc};
+/// use dtexl_gmath::Vec2;
+/// let tex = TextureDesc::new(0, 64, 64, 0);
+/// let s = Sampler::new(Filter::Trilinear);
+/// // Minified 2× → LOD 1.
+/// let uv = |x: f32, y: f32| Vec2::new(x * 2.0 / 64.0, y * 2.0 / 64.0);
+/// let quad = [uv(4.0, 4.0), uv(5.0, 4.0), uv(4.0, 5.0), uv(5.0, 5.0)];
+/// assert!((s.lod(&tex, quad) - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sampler {
+    filter: Filter,
+    wrap: Wrap,
+}
+
+impl Sampler {
+    /// Create a sampler with [`Wrap::Repeat`].
+    #[must_use]
+    pub const fn new(filter: Filter) -> Self {
+        Self {
+            filter,
+            wrap: Wrap::Repeat,
+        }
+    }
+
+    /// Create a sampler with an explicit wrap mode.
+    #[must_use]
+    pub const fn with_wrap(filter: Filter, wrap: Wrap) -> Self {
+        Self { filter, wrap }
+    }
+
+    /// The sampler's filter.
+    #[must_use]
+    pub fn filter(&self) -> Filter {
+        self.filter
+    }
+
+    /// Texture LOD for a quad of UVs laid out
+    /// `[top-left, top-right, bottom-left, bottom-right]` with one-pixel
+    /// spacing.
+    #[must_use]
+    pub fn lod(&self, tex: &TextureDesc, quad_uv: [Vec2; 4]) -> f32 {
+        let scale = Vec2::new(tex.width() as f32, tex.height() as f32);
+        let texel = quad_uv.map(|uv| uv.mul_elem(scale));
+        let (ddx, ddy) = attr_derivatives(texel);
+        let rho = ddx.length().max(ddy.length()).max(1e-6);
+        rho.log2().max(0.0)
+    }
+
+    /// Cache-line footprint of one quad: the deduplicated set of line
+    /// addresses its four fragments touch under the configured filter.
+    ///
+    /// Hardware texture units coalesce the four fragments' requests per
+    /// cycle, so intra-quad duplicates count as a single access — the
+    /// inter-quad sharing is what the scheduler can win or lose.
+    #[must_use]
+    pub fn quad_footprint(&self, tex: &TextureDesc, quad_uv: [Vec2; 4]) -> Vec<LineAddr> {
+        let lod = self.lod(tex, quad_uv);
+        let max_level = tex.levels() - 1;
+        let mut lines = Vec::with_capacity(16);
+
+        match self.filter {
+            Filter::Bilinear => {
+                let level = (lod + 0.5).floor().min(max_level as f32) as u32;
+                for uv in quad_uv {
+                    self.bilinear_taps(tex, level, uv, &mut lines);
+                }
+            }
+            Filter::Trilinear => {
+                let lo = (lod.floor() as u32).min(max_level);
+                let hi = (lo + 1).min(max_level);
+                for uv in quad_uv {
+                    self.bilinear_taps(tex, lo, uv, &mut lines);
+                    if hi != lo {
+                        self.bilinear_taps(tex, hi, uv, &mut lines);
+                    }
+                }
+            }
+            Filter::Anisotropic { max_ratio } => {
+                let ratio = max_ratio.max(1);
+                let scale = Vec2::new(tex.width() as f32, tex.height() as f32);
+                let texel = quad_uv.map(|uv| uv.mul_elem(scale));
+                let (ddx, ddy) = attr_derivatives(texel);
+                let (major, minor) = if ddx.length() >= ddy.length() {
+                    (ddx, ddy)
+                } else {
+                    (ddy, ddx)
+                };
+                let minor_len = minor.length().max(1e-6);
+                let probes = ((major.length() / minor_len).ceil() as u8).clamp(1, ratio) as i32;
+                let level = (minor_len.log2().max(0.0).floor() as u32).min(max_level);
+                let hi = (level + 1).min(max_level);
+                for uv in quad_uv {
+                    let uvt = uv.mul_elem(scale);
+                    for p in 0..probes {
+                        // Distribute probes along the major axis.
+                        let t = if probes == 1 {
+                            0.0
+                        } else {
+                            (p as f32 + 0.5) / probes as f32 - 0.5
+                        };
+                        let pos = uvt + major * t;
+                        let pos_uv = Vec2::new(pos.x / scale.x, pos.y / scale.y);
+                        self.bilinear_taps(tex, level, pos_uv, &mut lines);
+                        if hi != level {
+                            self.bilinear_taps(tex, hi, pos_uv, &mut lines);
+                        }
+                    }
+                }
+            }
+        }
+
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Bilinearly filtered RGBA color (0–1 floats) at `uv` on the mip
+    /// level selected by `lod` (functional rendering path).
+    #[must_use]
+    pub fn sample_color(&self, tex: &TextureDesc, uv: Vec2, lod: f32) -> [f32; 4] {
+        let max_level = tex.levels() - 1;
+        let level = (lod + 0.5).floor().clamp(0.0, max_level as f32) as u32;
+        let (w, h) = tex.level_dims(level);
+        let tu = uv.x * w as f32 - 0.5;
+        let tv = uv.y * h as f32 - 0.5;
+        let x0 = tu.floor();
+        let y0 = tv.floor();
+        let fx = tu - x0;
+        let fy = tv - y0;
+        let mut acc = [0f32; 4];
+        for (dx, dy, wgt) in [
+            (0, 0, (1.0 - fx) * (1.0 - fy)),
+            (1, 0, fx * (1.0 - fy)),
+            (0, 1, (1.0 - fx) * fy),
+            (1, 1, fx * fy),
+        ] {
+            let (x, y) = self.wrap_coord(x0 as i64 + dx, y0 as i64 + dy, w, h);
+            let c = tex.texel_color(level, x, y);
+            for i in 0..4 {
+                acc[i] += f32::from(c[i]) / 255.0 * wgt;
+            }
+        }
+        acc
+    }
+
+    /// Append the 2×2 bilinear tap lines for `uv` at `level`.
+    fn bilinear_taps(&self, tex: &TextureDesc, level: u32, uv: Vec2, out: &mut Vec<LineAddr>) {
+        let (w, h) = tex.level_dims(level);
+        let tu = uv.x * w as f32 - 0.5;
+        let tv = uv.y * h as f32 - 0.5;
+        let x0 = tu.floor() as i64;
+        let y0 = tv.floor() as i64;
+        for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let (x, y) = self.wrap_coord(x0 + dx, y0 + dy, w, h);
+            out.push(tex.texel_line(level, x, y));
+        }
+    }
+
+    fn wrap_coord(&self, x: i64, y: i64, w: u32, h: u32) -> (i64, i64) {
+        match self.wrap {
+            Wrap::Repeat => (x.rem_euclid(i64::from(w)), y.rem_euclid(i64::from(h))),
+            Wrap::ClampToEdge => (x.clamp(0, i64::from(w) - 1), y.clamp(0, i64::from(h) - 1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tex() -> TextureDesc {
+        TextureDesc::new(0, 256, 256, 0)
+    }
+
+    /// A screen-aligned quad at `(x, y)` whose UVs advance `step` texels
+    /// per pixel.
+    fn quad_at(x: f32, y: f32, step: f32, t: &TextureDesc) -> [Vec2; 4] {
+        let uv = |px: f32, py: f32| {
+            Vec2::new(px * step / t.width() as f32, py * step / t.height() as f32)
+        };
+        [
+            uv(x, y),
+            uv(x + 1.0, y),
+            uv(x, y + 1.0),
+            uv(x + 1.0, y + 1.0),
+        ]
+    }
+
+    #[test]
+    fn lod_zero_at_unit_scale() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        assert!(s.lod(&t, quad_at(10.0, 10.0, 1.0, &t)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lod_one_at_half_scale() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        assert!((s.lod(&t, quad_at(10.0, 10.0, 2.0, &t)) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lod_never_negative_under_magnification() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        assert_eq!(s.lod(&t, quad_at(10.0, 10.0, 0.25, &t)), 0.0);
+    }
+
+    #[test]
+    fn bilinear_footprint_is_small_and_dedupped() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        let lines = s.quad_footprint(&t, quad_at(16.0, 16.0, 1.0, &t));
+        // 4 fragments × 4 taps land in at most a 3×3 texel region →
+        // 1..=4 distinct 4×4-texel lines.
+        assert!((1..=4).contains(&lines.len()), "{} lines", lines.len());
+        let mut sorted = lines.clone();
+        sorted.dedup();
+        assert_eq!(sorted, lines, "sorted and deduplicated");
+    }
+
+    #[test]
+    fn trilinear_touches_two_levels() {
+        let t = tex();
+        let bi = Sampler::new(Filter::Bilinear);
+        let tri = Sampler::new(Filter::Trilinear);
+        let q = quad_at(16.0, 16.0, 3.0, &t); // fractional LOD ≈ 1.58
+        let lines_bi = bi.quad_footprint(&t, q);
+        let lines_tri = tri.quad_footprint(&t, q);
+        assert!(lines_tri.len() > lines_bi.len());
+    }
+
+    #[test]
+    fn adjacent_quads_share_lines() {
+        // The key mechanism of the paper: neighboring quads hit the same
+        // cache lines.
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        let a = s.quad_footprint(&t, quad_at(16.0, 16.0, 1.0, &t));
+        let b = s.quad_footprint(&t, quad_at(18.0, 16.0, 1.0, &t));
+        let shared = a.iter().filter(|l| b.contains(l)).count();
+        assert!(shared > 0, "adjacent quads must share texture lines");
+        // While far-away quads do not:
+        let c = s.quad_footprint(&t, quad_at(120.0, 120.0, 1.0, &t));
+        assert_eq!(a.iter().filter(|l| c.contains(l)).count(), 0);
+    }
+
+    #[test]
+    fn repeat_wraps_far_coordinates() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        // One full texture period apart → identical footprints.
+        let a = s.quad_footprint(&t, quad_at(8.0, 8.0, 1.0, &t));
+        let b = s.quad_footprint(&t, quad_at(8.0 + 256.0, 8.0, 1.0, &t));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clamp_keeps_edges() {
+        let t = tex();
+        let s = Sampler::with_wrap(Filter::Bilinear, Wrap::ClampToEdge);
+        let lines = s.quad_footprint(&t, quad_at(-10.0, -10.0, 1.0, &t));
+        assert_eq!(lines.len(), 1, "everything clamps to the corner block");
+        assert_eq!(lines[0], t.texel_line(0, 0, 0));
+    }
+
+    #[test]
+    fn anisotropic_probes_scale_with_stretch() {
+        let t = tex();
+        let iso = Sampler::new(Filter::Anisotropic { max_ratio: 8 });
+        // Stretched quad: du/dx = 8 texels, dv/dy = 1 texel.
+        let uv = |px: f32, py: f32| Vec2::new(px * 8.0 / 256.0, py * 1.0 / 256.0);
+        let stretched = [uv(4.0, 4.0), uv(5.0, 4.0), uv(4.0, 5.0), uv(5.0, 5.0)];
+        let square = quad_at(4.0, 4.0, 1.0, &t);
+        assert!(
+            iso.quad_footprint(&t, stretched).len() > iso.quad_footprint(&t, square).len(),
+            "anisotropy adds probes"
+        );
+    }
+
+    #[test]
+    fn sample_color_is_deterministic_and_bounded() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        let c1 = s.sample_color(&t, Vec2::new(0.3, 0.7), 0.0);
+        let c2 = s.sample_color(&t, Vec2::new(0.3, 0.7), 0.0);
+        assert_eq!(c1, c2);
+        assert!(c1.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Different positions produce different content.
+        let c3 = s.sample_color(&t, Vec2::new(0.8, 0.1), 0.0);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn sample_color_interpolates_smoothly() {
+        let t = tex();
+        let s = Sampler::new(Filter::Bilinear);
+        // Two samples half a texel apart differ less than two samples
+        // ten texels apart (bilinear smoothing), on average.
+        let d =
+            |a: [f32; 4], b: [f32; 4]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..32 {
+            let base = Vec2::new(0.1 + i as f32 * 0.02, 0.4);
+            let c0 = s.sample_color(&t, base, 0.0);
+            near += d(
+                c0,
+                s.sample_color(&t, base + Vec2::new(0.5 / 256.0, 0.0), 0.0),
+            );
+            far += d(
+                c0,
+                s.sample_color(&t, base + Vec2::new(10.0 / 256.0, 0.0), 0.0),
+            );
+        }
+        assert!(near < far, "bilinear must smooth: near {near} vs far {far}");
+    }
+
+    #[test]
+    fn tiny_texture_clamps_mip_level() {
+        let t = TextureDesc::new(0, 4, 4, 0);
+        let s = Sampler::new(Filter::Trilinear);
+        // Extreme minification: LOD far above the last level.
+        let uv = |px: f32, py: f32| Vec2::new(px * 64.0 / 4.0, py * 64.0 / 4.0);
+        let q = [uv(0.0, 0.0), uv(1.0, 0.0), uv(0.0, 1.0), uv(1.0, 1.0)];
+        let lines = s.quad_footprint(&t, q);
+        assert!(!lines.is_empty(), "clamped to the 1x1 level");
+    }
+}

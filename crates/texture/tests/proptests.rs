@@ -1,0 +1,91 @@
+//! Property-based tests for texture layout and sampling.
+
+use dtexl_gmath::Vec2;
+use dtexl_texture::{morton, Filter, Sampler, TextureDesc};
+use proptest::prelude::*;
+
+fn pow2(max_log: u32) -> impl Strategy<Value = u32> {
+    (2u32..=max_log).prop_map(|l| 1 << l)
+}
+
+proptest! {
+    #[test]
+    fn morton_roundtrip(x in 0u32..65536, y in 0u32..65536) {
+        prop_assert_eq!(morton::decode(morton::encode(x, y)), (x, y));
+    }
+
+    #[test]
+    fn morton_injective(a in 0u32..4096, b in 0u32..4096, c in 0u32..4096, d in 0u32..4096) {
+        prop_assume!((a, b) != (c, d));
+        prop_assert_ne!(morton::encode(a, b), morton::encode(c, d));
+    }
+
+    #[test]
+    fn texel_addrs_stay_in_allocation(
+        w in pow2(9), h in pow2(9),
+        level_frac in 0.0f32..1.0,
+        x in -64i64..1024, y in -64i64..1024,
+    ) {
+        let t = TextureDesc::new(0, w, h, 0x1000);
+        let level = (level_frac * t.levels() as f32) as u32 % t.levels();
+        let addr = t.texel_addr(level, x, y);
+        prop_assert!(addr >= t.base_addr());
+        prop_assert!(addr < t.base_addr() + t.footprint_bytes());
+    }
+
+    #[test]
+    fn footprint_lines_sorted_unique(
+        w in pow2(8), h in pow2(8),
+        px in 0.0f32..64.0, py in 0.0f32..64.0,
+        step in 0.25f32..8.0,
+        trilinear in any::<bool>(),
+    ) {
+        let t = TextureDesc::new(0, w, h, 0);
+        let s = Sampler::new(if trilinear { Filter::Trilinear } else { Filter::Bilinear });
+        let uv = |x: f32, y: f32| Vec2::new(x * step / w as f32, y * step / h as f32);
+        let lines = s.quad_footprint(&t, [
+            uv(px, py), uv(px + 1.0, py), uv(px, py + 1.0), uv(px + 1.0, py + 1.0),
+        ]);
+        prop_assert!(!lines.is_empty());
+        // Trilinear ≤ 2 levels × 4 frags × 4 taps; all unique and sorted.
+        prop_assert!(lines.len() <= 32);
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted, lines);
+    }
+
+    #[test]
+    fn lod_monotone_in_step(
+        step_a in 0.5f32..4.0,
+        extra in 1.1f32..4.0,
+    ) {
+        let t = TextureDesc::new(0, 256, 256, 0);
+        let s = Sampler::new(Filter::Bilinear);
+        let quad = |st: f32| {
+            let uv = |x: f32, y: f32| Vec2::new(x * st / 256.0, y * st / 256.0);
+            [uv(8.0, 8.0), uv(9.0, 8.0), uv(8.0, 9.0), uv(9.0, 9.0)]
+        };
+        let lod_a = s.lod(&t, quad(step_a));
+        let lod_b = s.lod(&t, quad(step_a * extra));
+        prop_assert!(lod_b >= lod_a);
+    }
+
+    #[test]
+    fn translation_invariance_of_sharing(
+        px in 8.0f32..32.0, py in 8.0f32..32.0,
+    ) {
+        // Two horizontally adjacent quads at texel:pixel 1:1 share lines
+        // wherever they are placed (Morton blocks tile uniformly).
+        let t = TextureDesc::new(0, 256, 256, 0);
+        let s = Sampler::new(Filter::Bilinear);
+        let quad = |x0: f32, y0: f32| {
+            let uv = |x: f32, y: f32| Vec2::new(x / 256.0, y / 256.0);
+            [uv(x0, y0), uv(x0 + 1.0, y0), uv(x0, y0 + 1.0), uv(x0 + 1.0, y0 + 1.0)]
+        };
+        let a = s.quad_footprint(&t, quad(px, py));
+        let b = s.quad_footprint(&t, quad(px + 2.0, py));
+        let shared = a.iter().filter(|l| b.contains(l)).count();
+        prop_assert!(shared > 0, "adjacent quads always share ≥1 line");
+    }
+}

@@ -1,0 +1,388 @@
+//! Binary frame traces: snapshot a [`Scene`] to disk and replay it.
+//!
+//! The original evaluation platform (TEAPOT) drives the simulator from
+//! captured GLES traces of real games. This crate provides the
+//! equivalent workflow for the reproduction: any frame — synthetic or
+//! hand-built — can be serialized to a compact, versioned binary
+//! format, shipped, diffed and replayed bit-identically.
+//!
+//! # Format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic   "DTXL"            4 bytes
+//! version u32               (currently 1)
+//! counts  u32 × 3           textures, vertices, draws
+//! textures: id u32, width u32, height u32, base u64, layout u8
+//! vertices: pos f32×3, uv f32×2
+//! draws:    first u32, count u32, tex u32,
+//!           alu u32, samples u32, filter u8(+aniso u8),
+//!           transform f32×16 (column-major),
+//!           flags u8 (bit0 opaque, bit1 late-Z), uv_scale f32
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use dtexl_scene::{Game, SceneSpec};
+//! use dtexl_trace::{read_trace, write_trace};
+//!
+//! let scene = Game::GravityTetris.scene(&SceneSpec::new(128, 64, 0));
+//! let mut buf = Vec::new();
+//! write_trace(&scene, &mut buf)?;
+//! let replayed = read_trace(&mut buf.as_slice())?;
+//! assert_eq!(scene, replayed);
+//! # Ok::<(), dtexl_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dtexl_gmath::{Mat4, Vec2, Vec3, Vec4};
+use dtexl_scene::{DepthMode, DrawCommand, Scene, ShaderProfile, Vertex};
+use dtexl_texture::{Filter, TexelLayout, TextureDesc};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"DTXL";
+const VERSION: u32 = 1;
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the `DTXL` magic.
+    BadMagic([u8; 4]),
+    /// The stream's version is not supported.
+    UnsupportedVersion(u32),
+    /// A field carried an invalid value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "bad trace magic {m:?}"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serialize `scene` into `w`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failures.
+pub fn write_trace<W: Write>(scene: &Scene, mut w: W) -> Result<(), TraceError> {
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    put_u32(&mut w, scene.textures.len() as u32)?;
+    put_u32(&mut w, scene.vertices.len() as u32)?;
+    put_u32(&mut w, scene.draws.len() as u32)?;
+
+    for t in &scene.textures {
+        put_u32(&mut w, t.id())?;
+        put_u32(&mut w, t.width())?;
+        put_u32(&mut w, t.height())?;
+        put_u64(&mut w, t.base_addr())?;
+        w.write_all(&[match t.layout() {
+            TexelLayout::Morton => 0,
+            TexelLayout::RowMajor => 1,
+        }])?;
+    }
+    for v in &scene.vertices {
+        for f in [v.pos.x, v.pos.y, v.pos.z, v.uv.x, v.uv.y] {
+            put_f32(&mut w, f)?;
+        }
+    }
+    for d in &scene.draws {
+        put_u32(&mut w, d.first_vertex)?;
+        put_u32(&mut w, d.vertex_count)?;
+        put_u32(&mut w, d.texture)?;
+        put_u32(&mut w, d.shader.alu_ops)?;
+        put_u32(&mut w, d.shader.tex_samples)?;
+        let (filter_tag, aniso) = match d.shader.filter {
+            Filter::Bilinear => (0u8, 0u8),
+            Filter::Trilinear => (1, 0),
+            Filter::Anisotropic { max_ratio } => (2, max_ratio),
+        };
+        w.write_all(&[filter_tag, aniso])?;
+        for c in 0..4 {
+            let col = d.transform.col(c);
+            for f in [col.x, col.y, col.z, col.w] {
+                put_f32(&mut w, f)?;
+            }
+        }
+        let flags =
+            u8::from(d.opaque) | (u8::from(d.depth_mode == DepthMode::Late) << 1);
+        w.write_all(&[flags])?;
+        put_f32(&mut w, d.uv_scale)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a scene from `r`.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] on malformed input; the resulting scene is
+/// additionally checked with [`Scene::validate`].
+pub fn read_trace<R: Read>(mut r: R) -> Result<Scene, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let n_tex = get_u32(&mut r)? as usize;
+    let n_vtx = get_u32(&mut r)? as usize;
+    let n_draw = get_u32(&mut r)? as usize;
+    // A light sanity bound against garbage headers.
+    if n_tex > 1 << 20 || n_vtx > 1 << 28 || n_draw > 1 << 24 {
+        return Err(TraceError::Corrupt("implausible counts"));
+    }
+
+    let mut scene = Scene::default();
+    for _ in 0..n_tex {
+        let id = get_u32(&mut r)?;
+        let width = get_u32(&mut r)?;
+        let height = get_u32(&mut r)?;
+        let base = get_u64(&mut r)?;
+        let mut layout = [0u8; 1];
+        r.read_exact(&mut layout)?;
+        if width == 0 || !width.is_power_of_two() || height == 0 || !height.is_power_of_two() {
+            return Err(TraceError::Corrupt("texture dimensions"));
+        }
+        let layout = match layout[0] {
+            0 => TexelLayout::Morton,
+            1 => TexelLayout::RowMajor,
+            _ => return Err(TraceError::Corrupt("texel layout tag")),
+        };
+        scene
+            .textures
+            .push(TextureDesc::with_layout(id, width, height, base, layout));
+    }
+    for _ in 0..n_vtx {
+        let mut f = [0f32; 5];
+        for slot in &mut f {
+            *slot = get_f32(&mut r)?;
+        }
+        scene.vertices.push(Vertex::new(
+            Vec3::new(f[0], f[1], f[2]),
+            Vec2::new(f[3], f[4]),
+        ));
+    }
+    for _ in 0..n_draw {
+        let first_vertex = get_u32(&mut r)?;
+        let vertex_count = get_u32(&mut r)?;
+        let texture = get_u32(&mut r)?;
+        let alu_ops = get_u32(&mut r)?;
+        let tex_samples = get_u32(&mut r)?;
+        let mut tag = [0u8; 2];
+        r.read_exact(&mut tag)?;
+        let filter = match tag[0] {
+            0 => Filter::Bilinear,
+            1 => Filter::Trilinear,
+            2 => Filter::Anisotropic { max_ratio: tag[1] },
+            _ => return Err(TraceError::Corrupt("filter tag")),
+        };
+        let mut cols = [Vec4::ZERO; 4];
+        for col in &mut cols {
+            let mut f = [0f32; 4];
+            for slot in &mut f {
+                *slot = get_f32(&mut r)?;
+            }
+            *col = Vec4::new(f[0], f[1], f[2], f[3]);
+        }
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        let uv_scale = get_f32(&mut r)?;
+        scene.draws.push(DrawCommand {
+            first_vertex,
+            vertex_count,
+            texture,
+            shader: ShaderProfile {
+                alu_ops,
+                tex_samples,
+                filter,
+            },
+            transform: Mat4::from_cols(cols[0], cols[1], cols[2], cols[3]),
+            opaque: flags[0] & 1 != 0,
+            uv_scale,
+            depth_mode: if flags[0] & 2 != 0 {
+                DepthMode::Late
+            } else {
+                DepthMode::Early
+            },
+        });
+    }
+    scene
+        .validate()
+        .map_err(|_| TraceError::Corrupt("scene validation"))?;
+    Ok(scene)
+}
+
+/// Write `scene` to a trace file at `path`.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn save_trace(scene: &Scene, path: &std::path::Path) -> Result<(), TraceError> {
+    write_trace(scene, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Read a trace file from `path`.
+///
+/// # Errors
+///
+/// Propagates file and format errors.
+pub fn load_trace(path: &std::path::Path) -> Result<Scene, TraceError> {
+    read_trace(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+fn put_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32<W: Write>(w: &mut W, v: f32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f32<R: Read>(r: &mut R) -> std::io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtexl_scene::{Game, SceneSpec};
+
+    fn roundtrip(scene: &Scene) -> Scene {
+        let mut buf = Vec::new();
+        write_trace(scene, &mut buf).unwrap();
+        read_trace(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn all_games_roundtrip_bit_identically() {
+        for game in Game::ALL {
+            let scene = game.scene(&SceneSpec::new(192, 96, 0));
+            assert_eq!(roundtrip(&scene), scene, "{}", game.alias());
+        }
+    }
+
+    #[test]
+    fn empty_scene_roundtrips() {
+        assert_eq!(roundtrip(&Scene::default()), Scene::default());
+    }
+
+    #[test]
+    fn preserves_layouts_filters_and_flags() {
+        let mut scene = Game::TempleRun.scene(&SceneSpec::new(128, 64, 0));
+        let scene2 = scene.relayout(TexelLayout::RowMajor);
+        scene = scene2;
+        scene.draws[0].depth_mode = DepthMode::Late;
+        scene.draws[0].shader.filter = Filter::Anisotropic { max_ratio: 7 };
+        let back = roundtrip(&scene);
+        assert_eq!(back.textures[0].layout(), TexelLayout::RowMajor);
+        assert_eq!(back.draws[0].depth_mode, DepthMode::Late);
+        assert_eq!(
+            back.draws[0].shader.filter,
+            Filter::Anisotropic { max_ratio: 7 }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic(_)));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&Scene::default(), &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&Game::ShootWar.scene(&SceneSpec::new(64, 64, 0)), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_texture_dims_rejected() {
+        let scene = Scene {
+            textures: vec![TextureDesc::new(0, 64, 64, 0x1000_0000)],
+            ..Scene::default()
+        };
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        // Texture width field sits right after header + id.
+        let w_off = 4 + 4 + 12 + 4;
+        buf[w_off..w_off + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::Corrupt("texture dimensions"))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dtexl_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.dtxl");
+        let scene = Game::Maze.scene(&SceneSpec::new(128, 64, 2));
+        save_trace(&scene, &path).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(loaded, scene);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: arbitrary scenes roundtrip through the trace format.
+
+use dtexl_gmath::{Mat4, Vec2, Vec3};
+use dtexl_scene::{DepthMode, DrawCommand, Scene, ShaderProfile, Vertex};
+use dtexl_texture::{Filter, TexelLayout, TextureDesc};
+use dtexl_trace::{read_trace, write_trace, TraceError};
+use proptest::prelude::*;
+
+fn arb_scene() -> impl Strategy<Value = Scene> {
+    let tex = (0u32..4, 2u32..9, 2u32..9, any::<bool>()).prop_map(|(i, lw, lh, rm)| {
+        TextureDesc::with_layout(
+            i,
+            1 << lw,
+            1 << lh,
+            0x1000_0000 + u64::from(i) * 0x100_0000,
+            if rm { TexelLayout::RowMajor } else { TexelLayout::Morton },
+        )
+    });
+    let vert = (
+        -100.0f32..100.0,
+        -100.0f32..100.0,
+        -100.0f32..100.0,
+        -4.0f32..4.0,
+        -4.0f32..4.0,
+    )
+        .prop_map(|(x, y, z, u, v)| Vertex::new(Vec3::new(x, y, z), Vec2::new(u, v)));
+    (
+        proptest::collection::vec(tex, 1..4),
+        proptest::collection::vec(vert, 3..60),
+        proptest::collection::vec(
+            (0u32..4, 1u32..60, 0u8..3, any::<bool>(), any::<bool>(), 0.1f32..4.0),
+            0..20,
+        ),
+    )
+        .prop_map(|(mut textures, vertices, draw_specs)| {
+            // Unique, dense ids.
+            for (i, t) in textures.iter_mut().enumerate() {
+                *t = TextureDesc::with_layout(
+                    i as u32,
+                    t.width(),
+                    t.height(),
+                    t.base_addr(),
+                    t.layout(),
+                );
+            }
+            let n_tex = textures.len() as u32;
+            let n_vtx = vertices.len() as u32;
+            let draws = draw_specs
+                .into_iter()
+                .map(|(tex, tri_want, filter, opaque, late, uv_scale)| {
+                    let max_tris = n_vtx / 3;
+                    let tris = tri_want.clamp(1, max_tris);
+                    DrawCommand {
+                        first_vertex: 0,
+                        vertex_count: tris * 3,
+                        texture: tex % n_tex,
+                        shader: ShaderProfile {
+                            alu_ops: 10,
+                            tex_samples: 2,
+                            filter: match filter {
+                                0 => Filter::Bilinear,
+                                1 => Filter::Trilinear,
+                                _ => Filter::Anisotropic { max_ratio: 4 },
+                            },
+                        },
+                        transform: Mat4::IDENTITY,
+                        opaque,
+                        uv_scale,
+                        depth_mode: if late { DepthMode::Late } else { DepthMode::Early },
+                    }
+                })
+                .collect();
+            Scene {
+                textures,
+                vertices,
+                draws,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_identity(scene in arb_scene()) {
+        prop_assume!(scene.validate().is_ok());
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, scene);
+    }
+
+    /// Flipping any single byte of the header region never panics —
+    /// it either still parses (payload bytes) or returns an error.
+    #[test]
+    fn corrupted_headers_never_panic(scene in arb_scene(), pos in 0usize..16, bit in 0u8..8) {
+        prop_assume!(scene.validate().is_ok());
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        if pos < buf.len() {
+            buf[pos] ^= 1 << bit;
+        }
+        match read_trace(buf.as_slice()) {
+            Ok(s) => prop_assert!(s.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Truncation anywhere yields an error, never a panic or a
+    /// half-read scene.
+    #[test]
+    fn truncation_is_an_error(scene in arb_scene(), frac in 0.0f64..1.0) {
+        prop_assume!(scene.validate().is_ok());
+        prop_assume!(!scene.draws.is_empty());
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        let cut = (buf.len() as f64 * frac) as usize;
+        prop_assume!(cut < buf.len());
+        buf.truncate(cut);
+        prop_assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::Io(_) | TraceError::BadMagic(_) | TraceError::Corrupt(_) | TraceError::UnsupportedVersion(_))
+        ));
+    }
+}

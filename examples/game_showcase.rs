@@ -1,0 +1,33 @@
+//! Characterize all ten Table I workloads and their DTexL outcomes.
+//!
+//! ```text
+//! cargo run --release --example game_showcase
+//! ```
+
+use dtexl::{SimConfig, Simulator};
+use dtexl_scene::{Game, SceneSpec};
+
+fn main() {
+    println!(
+        "{:5} {:>9} {:>7} {:>8} {:>8} {:>10} {:>9} {:>9} {:>8}",
+        "game", "foot MiB", "draws", "tris", "quads", "L2 base", "fps base", "fps DTexL", "speedup"
+    );
+    for game in Game::ALL {
+        let scene = game.scene(&SceneSpec::table2(0));
+        let base = Simulator::simulate(&SimConfig::baseline(game));
+        let dtexl = Simulator::simulate(&SimConfig::dtexl(game));
+        println!(
+            "{:5} {:>9.2} {:>7} {:>8} {:>8} {:>10} {:>9.1} {:>9.1} {:>7.3}x",
+            game.alias(),
+            scene.texture_footprint_bytes() as f64 / (1024.0 * 1024.0),
+            scene.draws.len(),
+            scene.triangle_count(),
+            base.quads_shaded,
+            base.l2_accesses,
+            base.fps,
+            dtexl.fps,
+            base.cycles as f64 / dtexl.cycles as f64,
+        );
+    }
+    println!("\n(Table II resolution 1960x768; 'foot' targets Table I's texture footprints.)");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: simulate one game under the baseline scheduler and under
+//! DTexL, and compare the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [game-alias]
+//! ```
+
+use dtexl::{SimConfig, Simulator};
+use dtexl_pipeline::BarrierMode;
+use dtexl_scene::Game;
+
+fn main() {
+    let alias = std::env::args().nth(1).unwrap_or_else(|| "GTr".into());
+    let game = Game::ALL
+        .into_iter()
+        .find(|g| g.alias().eq_ignore_ascii_case(&alias))
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown game '{alias}', using GTr; known: CCS SoD TRu SWa CRa RoK DDS Snp Mze GTr"
+            );
+            Game::GravityTetris
+        });
+
+    println!("Simulating {} ({})\n", game.info().title, game.alias());
+
+    let base = Simulator::simulate(&SimConfig::baseline(game));
+    let dtexl = Simulator::simulate(&SimConfig::dtexl(game));
+
+    println!("{:28} {:>14} {:>14}", "", "baseline", "DTexL");
+    println!(
+        "{:28} {:>14} {:>14}",
+        "scheduler",
+        base.config.schedule.label(),
+        dtexl.config.schedule.label()
+    );
+    println!(
+        "{:28} {:>14?} {:>14?}",
+        "barriers", base.config.barrier, dtexl.config.barrier
+    );
+    println!("{:28} {:>14} {:>14}", "cycles", base.cycles, dtexl.cycles);
+    println!(
+        "{:28} {:>14.2} {:>14.2}",
+        "frames per second", base.fps, dtexl.fps
+    );
+    println!(
+        "{:28} {:>14} {:>14}",
+        "L2 accesses", base.l2_accesses, dtexl.l2_accesses
+    );
+    println!(
+        "{:28} {:>14.3} {:>14.3}",
+        "energy (mJ)",
+        base.energy.total_mj(),
+        dtexl.energy.total_mj()
+    );
+
+    println!();
+    println!(
+        "DTexL speedup:        {:.3}x",
+        base.cycles as f64 / dtexl.cycles as f64
+    );
+    println!(
+        "L2 access decrease:   {:.1}%",
+        100.0 * (1.0 - dtexl.l2_accesses as f64 / base.l2_accesses as f64)
+    );
+    println!(
+        "Energy decrease:      {:.1}%",
+        100.0 * (1.0 - dtexl.energy.total_pj() / base.energy.total_pj())
+    );
+    println!(
+        "Decoupling alone:     {:.3}x",
+        base.cycles as f64 / base.frame.total_cycles(BarrierMode::Decoupled) as f64
+    );
+}

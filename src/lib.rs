@@ -1,0 +1,14 @@
+//! Workspace root package for the DTexL reproduction.
+//!
+//! This crate only exists to host the repository-level `examples/` and
+//! `tests/` directories; it re-exports the member crates for convenience.
+//!
+//! See the [`dtexl`] crate for the simulator's public API.
+
+pub use dtexl;
+pub use dtexl_gmath as gmath;
+pub use dtexl_mem as mem;
+pub use dtexl_pipeline as pipeline;
+pub use dtexl_scene as scene;
+pub use dtexl_sched as sched;
+pub use dtexl_texture as texture;

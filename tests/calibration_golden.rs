@@ -1,0 +1,99 @@
+//! Golden regression values for the calibrated simulator.
+//!
+//! The whole stack is deterministic, so these exact numbers (at 512×256,
+//! frame 0) must reproduce bit-for-bit. If an intentional change to the
+//! generators, cache model or timing model moves them, re-baseline the
+//! constants *and* re-run the full-resolution suite to confirm the
+//! paper-shape targets in EXPERIMENTS.md still hold.
+
+use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
+use dtexl_scene::{Game, SceneSpec};
+use dtexl_sched::ScheduleConfig;
+
+const W: u32 = 512;
+const H: u32 = 256;
+
+struct Golden {
+    game: Game,
+    base_cycles: u64,
+    base_l2: u64,
+    quads_shaded: u64,
+    dtexl_cycles: u64,
+    dtexl_l2: u64,
+}
+
+const GOLDEN: [Golden; 3] = [
+    Golden {
+        game: Game::CandyCrush,
+        base_cycles: 1_687_505,
+        base_l2: 148_673,
+        quads_shaded: 158_911,
+        dtexl_cycles: 1_464_351,
+        dtexl_l2: 60_391,
+    },
+    Golden {
+        game: Game::TempleRun,
+        base_cycles: 304_037,
+        base_l2: 30_005,
+        quads_shaded: 44_953,
+        dtexl_cycles: 268_482,
+        dtexl_l2: 18_550,
+    },
+    Golden {
+        game: Game::GravityTetris,
+        base_cycles: 384_307,
+        base_l2: 53_522,
+        quads_shaded: 49_976,
+        dtexl_cycles: 315_851,
+        dtexl_l2: 27_402,
+    },
+];
+
+#[test]
+fn calibrated_metrics_are_bit_stable() {
+    for g in &GOLDEN {
+        let scene = g.game.scene(&SceneSpec::new(W, H, 0));
+        let cfg = PipelineConfig::default();
+        let base =
+            FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, W, H);
+        let dtexl = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &cfg, W, H);
+        let alias = g.game.alias();
+        assert_eq!(
+            base.total_cycles(BarrierMode::Coupled),
+            g.base_cycles,
+            "{alias} baseline cycles drifted"
+        );
+        assert_eq!(base.total_l2_accesses(), g.base_l2, "{alias} baseline L2 drifted");
+        assert_eq!(
+            base.total_quads_shaded(),
+            g.quads_shaded,
+            "{alias} shaded quads drifted"
+        );
+        assert_eq!(
+            dtexl.total_cycles(BarrierMode::Decoupled),
+            g.dtexl_cycles,
+            "{alias} DTexL cycles drifted"
+        );
+        assert_eq!(dtexl.total_l2_accesses(), g.dtexl_l2, "{alias} DTexL L2 drifted");
+    }
+}
+
+#[test]
+fn golden_values_encode_the_paper_shape() {
+    // Self-check on the constants: the recorded values themselves show
+    // the headline effects.
+    for g in &GOLDEN {
+        let speedup = g.base_cycles as f64 / g.dtexl_cycles as f64;
+        let l2_dec = 1.0 - g.dtexl_l2 as f64 / g.base_l2 as f64;
+        assert!(
+            (1.05..1.40).contains(&speedup),
+            "{}: speedup {speedup}",
+            g.game.alias()
+        );
+        assert!(
+            (0.30..0.70).contains(&l2_dec),
+            "{}: L2 decrease {l2_dec}",
+            g.game.alias()
+        );
+    }
+}

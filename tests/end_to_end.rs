@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: scene generation → geometry → tiling
+//! → raster → shading → metrics, exercised end to end.
+
+use dtexl::{SimConfig, Simulator};
+use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
+use dtexl_scene::{Game, Scene, SceneSpec};
+use dtexl_sched::{NamedMapping, ScheduleConfig};
+
+const W: u32 = 384;
+const H: u32 = 192;
+
+fn sim(game: Game, sched: &ScheduleConfig) -> dtexl_pipeline::FrameResult {
+    let scene = game.scene(&SceneSpec::new(W, H, 0));
+    FrameSim::run_with_resolution(&scene, sched, &PipelineConfig::default(), W, H)
+}
+
+#[test]
+fn every_game_runs_under_every_named_mapping() {
+    for game in Game::ALL {
+        for mapping in NamedMapping::FIG16 {
+            let r = sim(game, &mapping.config());
+            assert!(
+                r.total_quads_shaded() > 0,
+                "{} under {} shaded nothing",
+                game.alias(),
+                mapping.name()
+            );
+            assert!(r.total_cycles(BarrierMode::Coupled) > 0);
+        }
+    }
+}
+
+#[test]
+fn quad_conservation_across_stages() {
+    for game in [Game::CandyCrush, Game::SonicDash, Game::Maze] {
+        let r = sim(game, &ScheduleConfig::baseline());
+        let rasterized: u64 = r
+            .tiles
+            .iter()
+            .map(|t| {
+                t.quads_rasterized
+                    .iter()
+                    .map(|&q| u64::from(q))
+                    .sum::<u64>()
+            })
+            .sum();
+        let shaded = r.total_quads_shaded();
+        assert!(shaded <= rasterized, "{}", game.alias());
+        assert!(shaded > 0);
+        // Shader stats agree with per-tile records.
+        assert_eq!(r.shader.quads, shaded, "{}", game.alias());
+    }
+}
+
+#[test]
+fn l2_flow_conservation() {
+    let r = sim(Game::Sniper3d, &ScheduleConfig::dtexl());
+    let h = &r.hierarchy;
+    assert_eq!(h.l1_misses(), h.l2.accesses);
+    assert_eq!(h.l2.misses, h.dram_accesses);
+    assert!(r.total_l2_accesses() >= h.l2.accesses);
+}
+
+#[test]
+fn frame_time_composition_is_order_sound() {
+    // The frame can never be faster than its slowest single component.
+    let r = sim(Game::CityRacing, &ScheduleConfig::baseline());
+    let frag_per_unit: [u64; 4] = {
+        let mut acc = [0u64; 4];
+        for d in &r.durations.fragment {
+            for u in 0..4 {
+                acc[u] += d[u];
+            }
+        }
+        acc
+    };
+    let lower_bound = *frag_per_unit.iter().max().unwrap();
+    for mode in [BarrierMode::Coupled, BarrierMode::Decoupled] {
+        assert!(
+            r.total_cycles(mode) >= lower_bound,
+            "{mode:?}: {} < fragment lower bound {lower_bound}",
+            r.total_cycles(mode)
+        );
+    }
+}
+
+#[test]
+fn simulator_facade_matches_manual_pipeline() {
+    let cfg = SimConfig::baseline(Game::GravityTetris).with_resolution(W, H);
+    let report = Simulator::simulate(&cfg);
+    let manual = sim(Game::GravityTetris, &ScheduleConfig::baseline());
+    assert_eq!(report.cycles, manual.total_cycles(BarrierMode::Coupled));
+    assert_eq!(report.l2_accesses, manual.total_l2_accesses());
+}
+
+#[test]
+fn animation_changes_work_but_not_structure() {
+    let f0 = Game::SonicDash.scene(&SceneSpec::new(W, H, 0));
+    let f9 = Game::SonicDash.scene(&SceneSpec::new(W, H, 9));
+    assert_eq!(f0.textures.len(), f9.textures.len(), "same assets");
+    assert_ne!(f0, f9, "camera moved");
+    let r0 = FrameSim::run_with_resolution(
+        &f0,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        W,
+        H,
+    );
+    let r9 = FrameSim::run_with_resolution(
+        &f9,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        W,
+        H,
+    );
+    assert_ne!(
+        r0.total_cycles(BarrierMode::Coupled),
+        r9.total_cycles(BarrierMode::Coupled),
+        "different frames take different time"
+    );
+}
+
+#[test]
+fn empty_scene_is_handled() {
+    let scene = Scene::default();
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+    assert_eq!(r.total_quads_shaded(), 0);
+    assert_eq!(r.hierarchy.l2.accesses, 0);
+    // Fixed per-tile costs (fetch, flush) still accrue.
+    assert!(r.total_cycles(BarrierMode::Coupled) > 0);
+}
+
+#[test]
+fn upper_bound_mode_end_to_end() {
+    let scene = Game::RiseOfKingdoms.scene(&SceneSpec::new(W, H, 0));
+    let cfg = PipelineConfig {
+        upper_bound: true,
+        ..PipelineConfig::default()
+    };
+    let ub = FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, W, H);
+    let split = sim(Game::RiseOfKingdoms, &ScheduleConfig::baseline());
+    assert!(ub.hierarchy.l2.accesses < split.hierarchy.l2.accesses);
+    assert_eq!(
+        ub.total_quads_shaded(),
+        split.total_quads_shaded(),
+        "same functional work"
+    );
+}
+
+#[test]
+fn barrier_modes_share_functional_results() {
+    let r = sim(Game::DerbyDestruction, &ScheduleConfig::dtexl());
+    // One functional pass serves both compositions, so all functional
+    // metrics are identical by construction; the test guards that the
+    // API keeps it that way.
+    let coupled = r.total_cycles(BarrierMode::Coupled);
+    let decoupled = r.total_cycles(BarrierMode::Decoupled);
+    assert!(decoupled <= coupled);
+    assert_eq!(
+        r.energy_events(BarrierMode::Coupled).l2_accesses,
+        r.energy_events(BarrierMode::Decoupled).l2_accesses
+    );
+}

@@ -1,0 +1,178 @@
+//! Negative-space tests: malformed inputs must fail loudly (with the
+//! documented panics/errors), and extreme-but-legal inputs must not
+//! wedge the simulator.
+
+use dtexl::gmath::{Mat4, Vec2, Vec3};
+use dtexl::texture::TextureDesc;
+use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
+use dtexl_scene::{DepthMode, DrawCommand, Scene, ShaderProfile, Vertex, TEXTURE_BASE_ADDR};
+use dtexl_sched::ScheduleConfig;
+
+fn one_tri_scene() -> Scene {
+    Scene {
+        textures: vec![TextureDesc::new(0, 64, 64, TEXTURE_BASE_ADDR)],
+        vertices: vec![
+            Vertex::new(Vec3::new(4.0, 4.0, -1.0), Vec2::new(0.0, 0.0)),
+            Vertex::new(Vec3::new(60.0, 4.0, -1.0), Vec2::new(1.0, 0.0)),
+            Vertex::new(Vec3::new(4.0, 60.0, -1.0), Vec2::new(0.0, 1.0)),
+        ],
+        draws: vec![DrawCommand {
+            first_vertex: 0,
+            vertex_count: 3,
+            texture: 0,
+            shader: ShaderProfile::standard(),
+            transform: Mat4::orthographic(0.0, 64.0, 64.0, 0.0, 0.1, 10.0),
+            opaque: true,
+            uv_scale: 1.0,
+            depth_mode: DepthMode::Early,
+        }],
+    }
+}
+
+#[test]
+#[should_panic(expected = "invalid scene")]
+fn scene_with_dangling_texture_panics() {
+    let mut scene = one_tri_scene();
+    scene.draws[0].texture = 99;
+    let _ = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid pipeline configuration")]
+fn odd_tile_size_panics() {
+    let cfg = PipelineConfig {
+        tile_size: 31,
+        ..PipelineConfig::default()
+    };
+    let _ = FrameSim::run_with_resolution(
+        &one_tri_scene(),
+        &ScheduleConfig::baseline(),
+        &cfg,
+        64,
+        64,
+    );
+}
+
+#[test]
+#[should_panic(expected = "texture ids must be dense")]
+fn sparse_texture_ids_panic() {
+    let mut scene = one_tri_scene();
+    // Texture with id 5 at position 0: ids are no longer dense.
+    scene.textures = vec![TextureDesc::new(5, 64, 64, TEXTURE_BASE_ADDR)];
+    scene.draws[0].texture = 5;
+    let _ = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+}
+
+#[test]
+fn degenerate_and_offscreen_geometry_is_dropped_not_crashed() {
+    let mut scene = one_tri_scene();
+    // A zero-area triangle and a far-offscreen one.
+    let base = scene.vertices.len() as u32;
+    for p in [
+        Vec3::new(1.0, 1.0, -1.0),
+        Vec3::new(1.0, 1.0, -1.0),
+        Vec3::new(1.0, 1.0, -1.0),
+        Vec3::new(9000.0, 9000.0, -1.0),
+        Vec3::new(9010.0, 9000.0, -1.0),
+        Vec3::new(9000.0, 9010.0, -1.0),
+    ] {
+        scene.vertices.push(Vertex::new(p, Vec2::ZERO));
+    }
+    for first in [base, base + 3] {
+        scene.draws.push(DrawCommand {
+            first_vertex: first,
+            vertex_count: 3,
+            ..scene.draws[0].clone()
+        });
+    }
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+    assert_eq!(r.geometry.prims_assembled, 3);
+    assert_eq!(r.geometry.prims_emitted, 1, "only the real triangle survives");
+}
+
+#[test]
+fn single_pixel_resolution_works() {
+    let scene = one_tri_scene();
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::dtexl(),
+        &PipelineConfig::default(),
+        2,
+        2,
+    );
+    assert_eq!(r.tiles.len(), 1);
+    assert!(r.total_cycles(BarrierMode::Decoupled) > 0);
+}
+
+#[test]
+fn gigantic_triangle_is_clipped_cheaply() {
+    let mut scene = one_tri_scene();
+    // Vertices a thousand screens away in every direction.
+    scene.vertices = vec![
+        Vertex::new(Vec3::new(-60000.0, -60000.0, -1.0), Vec2::new(0.0, 0.0)),
+        Vertex::new(Vec3::new(120000.0, -60000.0, -1.0), Vec2::new(500.0, 0.0)),
+        Vertex::new(Vec3::new(-60000.0, 120000.0, -1.0), Vec2::new(0.0, 500.0)),
+    ];
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+    // The triangle covers the whole 64×64 screen: exactly 32×32 quads.
+    assert_eq!(r.total_quads_shaded(), 32 * 32);
+}
+
+#[test]
+fn zero_alu_shader_is_legal() {
+    let mut scene = one_tri_scene();
+    scene.draws[0].shader = ShaderProfile {
+        alu_ops: 0,
+        tex_samples: 1,
+        filter: dtexl::texture::Filter::Bilinear,
+    };
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+    assert!(r.total_quads_shaded() > 0);
+    assert!(r.shader.alu_ops == 0);
+    assert!(r.shader.tex_instructions > 0);
+}
+
+#[test]
+fn extreme_uv_scale_stays_finite() {
+    let mut scene = one_tri_scene();
+    scene.draws[0].uv_scale = 1.0e4; // absurd texel density → deep mips
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    );
+    assert!(r.total_quads_shaded() > 0);
+    assert!(r.hierarchy.l1_accesses() > 0);
+}
