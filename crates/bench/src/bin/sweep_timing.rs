@@ -1,0 +1,36 @@
+//! Wall-clock timing of the quick experiment sweep.
+//!
+//! Runs [`Lab::all_figures`] over [`Setup::quick`] with the Lab's own
+//! job fan-out pinned to a single thread, so the only parallelism left
+//! is the per-frame SC-lane simulation selected by `DTEXL_THREADS`.
+//! Run it twice to measure the serial-vs-parallel speedup of the lane
+//! pipeline (results are bit-identical either way):
+//!
+//! ```text
+//! DTEXL_THREADS=1 cargo run --release -p dtexl-bench --bin sweep_timing
+//! DTEXL_THREADS=4 cargo run --release -p dtexl-bench --bin sweep_timing
+//! ```
+
+use dtexl::experiments::{Lab, Setup};
+use dtexl_pipeline::PipelineConfig;
+use std::time::Instant;
+
+fn main() {
+    let lane_threads = PipelineConfig::default().threads;
+    let setup = Setup {
+        threads: 1,
+        ..Setup::quick()
+    };
+    let start = Instant::now();
+    let lab = Lab::new(setup);
+    let figures = lab.all_figures();
+    let elapsed = start.elapsed();
+    let rows: usize = figures.iter().map(|t| t.rows.len()).sum();
+    println!(
+        "quick sweep: {} tables / {} rows, lane threads = {}, {:.3} s",
+        figures.len(),
+        rows,
+        lane_threads,
+        elapsed.as_secs_f64()
+    );
+}

@@ -39,6 +39,19 @@ impl Args {
         Some(self.rest.remove(i))
     }
 
+    /// Take `--name value` and parse it as `T`, distinguishing an
+    /// absent option (`Ok(None)`) from a malformed value (`Err`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag and value when parsing fails.
+    pub fn parsed_value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad {name} '{v}'")),
+        }
+    }
+
     /// Take a boolean `--flag`.
     pub fn flag(&mut self, name: &str) -> bool {
         if let Some(i) = self.rest.iter().position(|a| a == name) {
@@ -97,6 +110,17 @@ mod tests {
         a.subcommand();
         assert!(a.value("--game").is_none());
         assert!(!a.flag("--coupled"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn parsed_values() {
+        let mut a = args("sim --frames 5 --threads nope");
+        a.subcommand();
+        assert_eq!(a.parsed_value::<u32>("--frames"), Ok(Some(5)));
+        assert_eq!(a.parsed_value::<u32>("--missing"), Ok(None));
+        let err = a.parsed_value::<usize>("--threads").unwrap_err();
+        assert!(err.contains("--threads") && err.contains("nope"), "{err}");
         assert!(a.finish().is_ok());
     }
 

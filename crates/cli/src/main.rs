@@ -3,12 +3,16 @@
 //! ```text
 //! dtexl list
 //! dtexl sim         --game GTr [--schedule dtexl] [--res 1960x768]
-//!                   [--frames N] [--coupled]
+//!                   [--frames N] [--threads N] [--coupled]
 //! dtexl render      --game SoD --out frame.ppm [--res 980x384]
 //! dtexl characterize [--res 1960x768]
 //! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
 //! dtexl trace-sim   --in frame.dtxl [--schedule dtexl] [--res 1960x768]
+//!                   [--threads N]
 //! ```
+//!
+//! `--threads` (default: `DTEXL_THREADS` or 1) selects the number of
+//! simulator worker threads; results are bit-identical to `--threads 1`.
 
 use dtexl::characterize::characterize_all;
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
@@ -99,6 +103,18 @@ fn parse_res(args: &mut Args) -> Result<(u32, u32), String> {
     }
 }
 
+fn parse_pipeline(args: &mut Args) -> Result<PipelineConfig, String> {
+    // Default: the DTEXL_THREADS environment variable, else serial.
+    let mut pipeline = PipelineConfig::default();
+    if let Some(threads) = args.parsed_value::<usize>("--threads")? {
+        if threads == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        pipeline.threads = threads;
+    }
+    Ok(pipeline)
+}
+
 fn parse_schedule(args: &mut Args) -> Result<ScheduleConfig, String> {
     match args.value("--schedule").as_deref() {
         None | Some("dtexl") => Ok(ScheduleConfig::dtexl()),
@@ -116,11 +132,8 @@ fn cmd_sim(args: &mut Args) -> Result<(), String> {
     let (w, h) = parse_res(args)?;
     let schedule = parse_schedule(args)?;
     let coupled = args.flag("--coupled");
-    let frames: u32 = args
-        .value("--frames")
-        .map(|s| s.parse().map_err(|_| format!("bad --frames '{s}'")))
-        .transpose()?
-        .unwrap_or(1);
+    let frames: u32 = args.parsed_value("--frames")?.unwrap_or(1);
+    let pipeline = parse_pipeline(args)?;
     args.finish()?;
 
     let config = SimConfig {
@@ -129,7 +142,7 @@ fn cmd_sim(args: &mut Args) -> Result<(), String> {
         height: h,
         frame: 0,
         schedule,
-        pipeline: PipelineConfig::default(),
+        pipeline,
         barrier: if coupled {
             BarrierMode::Coupled
         } else {
@@ -228,10 +241,11 @@ fn cmd_trace_sim(args: &mut Args) -> Result<(), String> {
     let (w, h) = parse_res(args)?;
     let schedule = parse_schedule(args)?;
     let coupled = args.flag("--coupled");
+    let pipeline = parse_pipeline(args)?;
     args.finish()?;
     let scene: Scene =
         dtexl_trace::load_trace(std::path::Path::new(&input)).map_err(|e| e.to_string())?;
-    let r = FrameSim::run_with_resolution(&scene, &schedule, &PipelineConfig::default(), w, h);
+    let r = FrameSim::run_with_resolution(&scene, &schedule, &pipeline, w, h);
     let mode = if coupled {
         BarrierMode::Coupled
     } else {
@@ -239,7 +253,10 @@ fn cmd_trace_sim(args: &mut Args) -> Result<(), String> {
     };
     println!("{} under {} [{:?}]", input, schedule.label(), mode);
     println!("  cycles       {}", r.total_cycles(mode));
-    println!("  fps          {:.2}", CLOCK_HZ / r.total_cycles(mode) as f64);
+    println!(
+        "  fps          {:.2}",
+        CLOCK_HZ / r.total_cycles(mode) as f64
+    );
     println!("  L2 accesses  {}", r.total_l2_accesses());
     println!("  quads shaded {}", r.total_quads_shaded());
     Ok(())

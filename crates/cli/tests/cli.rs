@@ -22,7 +22,9 @@ fn list_names_all_games_and_schedules() {
     let out = dtexl(&["list"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for alias in ["CCS", "SoD", "TRu", "SWa", "CRa", "RoK", "DDS", "Snp", "Mze", "GTr"] {
+    for alias in [
+        "CCS", "SoD", "TRu", "SWa", "CRa", "RoK", "DDS", "Snp", "Mze", "GTr",
+    ] {
         assert!(stdout.contains(alias), "missing {alias}");
     }
     assert!(stdout.contains("hlb-flp2"));
@@ -31,7 +33,11 @@ fn list_names_all_games_and_schedules() {
 #[test]
 fn sim_reports_metrics() {
     let out = dtexl(&["sim", "--game", "GTr", "--res", "256x128"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cycles"));
     assert!(stdout.contains("L2 accesses"));
@@ -56,8 +62,20 @@ fn trace_save_and_sim_roundtrip() {
     let trace = dir.join("ccs.dtxl");
     let trace_s = trace.to_str().unwrap();
 
-    let out = dtexl(&["trace-save", "--game", "CCS", "--out", trace_s, "--res", "256x128"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = dtexl(&[
+        "trace-save",
+        "--game",
+        "CCS",
+        "--out",
+        trace_s,
+        "--res",
+        "256x128",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     let out = dtexl(&[
@@ -70,7 +88,11 @@ fn trace_save_and_sim_roundtrip() {
         "--res",
         "256x128",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("FG-xshift2/Z-order/const"));
     std::fs::remove_file(&trace).ok();
 }
@@ -89,7 +111,11 @@ fn render_writes_a_ppm() {
         "--res",
         "128x64",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&ppm).unwrap();
     assert!(bytes.starts_with(b"P6\n128 64\n255\n"));
     std::fs::remove_file(&ppm).ok();
@@ -106,6 +132,10 @@ fn named_schedules_are_accepted() {
         "--res",
         "128x64",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("CG-yrect/S-order/flp1"));
 }

@@ -692,7 +692,10 @@ mod tests {
             fg > dt && dt > ub,
             "replication must fall FG({fg:.2}) > DTexL({dt:.2}) > UB({ub:.2})"
         );
-        assert!(fg > 2.0, "fine-grained replication should approach the SC count");
+        assert!(
+            fg > 2.0,
+            "fine-grained replication should approach the SC count"
+        );
         assert!(ub >= 1.0, "every line is fetched at least once");
     }
 

@@ -209,25 +209,65 @@ impl Simulator {
     /// (frame indices `config.frame ..`), returning per-frame and
     /// aggregate metrics.
     ///
+    /// With `config.pipeline.threads > 1` the frames are fanned out
+    /// over that many worker threads (each frame then runs its pipeline
+    /// serially, so the machine is not oversubscribed). Frames are
+    /// independent and the report is assembled in frame order, so the
+    /// result is identical to the serial loop.
+    ///
     /// # Panics
     ///
     /// Panics on invalid configurations, like [`simulate`](Self::simulate).
     #[must_use]
     pub fn simulate_sequence(config: &SimConfig, num_frames: u32) -> SequenceReport {
+        let workers = config.pipeline.threads.min(num_frames as usize);
         let mut report = SequenceReport {
             cycles: Vec::with_capacity(num_frames as usize),
             l2_accesses: Vec::with_capacity(num_frames as usize),
             energy_pj: Vec::with_capacity(num_frames as usize),
         };
-        for f in 0..num_frames {
-            let frame_cfg = SimConfig {
-                frame: config.frame + f,
-                ..*config
-            };
-            let r = Self::simulate(&frame_cfg);
-            report.cycles.push(r.cycles);
-            report.l2_accesses.push(r.l2_accesses);
-            report.energy_pj.push(r.energy.total_pj());
+        if workers <= 1 {
+            for f in 0..num_frames {
+                let frame_cfg = SimConfig {
+                    frame: config.frame + f,
+                    ..*config
+                };
+                let r = Self::simulate(&frame_cfg);
+                report.cycles.push(r.cycles);
+                report.l2_accesses.push(r.l2_accesses);
+                report.energy_pj.push(r.energy.total_pj());
+            }
+            return report;
+        }
+
+        let mut inner = *config;
+        inner.pipeline.threads = 1;
+        let next = std::sync::atomic::AtomicU32::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<(u64, u64, f64)>>> = (0..num_frames)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let f = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if f >= num_frames {
+                        break;
+                    }
+                    let frame_cfg = SimConfig {
+                        frame: inner.frame + f,
+                        ..inner
+                    };
+                    let r = Self::simulate(&frame_cfg);
+                    *slots[f as usize].lock() =
+                        Some((r.cycles, r.l2_accesses, r.energy.total_pj()));
+                });
+            }
+        });
+        for slot in slots {
+            let (cycles, l2, energy) = slot.into_inner().expect("every frame simulated");
+            report.cycles.push(cycles);
+            report.l2_accesses.push(l2);
+            report.energy_pj.push(energy);
         }
         report
     }
@@ -285,6 +325,16 @@ mod tests {
         // The sequence's first frame equals a single-frame run.
         let single = Simulator::simulate(&cfg);
         assert_eq!(seq.cycles[0], single.cycles);
+    }
+
+    #[test]
+    fn parallel_sequences_match_serial() {
+        let serial = SimConfig::baseline(Game::SonicDash).with_resolution(256, 128);
+        let mut threaded = serial;
+        threaded.pipeline.threads = 4;
+        let a = Simulator::simulate_sequence(&serial, 5);
+        let b = Simulator::simulate_sequence(&threaded, 5);
+        assert_eq!(a, b, "frame fan-out must not change any metric");
     }
 
     #[test]

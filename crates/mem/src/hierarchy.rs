@@ -2,6 +2,7 @@
 
 use crate::cache::{CacheConfig, SetAssocCache};
 use crate::dram::{DramConfig, DramModel};
+use crate::lane::{L1Lane, L2Request, SharedL2};
 use crate::replacement::{Fifo, Lru, PseudoRandom, ReplacementPolicy};
 use crate::stats::HierarchyStats;
 use crate::LineAddr;
@@ -112,10 +113,11 @@ pub struct AccessResult {
 #[derive(Debug)]
 pub struct TextureHierarchy {
     config: TextureHierarchyConfig,
-    l1: Vec<SetAssocCache>,
-    l2: SetAssocCache,
-    dram: DramModel,
-    seen: std::collections::HashSet<LineAddr>,
+    lanes: Vec<L1Lane>,
+    shared: SharedL2,
+    /// Scratch buffer for the trace-and-replay performed inside
+    /// [`access`](Self::access), kept to avoid per-access allocation.
+    sink: Vec<L2Request>,
 }
 
 impl TextureHierarchy {
@@ -130,14 +132,19 @@ impl TextureHierarchy {
         assert!(config.num_l1 > 0, "need at least one L1");
         Self {
             config,
-            l1: (0..config.num_l1)
+            lanes: (0..config.num_l1)
                 .map(|_| {
-                    SetAssocCache::with_policy(config.l1, config.replacement.build(&config.l1))
+                    L1Lane::new(
+                        SetAssocCache::with_policy(config.l1, config.replacement.build(&config.l1)),
+                        config.prefetch_next_line,
+                    )
                 })
                 .collect(),
-            l2: SetAssocCache::with_policy(config.l2, config.replacement.build(&config.l2)),
-            dram: DramModel::new(config.dram),
-            seen: std::collections::HashSet::new(),
+            shared: SharedL2::new(
+                SetAssocCache::with_policy(config.l2, config.replacement.build(&config.l2)),
+                DramModel::new(config.dram),
+            ),
+            sink: Vec::with_capacity(2),
         }
     }
 
@@ -149,60 +156,92 @@ impl TextureHierarchy {
 
     /// Access `line` from shader core `sc`.
     ///
+    /// Internally this traces the lane's L1 and immediately replays the
+    /// emitted requests into the shared L2 — the same decomposition the
+    /// parallel frame simulator uses, here degenerated to a replay
+    /// window of one access.
+    ///
     /// # Panics
     ///
     /// Panics if `sc >= num_l1`.
     pub fn access(&mut self, sc: usize, line: LineAddr) -> AccessResult {
-        self.seen.insert(line);
-        let l1 = &mut self.l1[sc];
-        let l1_latency = l1.config().latency;
-        if l1.access(line).hit {
+        self.sink.clear();
+        let l1_latency = self.lanes[sc].l1_latency();
+        if self.lanes[sc].access(line, &mut self.sink) {
             return AccessResult {
                 l1_hit: true,
                 l2_hit: false,
                 latency: l1_latency,
             };
         }
-        let l2_latency = self.l2.config().latency;
-        let l2_hit = self.l2.access(line).hit;
-        let result = if l2_hit {
-            AccessResult {
-                l1_hit: false,
-                l2_hit: true,
-                latency: l1_latency + l2_latency,
-            }
-        } else {
-            let dram_latency = self.dram.request(line);
-            AccessResult {
-                l1_hit: false,
-                l2_hit: false,
-                latency: l1_latency + l2_latency + dram_latency,
-            }
-        };
-        if self.config.prefetch_next_line {
-            // Bring line+1 into this L1 off the demand path. The fills
-            // are charged to the cache statistics (prefetch bandwidth
-            // is real) but not to the demand latency.
-            let next = line + 1;
-            if !self.l1[sc].probe(next) {
-                self.seen.insert(next);
-                self.l1[sc].access(next);
-                if !self.l2.access(next).hit {
-                    self.dram.request(next);
-                }
+        // The demand request precedes the optional prefetch, matching
+        // the order a monolithic hierarchy would touch the L2 in.
+        let mut demand = None;
+        for i in 0..self.sink.len() {
+            let req = self.sink[i];
+            let out = self.shared.replay(req);
+            if !req.prefetch {
+                demand = Some(out);
             }
         }
-        result
+        let out = demand.expect("an L1 miss always emits a demand request");
+        AccessResult {
+            l1_hit: false,
+            l2_hit: out.l2_hit,
+            latency: l1_latency + out.latency,
+        }
+    }
+
+    /// Borrow lane `sc` for independent L1 simulation (tracing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sc >= num_l1`.
+    pub fn lane_mut(&mut self, sc: usize) -> &mut L1Lane {
+        &mut self.lanes[sc]
+    }
+
+    /// Replay a trace of shared-L2 requests in order, returning the
+    /// below-L1 latency of each demand request (see
+    /// [`SharedL2::replay_demand`]).
+    pub fn replay_demand(&mut self, requests: &[L2Request]) -> Vec<u32> {
+        self.shared.replay_demand(requests)
+    }
+
+    /// Decompose into independently simulable per-SC lanes plus the
+    /// shared levels. Each [`L1Lane`] can be moved to its own worker
+    /// thread; the [`SharedL2`] must stay with the (serial) replay
+    /// pass. [`join`](Self::join) reassembles the hierarchy.
+    #[must_use]
+    pub fn split(self) -> (TextureHierarchyConfig, Vec<L1Lane>, SharedL2) {
+        (self.config, self.lanes, self.shared)
+    }
+
+    /// Reassemble a hierarchy previously taken apart by
+    /// [`split`](Self::split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane count does not match `config.num_l1`.
+    #[must_use]
+    pub fn join(config: TextureHierarchyConfig, lanes: Vec<L1Lane>, shared: SharedL2) -> Self {
+        assert_eq!(lanes.len(), config.num_l1, "lane count must match config");
+        Self {
+            config,
+            lanes,
+            shared,
+            sink: Vec::with_capacity(2),
+        }
     }
 
     /// Snapshot of all statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
-            l1: self.l1.iter().map(|c| *c.stats()).collect(),
-            l2: *self.l2.stats(),
-            dram_accesses: self.dram.requests(),
-            distinct_lines: self.seen.len() as u64,
+            l1: self.lanes.iter().map(|l| *l.l1().stats()).collect(),
+            l2: *self.shared.l2().stats(),
+            dram_accesses: self.shared.dram().requests(),
+            distinct_lines: self.distinct_lines(),
         }
     }
 
@@ -211,23 +250,30 @@ impl TextureHierarchy {
     /// "texture memory block reuse" characterization of §IV-B).
     #[must_use]
     pub fn distinct_lines(&self) -> u64 {
-        self.seen.len() as u64
+        if self.lanes.len() == 1 {
+            return self.lanes[0].seen().len() as u64;
+        }
+        let mut all = std::collections::HashSet::new();
+        for lane in &self.lanes {
+            all.extend(lane.seen().iter().copied());
+        }
+        all.len() as u64
     }
 
     /// How many private L1s currently hold `line` — the replication
     /// degree the paper's schedulers minimize.
     #[must_use]
     pub fn replication_of(&self, line: LineAddr) -> usize {
-        self.l1.iter().filter(|c| c.probe(line)).count()
+        self.lanes.iter().filter(|l| l.probe(line)).count()
     }
 
     /// Invalidate every cache (e.g. between frames in sensitivity
     /// studies). Statistics are preserved.
     pub fn flush(&mut self) {
-        for c in &mut self.l1 {
-            c.flush();
+        for lane in &mut self.lanes {
+            lane.l1_mut().flush();
         }
-        self.l2.flush();
+        self.shared.l2_mut().flush();
     }
 }
 
@@ -384,6 +430,53 @@ mod tests {
         // Large stride: prefetches are useless and convert nothing.
         let str_on = run(true, 64);
         assert_eq!(hits(&str_on), 0);
+    }
+
+    #[test]
+    fn split_trace_replay_matches_monolithic_access() {
+        // Trace each lane independently, replay the request streams in
+        // the serial order, and compare every statistic and latency to
+        // the monolithic access path.
+        let pattern: Vec<(usize, u64)> = (0..400u64)
+            .map(|i| ((i % 4) as usize, (i * 37) % 97))
+            .collect();
+
+        let mut serial = hier();
+        let serial_lat: Vec<u32> = pattern
+            .iter()
+            .map(|&(sc, line)| serial.access(sc, line).latency)
+            .collect();
+
+        let (cfg, mut lanes, mut shared) = hier().split();
+        // Trace: per-lane request streams plus per-access hit flags, as
+        // the parallel fragment stage would produce them. The pattern
+        // interleaves lanes, so replay must interleave identically.
+        let mut traced_lat = Vec::new();
+        for &(sc, line) in &pattern {
+            let mut sink = Vec::new();
+            let l1_latency = lanes[sc].l1_latency();
+            if lanes[sc].access(line, &mut sink) {
+                traced_lat.push(l1_latency);
+            } else {
+                let lat = shared.replay_demand(&sink);
+                traced_lat.push(l1_latency + lat[0]);
+            }
+        }
+        assert_eq!(serial_lat, traced_lat);
+        let rejoined = TextureHierarchy::join(cfg, lanes, shared);
+        assert_eq!(serial.stats(), rejoined.stats());
+        assert_eq!(serial.distinct_lines(), rejoined.distinct_lines());
+    }
+
+    #[test]
+    fn split_join_roundtrip_preserves_state() {
+        let mut h = hier();
+        h.access(0, 1);
+        h.access(1, 1);
+        let (cfg, lanes, shared) = h.split();
+        let mut h = TextureHierarchy::join(cfg, lanes, shared);
+        assert_eq!(h.stats().l2.accesses, 2);
+        assert!(h.access(0, 1).l1_hit, "residency survives the roundtrip");
     }
 
     #[test]

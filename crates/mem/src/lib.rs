@@ -40,12 +40,14 @@ mod cache;
 mod dram;
 mod energy_impl;
 mod hierarchy;
+mod lane;
 pub mod replacement;
 mod stats;
 
 pub use cache::{AccessOutcome, CacheConfig, SetAssocCache};
 pub use dram::{DramConfig, DramModel};
 pub use hierarchy::{AccessResult, ReplacementKind, TextureHierarchy, TextureHierarchyConfig};
+pub use lane::{L1Lane, L2Request, ReplayOutcome, SharedL2};
 pub use stats::{CacheStats, HierarchyStats};
 
 /// Event-energy model (per-access energies plus leakage) standing in for

@@ -4,13 +4,14 @@ use crate::config::{BarrierMode, PipelineConfig};
 use crate::geometry::{GeometryPipeline, GeometryStats};
 use crate::prim::Quad;
 use crate::raster::Rasterizer;
-use crate::shade::{ShaderCore, ShaderCoreStats};
+use crate::shade::{ShaderCore, ShaderCoreStats, SubtileTrace};
 use crate::tiling::{TilingEngine, TilingStats};
 use crate::timing::{compose_frame, StageDurations};
 use crate::zbuffer::ZBuffer;
+use crossbeam::channel::bounded;
 use dtexl_gmath::Rect;
 use dtexl_mem::energy::EnergyEvents;
-use dtexl_mem::{HierarchyStats, TextureHierarchy, LINE_BYTES};
+use dtexl_mem::{HierarchyStats, L1Lane, TextureHierarchy, LINE_BYTES};
 use dtexl_scene::Scene;
 use dtexl_sched::{ScheduleConfig, TileSchedule};
 use dtexl_texture::TextureDesc;
@@ -40,6 +41,10 @@ pub struct FrameResult {
     pub config: PipelineConfig,
     /// The schedule used.
     pub schedule: ScheduleConfig,
+    /// Screen width in pixels the frame was simulated at.
+    pub width: u32,
+    /// Screen height in pixels the frame was simulated at.
+    pub height: u32,
     /// Geometry-phase statistics.
     pub geometry: GeometryStats,
     /// Tiling-engine statistics.
@@ -83,12 +88,24 @@ impl FrameResult {
             + self.framebuffer_lines()
     }
 
-    /// Cache lines of color-buffer flush traffic (tiles × tile bytes /
-    /// line size).
+    /// Cache lines of color-buffer flush traffic. Each tile flushes
+    /// only the pixels it covers on screen — edge tiles at ragged
+    /// resolutions are clamped to their screen intersection instead of
+    /// being charged a full tile — at 4 bytes per pixel, rounded up to
+    /// whole lines per tile flush.
     #[must_use]
     pub fn framebuffer_lines(&self) -> u64 {
-        let tile_bytes = u64::from(self.config.tile_size) * u64::from(self.config.tile_size) * 4;
-        self.tiles.len() as u64 * tile_bytes / LINE_BYTES
+        let ts = u64::from(self.config.tile_size);
+        self.tiles
+            .iter()
+            .map(|t| {
+                let x0 = u64::from(t.tile.0) * ts;
+                let y0 = u64::from(t.tile.1) * ts;
+                let w = ts.min(u64::from(self.width).saturating_sub(x0));
+                let h = ts.min(u64::from(self.height).saturating_sub(y0));
+                (w * h * 4).div_ceil(LINE_BYTES)
+            })
+            .sum()
     }
 
     /// Total quads shaded across the frame.
@@ -116,11 +133,16 @@ impl FrameResult {
     }
 
     fn per_tile_deviation(&self, f: impl Fn(&TileRecord) -> [f64; 4]) -> Vec<f64> {
-        let n = self.config.num_sc as f64;
+        // Only the active lanes participate: in upper-bound mode a
+        // single core does all the work and the three idle lanes must
+        // not be averaged in as zeros.
+        let active = self.config.effective_num_sc();
+        let n = active as f64;
         self.tiles
             .iter()
             .filter_map(|t| {
                 let v = f(t);
+                let v = &v[..active];
                 let mean = v.iter().sum::<f64>() / n;
                 if mean <= 0.0 {
                     return None;
@@ -199,10 +221,11 @@ impl FrameSim {
         Self::run_sized(scene, schedule, config, None)
     }
 
-    /// Like [`run`](Self::run), but with an explicit screen size
-    /// (otherwise inferred as the tight bound of Table II's 1960×768
-    /// via the scene's draw extents is not possible, so callers pass
-    /// the resolution they generated the scene for).
+    /// Like [`run`](Self::run), but with an explicit screen size. The
+    /// screen extent cannot be recovered from the scene itself (draws
+    /// may under- or overshoot it), so callers pass the resolution the
+    /// scene was generated for; [`run`](Self::run) assumes Table II's
+    /// 1960×768.
     #[must_use]
     pub fn run_with_resolution(
         scene: &Scene,
@@ -238,30 +261,25 @@ impl FrameSim {
         let mut tiling = TilingEngine::new(config.tile_cache, config.tile_size);
         let bins = tiling.bin(&gout.prims, width, height);
 
-        // 3. Schedule and raster phase.
+        // 3. Schedule, then the serial front half of the raster phase:
+        // tile fetch, rasterization and early-Z partitioning for every
+        // tile in schedule order. This is cheap next to the fragment
+        // stage and is shared by the serial and parallel back halves.
         let tsched = TileSchedule::build(schedule, bins.tiles_w(), bins.tiles_h());
-        let mut hierarchy = TextureHierarchy::new(config.effective_hierarchy());
         let raster = Rasterizer::new(config.tile_size);
-        let core = ShaderCore::new(config.warp_slots, config.l1_miss_fill_cycles);
         let mut zbuf = ZBuffer::new(config.tile_size);
         let screen = Rect::new(0, 0, width as i32, height as i32);
         let qps = config.quads_per_side();
 
-        let mut tiles = Vec::with_capacity(tsched.len());
-        let mut durations = StageDurations::default();
-        let mut shader_total = ShaderCoreStats::default();
+        let mut preps: Vec<TilePrep> = Vec::with_capacity(tsched.len());
         let mut tile_quads: Vec<Quad> = Vec::new();
-        let mut per_sc: [Vec<Quad>; 4] = Default::default();
-
         for (ti, (tx, ty), _assign) in tsched.iter() {
             let list = bins.list(tx, ty);
             let tile_px = (tx * config.tile_size) as i32;
             let tile_py = (ty * config.tile_size) as i32;
 
             // Tile fetcher cost.
-            durations
-                .fetch
-                .push(4 + list.len() as u64 * u64::from(config.fetch_cycles_per_prim));
+            let fetch = 4 + list.len() as u64 * u64::from(config.fetch_cycles_per_prim);
 
             // Rasterize the tile's primitives in program order.
             tile_quads.clear();
@@ -274,9 +292,8 @@ impl FrameSim {
                     &mut tile_quads,
                 );
             }
-            durations
-                .raster
-                .push((tile_quads.len() as u64).div_ceil(u64::from(config.raster_quads_per_cycle)));
+            let raster_cycles =
+                (tile_quads.len() as u64).div_ceil(u64::from(config.raster_quads_per_cycle));
 
             // Early-Z in submission order, then partition per SC.
             zbuf.clear();
@@ -284,9 +301,7 @@ impl FrameSim {
                 tile: (tx, ty),
                 ..TileRecord::default()
             };
-            for q in per_sc.iter_mut() {
-                q.clear();
-            }
+            let mut shaded: [Vec<Quad>; 4] = Default::default();
             for q in &tile_quads {
                 let sc = tsched.sc_of_quad(ti, q.qx, q.qy, qps, qps);
                 rec.quads_rasterized[sc] += 1;
@@ -299,46 +314,86 @@ impl FrameSim {
                 if shade_mask != 0 {
                     let mut alive = q.clone();
                     alive.mask = shade_mask;
-                    per_sc[sc].push(alive);
+                    shaded[sc].push(alive);
                 }
             }
+            preps.push(TilePrep {
+                rec,
+                shaded,
+                fetch,
+                raster: raster_cycles,
+            });
+        }
 
-            // Fragment stage: run each SC's subtile on the warp model.
-            // In upper-bound mode all quads execute on the single core,
-            // in slot order (cache metric only).
-            let mut ez = [0u64; 4];
-            let mut frag = [0u64; 4];
-            let mut blend = [0u64; 4];
-            if config.upper_bound {
-                let merged: Vec<Quad> = per_sc.iter().flat_map(|v| v.iter().cloned()).collect();
-                let (cycles, stats) = core.run_subtile(0, &merged, &textures, &mut hierarchy);
-                rec.quads_shaded[0] = merged.len() as u32;
-                rec.frag_cycles[0] = cycles;
-                shader_total += stats;
-                ez[0] = u64::from(rec.quads_rasterized.iter().sum::<u32>());
-                frag[0] = cycles;
-                blend[0] = merged.len() as u64 + u64::from(config.flush_cycles_per_bank);
-            } else {
-                for sc in 0..config.num_sc {
-                    let (cycles, stats) =
-                        core.run_subtile(sc, &per_sc[sc], &textures, &mut hierarchy);
-                    rec.quads_shaded[sc] = per_sc[sc].len() as u32;
-                    rec.frag_cycles[sc] = cycles;
+        // 4. Fragment stage: run each SC's subtile on the warp model.
+        // In upper-bound mode all quads execute on the single core, in
+        // slot order (cache metric only). With `threads > 1` the SC
+        // lanes are simulated on worker threads and their L1-miss
+        // streams replayed serially — bit-identical to the serial path.
+        let mut hierarchy = TextureHierarchy::new(config.effective_hierarchy());
+        let core = ShaderCore::new(config.warp_slots, config.l1_miss_fill_cycles);
+        let workers = config.threads.min(config.effective_num_sc());
+
+        let mut tiles = Vec::with_capacity(preps.len());
+        let mut durations = StageDurations::default();
+        let mut shader_total = ShaderCoreStats::default();
+
+        if workers <= 1 {
+            let mut merged: Vec<Quad> = Vec::new();
+            for prep in &preps {
+                durations.fetch.push(prep.fetch);
+                durations.raster.push(prep.raster);
+                let mut rec = prep.rec;
+                let mut ez = [0u64; 4];
+                let mut frag = [0u64; 4];
+                let mut blend = [0u64; 4];
+                if config.upper_bound {
+                    merged.clear();
+                    merged.extend(prep.shaded.iter().flat_map(|v| v.iter().cloned()));
+                    let (cycles, stats) = core.run_subtile(0, &merged, &textures, &mut hierarchy);
+                    rec.quads_shaded[0] = merged.len() as u32;
+                    rec.frag_cycles[0] = cycles;
                     shader_total += stats;
-                    ez[sc] = u64::from(rec.quads_rasterized[sc]);
-                    frag[sc] = cycles;
-                    blend[sc] = per_sc[sc].len() as u64 + u64::from(config.flush_cycles_per_bank);
+                    ez[0] = u64::from(rec.quads_rasterized.iter().sum::<u32>());
+                    frag[0] = cycles;
+                    blend[0] = merged.len() as u64 + u64::from(config.flush_cycles_per_bank);
+                } else {
+                    for sc in 0..config.num_sc {
+                        let (cycles, stats) =
+                            core.run_subtile(sc, &prep.shaded[sc], &textures, &mut hierarchy);
+                        rec.quads_shaded[sc] = prep.shaded[sc].len() as u32;
+                        rec.frag_cycles[sc] = cycles;
+                        shader_total += stats;
+                        ez[sc] = u64::from(rec.quads_rasterized[sc]);
+                        frag[sc] = cycles;
+                        blend[sc] =
+                            prep.shaded[sc].len() as u64 + u64::from(config.flush_cycles_per_bank);
+                    }
                 }
+                durations.early_z.push(ez);
+                durations.fragment.push(frag);
+                durations.blend.push(blend);
+                tiles.push(rec);
             }
-            durations.early_z.push(ez);
-            durations.fragment.push(frag);
-            durations.blend.push(blend);
-            tiles.push(rec);
+        } else {
+            hierarchy = Self::fragment_parallel(
+                config,
+                core,
+                hierarchy,
+                &preps,
+                &textures,
+                workers,
+                &mut tiles,
+                &mut durations,
+                &mut shader_total,
+            );
         }
 
         FrameResult {
             config: *config,
             schedule: *schedule,
+            width,
+            height,
             geometry: gout.stats,
             tiling: bins.stats,
             tiles,
@@ -347,6 +402,146 @@ impl FrameSim {
             shader: shader_total,
         }
     }
+
+    /// The parallel fragment stage: one worker thread per SC lane
+    /// traces its private L1 over the lane's subtile stream (tile
+    /// order), while this thread replays the emitted L2-request streams
+    /// into the shared levels **tile-major, SC 0..3** — the exact order
+    /// the serial path issues them, so every latency and statistic is
+    /// bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn fragment_parallel(
+        config: &PipelineConfig,
+        core: ShaderCore,
+        hierarchy: TextureHierarchy,
+        preps: &[TilePrep],
+        textures: &[TextureDesc],
+        workers: usize,
+        tiles: &mut Vec<TileRecord>,
+        durations: &mut StageDurations,
+        shader_total: &mut ShaderCoreStats,
+    ) -> TextureHierarchy {
+        /// Bounded per-lane pipeline depth: how many tiles a lane may
+        /// trace ahead of the serial replay (backpressure bound).
+        const REPLAY_DEPTH: usize = 32;
+
+        let lanes = config.effective_num_sc();
+        let l1_latency = config.effective_hierarchy().l1.latency;
+        let upper = config.upper_bound;
+        let (hcfg, lane_states, mut shared) = hierarchy.split();
+        debug_assert_eq!(lane_states.len(), lanes);
+
+        let mut rejoined: Vec<Option<L1Lane>> = (0..lanes).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(lanes);
+            let mut rxs = Vec::with_capacity(lanes);
+            for _ in 0..lanes {
+                let (tx, rx) = bounded::<SubtileTrace>(REPLAY_DEPTH);
+                txs.push(Some(tx));
+                rxs.push(rx);
+            }
+
+            // Distribute the lanes round-robin over the workers; each
+            // worker owns its lanes' L1 state and trace senders.
+            let mut assignment: Vec<Vec<(usize, L1Lane)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (sc, lane) in lane_states.into_iter().enumerate() {
+                assignment[sc % workers].push((sc, lane));
+            }
+            let mut handles = Vec::with_capacity(workers);
+            for mut owned in assignment {
+                let txs: Vec<_> = owned
+                    .iter()
+                    .map(|(sc, _)| txs[*sc].take().expect("each lane assigned once"))
+                    .collect();
+                handles.push(scope.spawn(move || {
+                    let mut scratch: Vec<Quad> = Vec::new();
+                    'tiles: for prep in preps {
+                        for ((sc, lane), tx) in owned.iter_mut().zip(&txs) {
+                            let quads: &[Quad] = if upper {
+                                scratch.clear();
+                                scratch.extend(prep.shaded.iter().flat_map(|v| v.iter().cloned()));
+                                &scratch
+                            } else {
+                                &prep.shaded[*sc]
+                            };
+                            let trace = core.trace_subtile(quads, textures, lane);
+                            if tx.send(trace).is_err() {
+                                // Replay side dropped (panic unwinding):
+                                // stop tracing.
+                                break 'tiles;
+                            }
+                        }
+                    }
+                    owned
+                }));
+            }
+
+            // Serial replay, tile-major, SC ascending: identical L2 /
+            // DRAM request order to the serial reference path.
+            for prep in preps {
+                durations.fetch.push(prep.fetch);
+                durations.raster.push(prep.raster);
+                let mut rec = prep.rec;
+                let mut ez = [0u64; 4];
+                let mut frag = [0u64; 4];
+                let mut blend = [0u64; 4];
+                for (sc, rx) in rxs.iter().enumerate() {
+                    let trace = rx.recv().expect("lane worker feeds every tile");
+                    let latencies = shared.replay_demand(&trace.requests);
+                    let (cycles, stats) = core.time_subtile(&trace, l1_latency, &latencies);
+                    let shaded = if upper {
+                        prep.shaded.iter().map(Vec::len).sum::<usize>()
+                    } else {
+                        prep.shaded[sc].len()
+                    };
+                    rec.quads_shaded[sc] = shaded as u32;
+                    rec.frag_cycles[sc] = cycles;
+                    *shader_total += stats;
+                    ez[sc] = if upper {
+                        u64::from(rec.quads_rasterized.iter().sum::<u32>())
+                    } else {
+                        u64::from(rec.quads_rasterized[sc])
+                    };
+                    frag[sc] = cycles;
+                    blend[sc] = shaded as u64 + u64::from(config.flush_cycles_per_bank);
+                }
+                durations.early_z.push(ez);
+                durations.fragment.push(frag);
+                durations.blend.push(blend);
+                tiles.push(rec);
+            }
+
+            for handle in handles {
+                for (sc, lane) in handle.join().expect("lane worker panicked") {
+                    rejoined[sc] = Some(lane);
+                }
+            }
+        });
+
+        TextureHierarchy::join(
+            hcfg,
+            rejoined
+                .into_iter()
+                .map(|l| l.expect("every lane returned"))
+                .collect(),
+            shared,
+        )
+    }
+}
+
+/// Per-tile output of the serial front half (fetch + raster + early-Z):
+/// everything the fragment stage needs, independent of execution mode.
+#[derive(Debug)]
+struct TilePrep {
+    /// The tile record with `quads_rasterized` filled in.
+    rec: TileRecord,
+    /// Post-early-Z quads partitioned per SC, in submission order.
+    shaded: [Vec<Quad>; 4],
+    /// Tile-fetcher cycles.
+    fetch: u64,
+    /// Rasterizer cycles.
+    raster: u64,
 }
 
 #[cfg(test)]
@@ -428,13 +623,8 @@ mod tests {
         for (w, h) in [(100u32, 50u32), (33, 33), (65, 31)] {
             let scene = Game::CandyCrush.scene(&SceneSpec::new(w, h, 0));
             for sched in [ScheduleConfig::baseline(), ScheduleConfig::dtexl()] {
-                let r = FrameSim::run_with_resolution(
-                    &scene,
-                    &sched,
-                    &PipelineConfig::default(),
-                    w,
-                    h,
-                );
+                let r =
+                    FrameSim::run_with_resolution(&scene, &sched, &PipelineConfig::default(), w, h);
                 assert_eq!(
                     r.tiles.len() as u32,
                     w.div_ceil(32) * h.div_ceil(32),
@@ -451,8 +641,7 @@ mod tests {
                     .sum();
                 assert!(per_tile_max <= max_quads * 8, "sanity bound");
                 assert!(
-                    r.total_cycles(BarrierMode::Decoupled)
-                        <= r.total_cycles(BarrierMode::Coupled)
+                    r.total_cycles(BarrierMode::Decoupled) <= r.total_cycles(BarrierMode::Coupled)
                 );
             }
         }

@@ -65,7 +65,7 @@ pub use geometry::{GeometryOutput, GeometryPipeline, GeometryStats};
 pub use prim::{Quad, RasterPrim};
 pub use raster::Rasterizer;
 pub use render::{Image, Renderer};
-pub use shade::{ShaderCore, ShaderCoreStats};
+pub use shade::{ShaderCore, ShaderCoreStats, SubtileTrace};
 pub use tiling::{TileBins, TilingEngine, TilingStats};
 pub use timing::{compose_frame, StageDurations};
 pub use zbuffer::ZBuffer;

@@ -1,7 +1,21 @@
 //! The shader-core (fragment stage) timing model.
+//!
+//! The model is split into two halves so the fragment stage can run
+//! one thread per shader core:
+//!
+//! * [`ShaderCore::trace_subtile`] simulates a subtile against *only*
+//!   the core's private [`L1Lane`], recording the shared-L2 request
+//!   stream and per-access hit flags — no shared state touched;
+//! * [`ShaderCore::time_subtile`] replays the trace through the warp
+//!   timing model once the shared L2 has produced the demand latencies.
+//!
+//! [`ShaderCore::run_subtile`] composes the two against a full
+//! [`TextureHierarchy`] and is bit-identical to simulating the subtile
+//! access-by-access: within a subtile only one core touches the
+//! hierarchy, so deferring the L2 replay reorders nothing.
 
 use crate::prim::Quad;
-use dtexl_mem::TextureHierarchy;
+use dtexl_mem::{L1Lane, L2Request, TextureHierarchy};
 use dtexl_texture::{Sampler, TextureDesc};
 
 /// Per-run statistics of a shader core.
@@ -46,6 +60,35 @@ impl std::ops::AddAssign for ShaderCoreStats {
         self.busy_cycles += rhs.busy_cycles;
         self.total_cycles += rhs.total_cycles;
     }
+}
+
+/// Per-quad metadata the timing replay needs (the functional pass
+/// already resolved the texture footprint).
+#[derive(Debug, Clone, Copy)]
+struct QuadTiming {
+    /// Issue-port cycles the warp occupies.
+    issue: u64,
+    /// Dependent texture-sample groups the line accesses fold into.
+    samples: usize,
+    /// Number of line accesses the quad performed.
+    accesses: usize,
+}
+
+/// L1-side trace of one subtile on one shader core, produced by
+/// [`ShaderCore::trace_subtile`] and consumed by
+/// [`ShaderCore::time_subtile`].
+#[derive(Debug, Default)]
+pub struct SubtileTrace {
+    /// Shared-L2 requests in the order the serial simulator would
+    /// issue them (demand misses interleaved with their prefetches).
+    pub requests: Vec<L2Request>,
+    /// Per-line-access L1 hit flags, flat in access order.
+    hits: Vec<bool>,
+    /// Per-quad replay metadata.
+    quads: Vec<QuadTiming>,
+    /// Functional statistics (the timing fields are filled in by the
+    /// replay).
+    stats: ShaderCoreStats,
 }
 
 /// Warp-level shader-core model.
@@ -98,32 +141,93 @@ impl ShaderCore {
         textures: &[TextureDesc],
         hierarchy: &mut TextureHierarchy,
     ) -> (u64, ShaderCoreStats) {
-        let mut slot_free = vec![0u64; self.warp_slots];
-        let mut port = 0u64;
-        let mut stats = ShaderCoreStats::default();
-        let mut group_latency: Vec<u32> = Vec::with_capacity(4);
+        let lane = hierarchy.lane_mut(sc);
+        let l1_latency = lane.l1_latency();
+        let trace = self.trace_subtile(quads, textures, lane);
+        let latencies = hierarchy.replay_demand(&trace.requests);
+        self.time_subtile(&trace, l1_latency, &latencies)
+    }
 
+    /// Simulate one subtile's quads against the core's private L1 only,
+    /// recording the shared-L2 request stream. Safe to run concurrently
+    /// with other lanes: no shared hierarchy state is touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quad references a texture not present in `textures`.
+    pub fn trace_subtile(
+        &self,
+        quads: &[Quad],
+        textures: &[TextureDesc],
+        lane: &mut L1Lane,
+    ) -> SubtileTrace {
+        let mut trace = SubtileTrace::default();
         for quad in quads {
             let tex = &textures[quad.texture as usize];
             debug_assert_eq!(tex.id(), quad.texture, "texture table must be id-indexed");
             let sampler = Sampler::new(quad.shader.filter);
             let lines = sampler.quad_footprint(tex, quad.uv);
+            for &line in &lines {
+                let hit = lane.access(line, &mut trace.requests);
+                trace.hits.push(hit);
+            }
+            trace.quads.push(QuadTiming {
+                issue: u64::from(quad.shader.issue_slots()),
+                samples: quad.shader.tex_samples.max(1) as usize,
+                accesses: lines.len(),
+            });
+            trace.stats.quads += 1;
+            trace.stats.alu_ops += u64::from(quad.shader.alu_ops);
+            trace.stats.tex_instructions += u64::from(quad.shader.tex_samples);
+            trace.stats.line_accesses += lines.len() as u64;
+        }
+        trace
+    }
 
+    /// Replay a trace through the warp timing model. `demand_latencies`
+    /// holds the below-L1 latency of each L1 miss, in trace order (from
+    /// [`dtexl_mem::SharedL2::replay_demand`]); `l1_latency` is the
+    /// lane's hit latency.
+    ///
+    /// Returns `(cycles, stats)` for the batch, exactly as the fused
+    /// access-by-access simulation would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand_latencies` is shorter than the trace's miss
+    /// count.
+    pub fn time_subtile(
+        &self,
+        trace: &SubtileTrace,
+        l1_latency: u32,
+        demand_latencies: &[u32],
+    ) -> (u64, ShaderCoreStats) {
+        let mut slot_free = vec![0u64; self.warp_slots];
+        let mut port = 0u64;
+        let mut group_latency: Vec<u32> = Vec::with_capacity(4);
+        let mut access = 0usize;
+        let mut miss_idx = 0usize;
+
+        for quad in &trace.quads {
             // The texture unit coalesces each sample's line fetches in
             // parallel; successive samples of a warp are dependent.
             // Round-robin the footprint over the sample instructions and
             // charge each sample the slowest of its lines.
-            let samples = quad.shader.tex_samples.max(1) as usize;
             group_latency.clear();
-            group_latency.resize(samples, 0);
+            group_latency.resize(quad.samples, 0);
             let mut misses = 0u64;
-            for (i, &line) in lines.iter().enumerate() {
-                let res = hierarchy.access(sc, line);
-                if !res.l1_hit {
+            for i in 0..quad.accesses {
+                let latency = if trace.hits[access] {
+                    l1_latency
+                } else {
                     misses += 1;
-                }
-                let g = i % samples;
-                group_latency[g] = group_latency[g].max(res.latency);
+                    let below = demand_latencies[miss_idx];
+                    miss_idx += 1;
+                    l1_latency + below
+                };
+                access += 1;
+                let g = i % quad.samples;
+                group_latency[g] = group_latency[g].max(latency);
             }
             let stall: u64 = group_latency.iter().map(|&l| u64::from(l)).sum();
 
@@ -136,20 +240,20 @@ impl ShaderCore {
                 .enumerate()
                 .min_by_key(|(_, &t)| t)
                 .expect("warp_slots > 0");
-            let issue = u64::from(quad.shader.issue_slots());
-            let occupancy = issue + misses * u64::from(self.miss_fill_cycles);
+            let occupancy = quad.issue + misses * u64::from(self.miss_fill_cycles);
             let start = port.max(free);
             port = start + occupancy;
             slot_free[slot] = start + occupancy + stall;
-
-            stats.quads += 1;
-            stats.alu_ops += u64::from(quad.shader.alu_ops);
-            stats.tex_instructions += u64::from(quad.shader.tex_samples);
-            stats.line_accesses += lines.len() as u64;
         }
+        debug_assert_eq!(
+            miss_idx,
+            demand_latencies.len(),
+            "one replay latency per demand miss"
+        );
 
         let drain = slot_free.iter().copied().max().unwrap_or(0);
         let cycles = port.max(drain);
+        let mut stats = trace.stats;
         stats.busy_cycles = port;
         stats.total_cycles = cycles;
         (cycles, stats)
@@ -285,7 +389,9 @@ mod tests {
         // batches mean lower occupancy on the same workload.
         let tex = textures();
         let core = ShaderCore::new(12, 0);
-        let quads: Vec<Quad> = (0..64).map(|i| quad_at((i % 16) * 3, (i / 16) * 5)).collect();
+        let quads: Vec<Quad> = (0..64)
+            .map(|i| quad_at((i % 16) * 3, (i / 16) * 5))
+            .collect();
         // One large batch.
         let mut h = hierarchy();
         let (_c, big) = core.run_subtile(0, &quads, &tex, &mut h);
@@ -304,6 +410,31 @@ mod tests {
             big.occupancy()
         );
         assert!(big.occupancy() <= 1.0 && small.occupancy() > 0.0);
+    }
+
+    #[test]
+    fn manual_trace_replay_matches_run_subtile() {
+        // Drive the split API the way the parallel frame loop does —
+        // trace on a detached lane, replay into the shared L2, time —
+        // and compare to the fused entry point.
+        let tex = textures();
+        let core = ShaderCore::new(8, 10);
+        let quads: Vec<Quad> = (0..48)
+            .map(|i| quad_at((i % 12) * 3, (i / 12) * 5))
+            .collect();
+
+        let mut fused = hierarchy();
+        let (want_cycles, want_stats) = core.run_subtile(2, &quads, &tex, &mut fused);
+
+        let (cfg, mut lanes, mut shared) = hierarchy().split();
+        let l1_latency = lanes[2].l1_latency();
+        let trace = core.trace_subtile(&quads, &tex, &mut lanes[2]);
+        let latencies = shared.replay_demand(&trace.requests);
+        let (cycles, stats) = core.time_subtile(&trace, l1_latency, &latencies);
+        assert_eq!(cycles, want_cycles);
+        assert_eq!(stats, want_stats);
+        let split = dtexl_mem::TextureHierarchy::join(cfg, lanes, shared);
+        assert_eq!(split.stats(), fused.stats());
     }
 
     #[test]

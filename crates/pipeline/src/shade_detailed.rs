@@ -144,9 +144,9 @@ impl DetailedShaderCore {
                     w.ready_at = fill_free + u64::from(s.stall);
                 }
                 // Warp done?
-                let done = slots[idx]
-                    .as_ref()
-                    .is_some_and(|w| w.alu_left == 0 && w.samples.is_empty() && w.ready_at <= cycle);
+                let done = slots[idx].as_ref().is_some_and(|w| {
+                    w.alu_left == 0 && w.samples.is_empty() && w.ready_at <= cycle
+                });
                 if done {
                     slots[idx] = None;
                 }
@@ -205,7 +205,12 @@ mod tests {
             qy,
             mask: 0b1111,
             z: [0.5; 4],
-            uv: [uv(x, y), uv(x + 1.0, y), uv(x, y + 1.0), uv(x + 1.0, y + 1.0)],
+            uv: [
+                uv(x, y),
+                uv(x + 1.0, y),
+                uv(x, y + 1.0),
+                uv(x + 1.0, y + 1.0),
+            ],
             texture: 0,
             shader,
             opaque: true,
@@ -214,7 +219,9 @@ mod tests {
     }
 
     fn batch(n: u32, shader: ShaderProfile) -> Vec<Quad> {
-        (0..n).map(|i| quad_at((i * 3) % 16, (i / 4) % 16, shader)).collect()
+        (0..n)
+            .map(|i| quad_at((i * 3) % 16, (i / 4) % 16, shader))
+            .collect()
     }
 
     /// Both models, fed identical costs, agree within a tight envelope
@@ -290,11 +297,7 @@ mod tests {
         let quads = batch(32, ShaderProfile::standard());
         let mut h1 = TextureHierarchy::new(TextureHierarchyConfig::default());
         let costs = sample_costs(0, &quads, &tex, &mut h1);
-        let total_misses: u64 = costs
-            .iter()
-            .flatten()
-            .map(|c| u64::from(c.misses))
-            .sum();
+        let total_misses: u64 = costs.iter().flatten().map(|c| u64::from(c.misses)).sum();
         let fill = 50u32;
         let detailed = DetailedShaderCore::new(12, fill).run_subtile(&quads, &costs);
         assert!(

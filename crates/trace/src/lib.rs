@@ -131,8 +131,7 @@ pub fn write_trace<W: Write>(scene: &Scene, mut w: W) -> Result<(), TraceError> 
                 put_f32(&mut w, f)?;
             }
         }
-        let flags =
-            u8::from(d.opaque) | (u8::from(d.depth_mode == DepthMode::Late) << 1);
+        let flags = u8::from(d.opaque) | (u8::from(d.depth_mode == DepthMode::Late) << 1);
         w.write_all(&[flags])?;
         put_f32(&mut w, d.uv_scale)?;
     }

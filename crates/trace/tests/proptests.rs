@@ -13,7 +13,11 @@ fn arb_scene() -> impl Strategy<Value = Scene> {
             1 << lw,
             1 << lh,
             0x1000_0000 + u64::from(i) * 0x100_0000,
-            if rm { TexelLayout::RowMajor } else { TexelLayout::Morton },
+            if rm {
+                TexelLayout::RowMajor
+            } else {
+                TexelLayout::Morton
+            },
         )
     });
     let vert = (
@@ -28,7 +32,14 @@ fn arb_scene() -> impl Strategy<Value = Scene> {
         proptest::collection::vec(tex, 1..4),
         proptest::collection::vec(vert, 3..60),
         proptest::collection::vec(
-            (0u32..4, 1u32..60, 0u8..3, any::<bool>(), any::<bool>(), 0.1f32..4.0),
+            (
+                0u32..4,
+                1u32..60,
+                0u8..3,
+                any::<bool>(),
+                any::<bool>(),
+                0.1f32..4.0,
+            ),
             0..20,
         ),
     )
@@ -66,7 +77,11 @@ fn arb_scene() -> impl Strategy<Value = Scene> {
                         transform: Mat4::IDENTITY,
                         opaque,
                         uv_scale,
-                        depth_mode: if late { DepthMode::Late } else { DepthMode::Early },
+                        depth_mode: if late {
+                            DepthMode::Late
+                        } else {
+                            DepthMode::Early
+                        },
                     }
                 })
                 .collect();

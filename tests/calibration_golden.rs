@@ -54,8 +54,7 @@ fn calibrated_metrics_are_bit_stable() {
     for g in &GOLDEN {
         let scene = g.game.scene(&SceneSpec::new(W, H, 0));
         let cfg = PipelineConfig::default();
-        let base =
-            FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, W, H);
+        let base = FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, W, H);
         let dtexl = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &cfg, W, H);
         let alias = g.game.alias();
         assert_eq!(
@@ -63,7 +62,11 @@ fn calibrated_metrics_are_bit_stable() {
             g.base_cycles,
             "{alias} baseline cycles drifted"
         );
-        assert_eq!(base.total_l2_accesses(), g.base_l2, "{alias} baseline L2 drifted");
+        assert_eq!(
+            base.total_l2_accesses(),
+            g.base_l2,
+            "{alias} baseline L2 drifted"
+        );
         assert_eq!(
             base.total_quads_shaded(),
             g.quads_shaded,
@@ -74,7 +77,11 @@ fn calibrated_metrics_are_bit_stable() {
             g.dtexl_cycles,
             "{alias} DTexL cycles drifted"
         );
-        assert_eq!(dtexl.total_l2_accesses(), g.dtexl_l2, "{alias} DTexL L2 drifted");
+        assert_eq!(
+            dtexl.total_l2_accesses(),
+            g.dtexl_l2,
+            "{alias} DTexL L2 drifted"
+        );
     }
 }
 

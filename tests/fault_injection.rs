@@ -50,13 +50,8 @@ fn odd_tile_size_panics() {
         tile_size: 31,
         ..PipelineConfig::default()
     };
-    let _ = FrameSim::run_with_resolution(
-        &one_tri_scene(),
-        &ScheduleConfig::baseline(),
-        &cfg,
-        64,
-        64,
-    );
+    let _ =
+        FrameSim::run_with_resolution(&one_tri_scene(), &ScheduleConfig::baseline(), &cfg, 64, 64);
 }
 
 #[test]
@@ -105,7 +100,10 @@ fn degenerate_and_offscreen_geometry_is_dropped_not_crashed() {
         64,
     );
     assert_eq!(r.geometry.prims_assembled, 3);
-    assert_eq!(r.geometry.prims_emitted, 1, "only the real triangle survives");
+    assert_eq!(
+        r.geometry.prims_emitted, 1,
+        "only the real triangle survives"
+    );
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Serial vs. parallel equivalence of the frame simulator.
+//!
+//! The parallel SC-lane path (`PipelineConfig::threads > 1`) traces
+//! each core's private L1 on a worker thread and replays the L2-miss
+//! streams serially in the order the serial simulator issues them. The
+//! DRAM latency model hashes the *global* request index, so any
+//! reordering would change latencies — these tests pin the guarantee
+//! that every reported metric is bit-identical to the serial reference,
+//! across games, schedules, barrier modes and ragged resolutions.
+
+use dtexl::{SimConfig, Simulator};
+use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
+use dtexl_scene::{Game, SceneSpec};
+use dtexl_sched::ScheduleConfig;
+
+const MODES: [BarrierMode; 3] = [
+    BarrierMode::Coupled,
+    BarrierMode::Decoupled,
+    BarrierMode::DecoupledBounded { tiles_ahead: 2 },
+];
+
+/// Ragged resolutions: neither dimension is a multiple of the 32-pixel
+/// tile, so edge tiles are partial in both axes.
+const RESOLUTIONS: [(u32, u32); 2] = [(100, 50), (65, 31)];
+
+fn run(
+    game: Game,
+    schedule: &ScheduleConfig,
+    config: &PipelineConfig,
+    w: u32,
+    h: u32,
+) -> dtexl_pipeline::FrameResult {
+    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    FrameSim::run_with_resolution(&scene, schedule, config, w, h)
+}
+
+fn assert_identical(game: Game, schedule: &ScheduleConfig, base: &PipelineConfig, w: u32, h: u32) {
+    let serial = PipelineConfig {
+        threads: 1,
+        ..*base
+    };
+    let parallel = PipelineConfig {
+        threads: 4,
+        ..*base
+    };
+    let a = run(game, schedule, &serial, w, h);
+    let b = run(game, schedule, &parallel, w, h);
+    let ctx = format!("{game:?} {}x{h} {}", w, schedule.label());
+    for mode in MODES {
+        assert_eq!(
+            a.total_cycles(mode),
+            b.total_cycles(mode),
+            "cycles diverge under {mode:?}: {ctx}"
+        );
+        assert_eq!(
+            a.energy_events(mode),
+            b.energy_events(mode),
+            "energy events diverge under {mode:?}: {ctx}"
+        );
+    }
+    assert_eq!(a.total_l2_accesses(), b.total_l2_accesses(), "L2: {ctx}");
+    assert_eq!(a.hierarchy, b.hierarchy, "hierarchy stats: {ctx}");
+}
+
+#[test]
+fn parallel_matches_serial_across_games_schedules_and_resolutions() {
+    for game in Game::ALL {
+        for schedule in [ScheduleConfig::baseline(), ScheduleConfig::dtexl()] {
+            for (w, h) in RESOLUTIONS {
+                assert_identical(game, &schedule, &PipelineConfig::default(), w, h);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_in_upper_bound_mode() {
+    let base = PipelineConfig {
+        upper_bound: true,
+        ..PipelineConfig::default()
+    };
+    for (w, h) in RESOLUTIONS {
+        assert_identical(Game::TempleRun, &ScheduleConfig::dtexl(), &base, w, h);
+    }
+}
+
+#[test]
+fn parallel_runs_are_deterministic_across_repeats() {
+    // Ten repeats of the same 4-thread run: thread scheduling noise
+    // must never leak into the results.
+    let config = PipelineConfig {
+        threads: 4,
+        ..PipelineConfig::default()
+    };
+    let reference = run(Game::CandyCrush, &ScheduleConfig::dtexl(), &config, 100, 50);
+    for rep in 0..9 {
+        let again = run(Game::CandyCrush, &ScheduleConfig::dtexl(), &config, 100, 50);
+        assert_eq!(
+            reference.total_cycles(BarrierMode::Decoupled),
+            again.total_cycles(BarrierMode::Decoupled),
+            "repeat {rep} diverged"
+        );
+        assert_eq!(
+            reference.hierarchy, again.hierarchy,
+            "repeat {rep} diverged"
+        );
+        assert_eq!(
+            reference.energy_events(BarrierMode::Decoupled),
+            again.energy_events(BarrierMode::Decoupled),
+            "repeat {rep} diverged"
+        );
+    }
+}
+
+#[test]
+fn sequence_fanout_matches_serial_loop() {
+    let serial = SimConfig::dtexl(Game::Maze).with_resolution(100, 50);
+    let mut threaded = serial;
+    threaded.pipeline.threads = 4;
+    assert_eq!(
+        Simulator::simulate_sequence(&serial, 4),
+        Simulator::simulate_sequence(&threaded, 4),
+        "frame fan-out must preserve every per-frame metric"
+    );
+}
+
+#[test]
+fn edge_tiles_flush_only_their_screen_intersection() {
+    // 100×50 with 32-pixel tiles: 4×2 tile grid covering 128×64 pixels.
+    // Flushed color traffic must charge the 100×50 screen area only —
+    // 4 bytes per pixel rounded up to 64-byte lines *per tile*, not the
+    // full 128×64 the tile grid spans.
+    let r = run(
+        Game::GravityTetris,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        100,
+        50,
+    );
+    let mut expected = 0u64;
+    for ty in 0..2u64 {
+        for tx in 0..4u64 {
+            let w = 32.min(100 - tx * 32);
+            let h = 32.min(50 - ty * 32);
+            expected += (w * h * 4).div_ceil(64);
+        }
+    }
+    assert_eq!(r.framebuffer_lines(), expected);
+    let full_tiles = 8 * (32u64 * 32 * 4).div_ceil(64);
+    assert!(
+        r.framebuffer_lines() < full_tiles,
+        "partial edge tiles must not be charged full-tile flushes"
+    );
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `criterion` with the subset of the API the
+//! bench crate uses: `Criterion` with `sample_size` /
+//! `measurement_time` / `warm_up_time` builders, `bench_function`,
+//! `benchmark_group`, the `criterion_group!` / `criterion_main!`
+//! macros, and `Bencher::iter`.
+//!
+//! The harness times each closure over a small fixed iteration count
+//! and prints mean wall-clock per iteration. It has none of
+//! criterion's statistics; it exists so `cargo bench` compiles and
+//! produces usable relative numbers without network access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Runs a closure repeatedly and records elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples (used here as the iteration count).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the target measurement time (advisory in this stand-in).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time (advisory in this stand-in).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a single benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // One warm-up call, then the timed run.
+        let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut warm);
+        let iters = self.sample_size.max(1) as u64;
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed / iters as u32;
+        println!("bench: {id:<56} {per_iter:>12.2?}/iter ({iters} iters)");
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Hook called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Set the target measurement time (advisory in this stand-in).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u32;
+        Criterion::default().sample_size(3).bench_function("t", |b| {
+            b.iter(|| calls += 1);
+        });
+        // One warm-up iteration + three timed iterations, over two calls.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

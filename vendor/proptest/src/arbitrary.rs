@@ -1,0 +1,73 @@
+//! `any::<T>()` support for primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `any::<T>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for primitives, sampling rand's `Standard`
+/// distribution.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+impl<T> Clone for AnyPrim<T> {
+    fn clone(&self) -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T> Strategy for AnyPrim<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.gen())
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = AnyPrim<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_prim!(bool, u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::for_seed(11);
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(s.sample(&mut rng).unwrap())] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fixed-size array strategies (`proptest::array::uniform4`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `[T; 4]` sampling `element` four times.
+pub fn uniform4<S: Strategy>(element: S) -> Uniform4<S> {
+    Uniform4 { element }
+}
+
+/// Strategy returned by [`uniform4`].
+#[derive(Clone)]
+pub struct Uniform4<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for Uniform4<S> {
+    type Value = [S::Value; 4];
+
+    fn sample(&self, rng: &mut TestRng) -> Option<[S::Value; 4]> {
+        Some([
+            self.element.sample(rng)?,
+            self.element.sample(rng)?,
+            self.element.sample(rng)?,
+            self.element.sample(rng)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn uniform4_in_range() {
+        let mut rng = TestRng::for_seed(6);
+        let s = uniform4(0u64..200);
+        for _ in 0..50 {
+            assert!(s.sample(&mut rng).unwrap().iter().all(|&v| v < 200));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Sampling from explicit value sets (`proptest::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy choosing uniformly from `choices` (must be non-empty).
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select: empty choice set");
+    Select { choices }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = rng.gen_range(0..self.choices.len());
+        Some(self.choices[idx].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn select_covers_all_choices() {
+        let mut rng = TestRng::for_seed(8);
+        let s = select(vec!['a', 'b', 'c']);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.sample(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

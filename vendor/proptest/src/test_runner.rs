@@ -1,0 +1,160 @@
+//! The case-running engine behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// RNG handed to strategies: a seeded `StdRng`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Build from an explicit seed (used by the runner and for
+    /// reproducing reported failures).
+    pub fn for_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected by a filter or `prop_assume!`; retried, not fatal.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Runner configuration (only the case count is meaningful here).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Override the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 to keep the full suite
+    /// fast, large enough to exercise the properties.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Stable hash of the test name so every test gets its own
+/// deterministic seed sequence (FNV-1a).
+fn seed_base(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `case` until `config.cases` samples pass, panicking on the
+/// first failure with the seed that reproduces it.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = seed_base(name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 64;
+    let mut attempt: u64 = 0;
+
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        attempt += 1;
+        let mut rng = TestRng::for_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected inputs ({rejected}) — \
+                     loosen the filters or assumptions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {accepted} passing case(s) \
+                     [seed {seed:#018x}]\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run(ProptestConfig::with_cases(10), "t::count", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut total = 0;
+        run(ProptestConfig::with_cases(5), "t::reject", |rng| {
+            total += 1;
+            if rng.gen_range(0..2usize) == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_panics_with_seed() {
+        run(ProptestConfig::with_cases(5), "t::fail", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = Vec::new();
+        run(ProptestConfig::with_cases(5), "t::det", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        run(ProptestConfig::with_cases(5), "t::det", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

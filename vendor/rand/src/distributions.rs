@@ -1,0 +1,337 @@
+//! Sampling distributions: `Standard`, `Bernoulli`, and the uniform
+//! range machinery behind `Rng::gen_range`. All algorithms are ports
+//! of rand 0.8.5 so the draw counts and value streams follow the same
+//! construction.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for primitives: full-range integers,
+/// `[0, 1)` floats, fair bools.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_int_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int_from_u32!(u8, i8, u16, i16, u32, i32);
+standard_int_from_u64!(u64, i64, usize, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare against the most significant bit, as upstream does.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 bits of precision scaled into [0, 1).
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 bits of precision scaled into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Error from [`Bernoulli::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BernoulliError;
+
+/// Boolean distribution with probability `p` of `true`, using the
+/// 64-bit fixed-point comparison upstream uses.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Construct for probability `p` in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Bernoulli { p_int: (p * SCALE) as u64 })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = rng.gen();
+        v < self.p_int
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges: the `gen_range` machinery.
+
+    use crate::{Distribution, Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: Sized {
+        /// Sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range types accepted by `gen_range`.
+    pub trait SampleRange<T> {
+        /// Sample one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Widening multiply returning `(high, low)` halves.
+    trait WideningMultiply: Sized {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    macro_rules! wmul_impl {
+        ($ty:ty, $wide:ty, $shift:expr) => {
+            impl WideningMultiply for $ty {
+                #[inline(always)]
+                fn wmul(self, other: Self) -> (Self, Self) {
+                    let t = (self as $wide) * (other as $wide);
+                    ((t >> $shift) as $ty, t as $ty)
+                }
+            }
+        };
+    }
+
+    wmul_impl!(u32, u64, 32);
+    wmul_impl!(u64, u128, 64);
+    #[cfg(target_pointer_width = "64")]
+    wmul_impl!(usize, u128, 64);
+    #[cfg(target_pointer_width = "32")]
+    wmul_impl!(usize, u64, 32);
+
+    // Integer uniform sampling: rejection via widening multiply, with
+    // the same zone computation as rand 0.8.5 (`$u_large` chosen as
+    // u32 for sub-word types, the native width otherwise).
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low < high, "gen_range: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: low > high");
+                    let range = high
+                        .wrapping_sub(low)
+                        .wrapping_add(1) as $unsigned as $u_large;
+                    // Range 0 means the whole domain: every draw accepted.
+                    if range == 0 {
+                        return rng.gen();
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                        let ints_to_reject =
+                            (<$u_large>::MAX - range + 1) % range;
+                        <$u_large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.gen();
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u8, u32);
+    uniform_int_impl!(i8, u8, u32);
+    uniform_int_impl!(u16, u16, u32);
+    uniform_int_impl!(i16, u16, u32);
+    uniform_int_impl!(u32, u32, u32);
+    uniform_int_impl!(i32, u32, u32);
+    uniform_int_impl!(u64, u64, u64);
+    uniform_int_impl!(i64, u64, u64);
+    uniform_int_impl!(usize, usize, usize);
+    uniform_int_impl!(isize, usize, usize);
+
+    // Float uniform sampling: draw a mantissa into [1, 2), shift into
+    // [0, 1), then scale — retrying with a minutely reduced scale if
+    // rounding lands exactly on `high`.
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low < high, "gen_range: low >= high");
+                    let mut scale = high - low;
+
+                    // Bit pattern of 1.0: OR-ing random mantissa bits
+                    // into it yields a uniform value in [1, 2).
+                    let one_bits =
+                        ((<$ty>::MAX_EXP - 1) as $uty) << (<$ty>::MANTISSA_DIGITS - 1);
+                    loop {
+                        let value1_2 = <$ty>::from_bits(
+                            (rng.gen::<$uty>() >> $bits_to_discard) | one_bits,
+                        );
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Shave one ulp off the scale and retry.
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(low <= high, "gen_range: low > high");
+                    let scale = high - low;
+                    let one_bits =
+                        ((<$ty>::MAX_EXP - 1) as $uty) << (<$ty>::MANTISSA_DIGITS - 1);
+                    let value1_2 = <$ty>::from_bits(
+                        (rng.gen::<$uty>() >> $bits_to_discard) | one_bits,
+                    );
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + low
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f32, u32, 32 - 23);
+    uniform_float_impl!(f64, u64, 64 - 52);
+
+    /// Standalone uniform distribution over a range, usable with
+    /// `Rng::sample`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform + Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self { low, high }
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_single(self.low, self.high, rng)
+        }
+    }
+}
+
+pub use uniform::Uniform;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn bernoulli_always_true_draws_nothing() {
+        // p == 1.0 must short-circuit before consuming randomness.
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert!(Bernoulli::new(1.0).unwrap().sample(&mut a));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_int_small_range_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[rng.gen_range(0..3usize)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_float_covers_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3.0f32..9.0);
+            assert!((3.0..9.0).contains(&v));
+            lo_seen |= v < 4.0;
+            hi_seen |= v > 8.0;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

@@ -1,0 +1,30 @@
+//! Named RNG types, mirroring `rand::rngs`.
+
+use crate::chacha::ChaChaRng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha with 12 rounds, exactly as rand 0.8's
+/// `StdRng` (via `rand_chacha::ChaCha12Rng`).
+pub struct StdRng(ChaChaRng);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self(ChaChaRng::from_seed(seed, 12))
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats
+//! types but never serializes anything (there is no `serde_json` or
+//! other format crate in the tree), so marker traits plus no-op derive
+//! macros are sufficient for the build to be self-contained. If a
+//! future PR needs real serialization, replace this vendored crate with
+//! the upstream one — the API subset used here is source-compatible.
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for owned-deserializable types (no-op stand-in).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

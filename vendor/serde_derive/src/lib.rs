@@ -1,0 +1,21 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! Expanding to nothing is deliberate: no code in the workspace bounds
+//! on `Serialize`/`Deserialize`, so emitting impls would only force the
+//! field types to implement the markers too. The `serde` helper
+//! attribute (`#[serde(skip)]` etc.) is registered so existing
+//! annotations keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
