@@ -4,6 +4,10 @@
 //! dtexl list
 //! dtexl sim         --game GTr [--schedule dtexl] [--res 1960x768]
 //!                   [--frames N] [--threads N] [--coupled]
+//! dtexl sweep       [--games all|CSV] [--schedules baseline,dtexl]
+//!                   [--res 1960x768] [--journal sweep.jsonl] [--resume]
+//!                   [--keep-going] [--job-timeout SECS] [--retries N]
+//!                   [--backoff-ms N] [--upper] [--threads N]
 //! dtexl render      --game SoD --out frame.ppm [--res 980x384]
 //! dtexl characterize [--res 1960x768]
 //! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
@@ -13,8 +17,16 @@
 //!
 //! `--threads` (default: `DTEXL_THREADS` or 1) selects the number of
 //! simulator worker threads; results are bit-identical to `--threads 1`.
+//!
+//! `--format json` (any command) switches error reporting to one JSON
+//! object per line on stderr; `sweep` also emits its per-job records as
+//! JSON lines on stdout.
+//!
+//! Exit codes: `0` success; `1` error or aborted sweep; `2` sweep
+//! completed with failures (`--keep-going`).
 
 use dtexl::characterize::characterize_all;
+use dtexl::sweep::{journal_line, json_escape, RetryPolicy, SweepJob, SweepOptions};
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
 use dtexl_scene::{Game, Scene, SceneSpec};
@@ -25,32 +37,58 @@ mod args;
 
 use args::Args;
 
+/// How errors and sweep records are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut args = Args::parse(std::env::args().skip(1));
+    // `--format` is global: take it before dispatch so every error —
+    // including argument errors — honors it.
+    let format = match args.value("--format").as_deref() {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => {
+            eprintln!("error: bad --format '{other}', expected text or json");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(command) = args.subcommand() else {
-        eprintln!("{}", usage());
+        report_error(format, usage());
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
-        "list" => cmd_list(),
-        "sim" => cmd_sim(&mut args),
-        "render" => cmd_render(&mut args),
-        "characterize" => cmd_characterize(&mut args),
-        "trace-save" => cmd_trace_save(&mut args),
-        "trace-sim" => cmd_trace_sim(&mut args),
+        "list" => cmd_list().map(|()| ExitCode::SUCCESS),
+        "sim" => cmd_sim(&mut args).map(|()| ExitCode::SUCCESS),
+        "sweep" => cmd_sweep(&mut args, format),
+        "render" => cmd_render(&mut args).map(|()| ExitCode::SUCCESS),
+        "characterize" => cmd_characterize(&mut args).map(|()| ExitCode::SUCCESS),
+        "trace-save" => cmd_trace_save(&mut args).map(|()| ExitCode::SUCCESS),
+        "trace-sim" => cmd_trace_sim(&mut args).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
+            report_error(format, &e);
             ExitCode::FAILURE
         }
     }
 }
 
+/// Print an error as plain text or as a single JSON line on stderr.
+fn report_error(format: Format, message: &str) {
+    match format {
+        Format::Text => eprintln!("error: {message}"),
+        Format::Json => eprintln!("{{\"error\":\"{}\"}}", json_escape(message)),
+    }
+}
+
 fn usage() -> &'static str {
-    "usage: dtexl <list|sim|render|characterize|trace-save|trace-sim> [options]\n\
+    "usage: dtexl <list|sim|sweep|render|characterize|trace-save|trace-sim> [options]\n\
      run `dtexl list` for games and schedules"
 }
 
@@ -116,14 +154,9 @@ fn parse_pipeline(args: &mut Args) -> Result<PipelineConfig, String> {
 }
 
 fn parse_schedule(args: &mut Args) -> Result<ScheduleConfig, String> {
-    match args.value("--schedule").as_deref() {
-        None | Some("dtexl") => Ok(ScheduleConfig::dtexl()),
-        Some("baseline") => Ok(ScheduleConfig::baseline()),
-        Some(name) => NamedMapping::FIG16
-            .into_iter()
-            .find(|m| m.name().eq_ignore_ascii_case(name))
-            .map(|m| m.config())
-            .ok_or_else(|| format!("unknown schedule '{name}' (try `dtexl list`)")),
+    match args.value("--schedule") {
+        None => Ok(ScheduleConfig::dtexl()),
+        Some(name) => name.parse().map_err(|e| format!("{e} (try `dtexl list`)")),
     }
 }
 
@@ -177,6 +210,118 @@ fn cmd_sim(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--games all|CSV-of-aliases` (default: all ten).
+fn parse_games(args: &mut Args) -> Result<Vec<Game>, String> {
+    match args.value("--games").as_deref() {
+        None | Some("all") => Ok(Game::ALL.to_vec()),
+        Some(csv) => csv
+            .split(',')
+            .map(|alias| {
+                let alias = alias.trim();
+                Game::ALL
+                    .into_iter()
+                    .find(|g| g.alias().eq_ignore_ascii_case(alias))
+                    .ok_or_else(|| format!("unknown game '{alias}' (try `dtexl list`)"))
+            })
+            .collect(),
+    }
+}
+
+/// Parse `--schedules CSV` (default: `baseline,dtexl`).
+fn parse_schedules(args: &mut Args) -> Result<Vec<ScheduleConfig>, String> {
+    let csv = args
+        .value("--schedules")
+        .unwrap_or_else(|| "baseline,dtexl".into());
+    csv.split(',')
+        .map(|name| name.parse().map_err(|e| format!("{e} (try `dtexl list`)")))
+        .collect()
+}
+
+/// Run a fault-tolerant sweep over games × schedules, journaling one
+/// JSON line per job. Exit code 0: all jobs completed; 1: aborted on
+/// first failure; 2: completed with failures (`--keep-going`).
+fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
+    let games = parse_games(args)?;
+    let schedules = parse_schedules(args)?;
+    let (w, h) = parse_res(args)?;
+    let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
+    let upper = args.flag("--upper");
+    let pipeline_base = parse_pipeline(args)?;
+    let keep_going = args.flag("--keep-going");
+    let resume = args.flag("--resume");
+    let journal = args.value("--journal");
+    let job_timeout = args
+        .parsed_value::<u64>("--job-timeout")?
+        .map(std::time::Duration::from_secs);
+    let retries: u32 = args.parsed_value("--retries")?.unwrap_or(0);
+    let backoff_ms: u64 = args.parsed_value("--backoff-ms")?.unwrap_or(50);
+    args.finish()?;
+
+    if resume && journal.is_none() {
+        return Err("--resume requires --journal <file>".into());
+    }
+
+    let jobs: Vec<SweepJob> = games
+        .iter()
+        .flat_map(|&game| {
+            schedules.iter().map(move |&schedule| SweepJob {
+                game,
+                schedule,
+                width: w,
+                height: h,
+                frame,
+                pipeline: PipelineConfig {
+                    upper_bound: upper,
+                    ..pipeline_base
+                },
+            })
+        })
+        .collect();
+
+    let opts = SweepOptions {
+        workers: pipeline_base.threads,
+        keep_going,
+        job_timeout,
+        retry: RetryPolicy {
+            max_retries: retries,
+            backoff: std::time::Duration::from_millis(backoff_ms),
+        },
+        journal: journal.map(std::path::PathBuf::from),
+        resume,
+    };
+    let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})
+        .map_err(|e| format!("journal I/O: {e}"))?;
+
+    for r in &report.records {
+        match format {
+            Format::Json => println!("{}", journal_line(r)),
+            Format::Text => {
+                let outcome = match (&r.metrics, &r.error) {
+                    (Some(m), _) => format!(
+                        "coupled {} / decoupled {} cycles",
+                        m.coupled_cycles, m.decoupled_cycles
+                    ),
+                    (None, Some(e)) => e.to_string(),
+                    (None, None) => String::new(),
+                };
+                println!("{:44} {:?} {}", r.key, r.status, outcome);
+            }
+        }
+    }
+    if report.is_success() {
+        if format == Format::Text {
+            println!("{}", report.summary());
+        }
+        Ok(ExitCode::SUCCESS)
+    } else if report.aborted {
+        report_error(format, &report.summary());
+        Ok(ExitCode::FAILURE)
+    } else {
+        report_error(format, &report.summary());
+        Ok(ExitCode::from(2))
+    }
+}
+
 fn cmd_render(args: &mut Args) -> Result<(), String> {
     let game = parse_game(args)?;
     let (w, h) = parse_res(args)?;
@@ -184,7 +329,7 @@ fn cmd_render(args: &mut Args) -> Result<(), String> {
     let out = args.value("--out").unwrap_or_else(|| "frame.ppm".into());
     args.finish()?;
 
-    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    let scene = game.scene(&SceneSpec::try_new(w, h, 0)?);
     let img = Renderer::render(&scene, &schedule, &PipelineConfig::default(), w, h);
     let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
     img.write_ppm(std::io::BufWriter::new(file))
@@ -223,7 +368,7 @@ fn cmd_trace_save(args: &mut Args) -> Result<(), String> {
         .value("--out")
         .ok_or_else(|| "missing --out <file>".to_string())?;
     args.finish()?;
-    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    let scene = game.scene(&SceneSpec::try_new(w, h, 0)?);
     dtexl_trace::save_trace(&scene, std::path::Path::new(&out)).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: {} draws, {} textures, {} vertices",
@@ -245,7 +390,8 @@ fn cmd_trace_sim(args: &mut Args) -> Result<(), String> {
     args.finish()?;
     let scene: Scene =
         dtexl_trace::load_trace(std::path::Path::new(&input)).map_err(|e| e.to_string())?;
-    let r = FrameSim::run_with_resolution(&scene, &schedule, &pipeline, w, h);
+    let r = FrameSim::try_run_with_resolution(&scene, &schedule, &pipeline, w, h)
+        .map_err(|e| e.to_string())?;
     let mode = if coupled {
         BarrierMode::Coupled
     } else {

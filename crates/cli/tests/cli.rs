@@ -122,6 +122,113 @@ fn render_writes_a_ppm() {
 }
 
 #[test]
+fn errors_are_single_line_json_when_requested() {
+    let out = dtexl(&["sim", "--game", "XXX", "--format", "json"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let line = stderr.lines().next().unwrap();
+    assert!(line.starts_with("{\"error\":\""), "stderr: {stderr}");
+    assert!(line.ends_with("\"}"), "stderr: {stderr}");
+    assert!(line.contains("unknown game"));
+}
+
+#[test]
+fn sweep_journals_results_and_resume_skips_them() {
+    let dir = std::env::temp_dir().join(format!("dtexl_cli_sweep_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let journal_s = journal.to_str().unwrap();
+
+    let base = [
+        "sweep",
+        "--games",
+        "CCS",
+        "--res",
+        "128x64",
+        "--journal",
+        journal_s,
+    ];
+    let out = dtexl(&base);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2/2 jobs completed"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(text.lines().count(), 2, "journal: {text}");
+    assert!(text.contains("\"status\":\"ok\""));
+    assert!(text.contains("\"coupled_cycles\":"));
+
+    // Resume: both jobs are already journaled, nothing re-runs.
+    let out = dtexl(&[&base[..], &["--resume"]].concat());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("Skipped").count(), 2, "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_with_failures_exits_2_and_reports_them() {
+    // A zero-second watchdog times every job out; with --keep-going the
+    // sweep still finishes and signals "completed with failures".
+    let out = dtexl(&[
+        "sweep",
+        "--games",
+        "CCS",
+        "--schedules",
+        "baseline",
+        "--res",
+        "128x64",
+        "--keep-going",
+        "--job-timeout",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 failed"), "stderr: {stderr}");
+    assert!(stderr.contains("timeout"), "stderr: {stderr}");
+}
+
+#[test]
+fn sweep_emits_json_records_on_request() {
+    let out = dtexl(&[
+        "sweep",
+        "--games",
+        "GTr",
+        "--schedules",
+        "dtexl",
+        "--res",
+        "128x64",
+        "--format",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.starts_with("{\"key\":\"GTr|"), "stdout: {stdout}");
+    assert!(line.contains("\"status\":\"ok\""));
+    assert!(line.contains("\"decoupled_cycles\":"));
+}
+
+#[test]
+fn sweep_resume_requires_a_journal() {
+    let out = dtexl(&["sweep", "--games", "CCS", "--res", "128x64", "--resume"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--journal"));
+}
+
+#[test]
 fn named_schedules_are_accepted() {
     let out = dtexl(&[
         "sim",

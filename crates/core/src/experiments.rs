@@ -3,8 +3,9 @@
 
 use crate::metrics::{Distribution, Table};
 use crate::sim::CLOCK_HZ;
+use crate::sweep::{run_sweep, JobError, SweepJob, SweepOptions, SweepReport};
 use dtexl_mem::energy::EnergyModel;
-use dtexl_pipeline::{BarrierMode, FrameResult, FrameSim, PipelineConfig};
+use dtexl_pipeline::{BarrierMode, FrameResult, PipelineConfig};
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::{AssignMode, NamedMapping, QuadGrouping, ScheduleConfig, TileOrder};
 use parking_lot::Mutex;
@@ -76,15 +77,25 @@ type Job = (Game, ScheduleConfig, bool);
 #[derive(Debug)]
 pub struct Lab {
     setup: Setup,
+    pipeline: PipelineConfig,
     cache: Mutex<HashMap<Key, Arc<FrameResult>>>,
 }
 
 impl Lab {
-    /// Create a lab.
+    /// Create a lab with the default (Table II) pipeline.
     #[must_use]
     pub fn new(setup: Setup) -> Self {
+        Self::with_pipeline(setup, PipelineConfig::default())
+    }
+
+    /// Create a lab whose jobs run on a custom base pipeline (e.g. one
+    /// carrying a [`dtexl_pipeline::FaultPlan`]); `upper_bound` is
+    /// still overridden per job.
+    #[must_use]
+    pub fn with_pipeline(setup: Setup, pipeline: PipelineConfig) -> Self {
         Self {
             setup,
+            pipeline,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -100,6 +111,11 @@ impl Lab {
     }
 
     /// Compute (or fetch) the frame result for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job fails; see [`try_result`](Self::try_result)
+    /// for the fallible variant.
     pub fn result(&self, game: Game, sched: ScheduleConfig, upper: bool) -> Arc<FrameResult> {
         self.ensure(&[(game, sched, upper)]);
         self.cache
@@ -109,9 +125,69 @@ impl Lab {
             .clone()
     }
 
+    /// Fallible variant of [`result`](Self::result).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`JobError`] when the simulation is rejected,
+    /// panics, or times out under `opts`.
+    pub fn try_result(
+        &self,
+        game: Game,
+        sched: ScheduleConfig,
+        upper: bool,
+        opts: &SweepOptions,
+    ) -> Result<Arc<FrameResult>, JobError> {
+        let report = self
+            .try_ensure(&[(game, sched, upper)], opts)
+            .map_err(|e| JobError::Panicked(format!("journal I/O failed: {e}")))?;
+        if let Some(r) = report.failed().first() {
+            return Err(r.error.clone().unwrap_or(JobError::Panicked(
+                "job failed without a recorded error".into(),
+            )));
+        }
+        Ok(self
+            .cache
+            .lock()
+            .get(&Self::key(game, &sched, upper))
+            .expect("just ensured")
+            .clone())
+    }
+
     /// Ensure all `jobs` are simulated, fanning out over worker
     /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the sweep's failure summary if any job fails (the
+    /// remaining jobs still complete first); use
+    /// [`try_ensure`](Self::try_ensure) to get a [`SweepReport`]
+    /// instead.
     pub fn ensure(&self, jobs: &[Job]) {
+        let opts = SweepOptions {
+            workers: self.setup.threads,
+            keep_going: true,
+            ..SweepOptions::default()
+        };
+        let report = self
+            .try_ensure(jobs, &opts)
+            .expect("no journal configured, I/O cannot fail");
+        assert!(report.is_success(), "{}", report.summary());
+    }
+
+    /// Ensure all `jobs` are simulated under the fault-tolerant sweep
+    /// engine: panicking, invalid or wedged jobs are isolated and
+    /// reported instead of taking the process down (see
+    /// [`crate::sweep::run_sweep`]).
+    ///
+    /// Successful results land in the lab's cache; failed jobs are
+    /// described in the returned [`SweepReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only for journal-file problems when
+    /// `opts.journal` is set.
+    pub fn try_ensure(&self, jobs: &[Job], opts: &SweepOptions) -> std::io::Result<SweepReport> {
         let missing: Vec<Job> = {
             let cache = self.cache.lock();
             let mut seen = std::collections::HashSet::new();
@@ -124,40 +200,35 @@ impl Lab {
                 .collect()
         };
         if missing.is_empty() {
-            return;
+            return Ok(SweepReport {
+                records: Vec::new(),
+                aborted: false,
+            });
         }
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = self.setup.threads.clamp(1, missing.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(game, sched, upper)) = missing.get(i) else {
-                        break;
-                    };
-                    let result = Arc::new(self.simulate(game, &sched, upper));
-                    self.cache
-                        .lock()
-                        .insert(Self::key(game, &sched, upper), result);
-                });
-            }
-        });
-    }
-
-    fn simulate(&self, game: Game, sched: &ScheduleConfig, upper: bool) -> FrameResult {
-        let spec = SceneSpec::new(self.setup.width, self.setup.height, self.setup.frame);
-        let scene = game.scene(&spec);
-        let pipeline = PipelineConfig {
-            upper_bound: upper,
-            ..PipelineConfig::default()
-        };
-        FrameSim::run_with_resolution(
-            &scene,
-            sched,
-            &pipeline,
-            self.setup.width,
-            self.setup.height,
-        )
+        let sweep_jobs: Vec<SweepJob> = missing
+            .iter()
+            .map(|&(game, sched, upper)| SweepJob {
+                game,
+                schedule: sched,
+                width: self.setup.width,
+                height: self.setup.height,
+                frame: self.setup.frame,
+                pipeline: PipelineConfig {
+                    upper_bound: upper,
+                    ..self.pipeline
+                },
+            })
+            .collect();
+        let mut opts = opts.clone();
+        if opts.workers == 0 {
+            opts.workers = self.setup.threads;
+        }
+        run_sweep(&sweep_jobs, &opts, |job, result| {
+            self.cache.lock().insert(
+                Self::key(job.game, &job.schedule, job.pipeline.upper_bound),
+                Arc::new(result),
+            );
+        })
     }
 
     // ---- schedule shorthands -------------------------------------------------

@@ -41,6 +41,7 @@ mod sim;
 pub mod characterize;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use metrics::{percentile, Distribution, Row, Table};
 pub use sim::{SequenceReport, SimConfig, SimReport, Simulator, CLOCK_HZ};

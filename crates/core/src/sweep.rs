@@ -1,0 +1,842 @@
+//! Fault-tolerant sweep execution: job isolation, retry/resume and a
+//! line-oriented journal.
+//!
+//! [`run_sweep`] executes a batch of [`SweepJob`]s on a worker pool
+//! with the robustness properties `docs/ROBUSTNESS.md` documents:
+//!
+//! * **Isolation** — each job runs on its own thread behind
+//!   [`std::panic::catch_unwind`]; a panicking or wedged job cannot
+//!   take down the sweep or corrupt its siblings' results.
+//! * **Timeouts** — an optional per-job watchdog
+//!   ([`SweepOptions::job_timeout`]) abandons jobs that exceed their
+//!   budget and reports them as [`JobError::TimedOut`].
+//! * **Retry** — transient failures (panics, timeouts) are retried up
+//!   to [`RetryPolicy::max_retries`] times with linear backoff;
+//!   deterministic rejections ([`JobError::Invalid`]) are never
+//!   retried.
+//! * **Keep-going vs abort** — with [`SweepOptions::keep_going`] the
+//!   sweep finishes every job and reports all failures at the end;
+//!   without it the first failure stops the dispatch of new jobs.
+//! * **Journal / resume** — with a journal path every finished job
+//!   appends one JSON line (append + flush, so a killed process loses
+//!   at most the in-flight jobs); a resumed sweep skips jobs whose
+//!   most recent journal entry is `ok` and re-runs only the rest.
+//!
+//! The journal is hand-rolled JSON (the vendored `serde` stand-in does
+//! not serialize); the format is pinned in `docs/ROBUSTNESS.md` and by
+//! the tests in this module.
+
+use dtexl_pipeline::{BarrierMode, FrameResult, FrameSim, PipelineConfig, SimError};
+use dtexl_scene::{Game, SceneSpec};
+use dtexl_sched::ScheduleConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One unit of sweep work: a fully-specified frame simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepJob {
+    /// Benchmark to simulate.
+    pub game: Game,
+    /// Tile schedule under test.
+    pub schedule: ScheduleConfig,
+    /// Screen width in pixels.
+    pub width: u32,
+    /// Screen height in pixels.
+    pub height: u32,
+    /// Animation frame index.
+    pub frame: u32,
+    /// Hardware configuration (including `upper_bound` and any
+    /// [`dtexl_pipeline::FaultPlan`]).
+    pub pipeline: PipelineConfig,
+}
+
+impl SweepJob {
+    /// A job with the default pipeline, optionally in upper-bound mode.
+    #[must_use]
+    pub fn new(
+        game: Game,
+        schedule: ScheduleConfig,
+        upper: bool,
+        width: u32,
+        height: u32,
+        frame: u32,
+    ) -> Self {
+        Self {
+            game,
+            schedule,
+            width,
+            height,
+            frame,
+            pipeline: PipelineConfig {
+                upper_bound: upper,
+                ..PipelineConfig::default()
+            },
+        }
+    }
+
+    /// Stable identity used for journal resume and report lines, e.g.
+    /// `"CCS|CG-square/Hilbert/flp2|base|480x192#0"`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}x{}#{}",
+            self.game.alias(),
+            self.schedule.label(),
+            if self.pipeline.upper_bound {
+                "upper"
+            } else {
+                "base"
+            },
+            self.width,
+            self.height,
+            self.frame
+        )
+    }
+
+    /// Run the simulation for this job (no isolation — callers wanting
+    /// panic/timeout protection go through [`run_sweep`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`SimError`] for invalid specs, configurations
+    /// or scenes.
+    pub fn simulate(&self) -> Result<FrameResult, SimError> {
+        let spec =
+            SceneSpec::try_new(self.width, self.height, self.frame).map_err(SimError::Scene)?;
+        let scene = self.game.scene(&spec);
+        FrameSim::try_run_with_resolution(
+            &scene,
+            &self.schedule,
+            &self.pipeline,
+            self.width,
+            self.height,
+        )
+    }
+}
+
+/// Why a sweep job failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The simulator rejected the job's inputs; deterministic, never
+    /// retried.
+    Invalid(SimError),
+    /// The job panicked (payload message attached). Isolated by
+    /// `catch_unwind`; retried.
+    Panicked(String),
+    /// The job exceeded the per-job timeout and was abandoned; retried.
+    TimedOut {
+        /// The budget it blew through.
+        after: Duration,
+    },
+}
+
+impl JobError {
+    /// Whether a retry could plausibly succeed (panics and timeouts can
+    /// be transient; typed rejections cannot).
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        !matches!(self, JobError::Invalid(_))
+    }
+
+    /// Short machine-readable kind tag (journal `error_kind` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Invalid(_) => "invalid",
+            JobError::Panicked(_) => "panic",
+            JobError::TimedOut { .. } => "timeout",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Invalid(e) => write!(f, "{e}"),
+            JobError::Panicked(m) => write!(f, "job panicked: {m}"),
+            JobError::TimedOut { after } => {
+                write!(f, "job exceeded its {}ms timeout", after.as_millis())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Bounded retry with linear backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 = try once).
+    pub max_retries: u32,
+    /// Sleep before retry `n` is `backoff × n` (linear).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Knobs for [`run_sweep`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 = one per job, capped at 8).
+    pub workers: usize,
+    /// Finish every job and report failures at the end, instead of
+    /// stopping dispatch at the first failure.
+    pub keep_going: bool,
+    /// Per-job watchdog budget; `None` waits forever.
+    pub job_timeout: Option<Duration>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Append one JSON line per finished job to this file.
+    pub journal: Option<PathBuf>,
+    /// Skip jobs whose latest journal entry is `ok` (requires
+    /// `journal`).
+    pub resume: bool,
+}
+
+/// Headline metrics captured per successful job (journaled, so a
+/// resumed sweep still knows what completed runs produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Frame time under coupled barriers (cycles).
+    pub coupled_cycles: u64,
+    /// Frame time under decoupled barriers (cycles).
+    pub decoupled_cycles: u64,
+    /// Shared-L2 accesses (= total L1 misses).
+    pub l2_accesses: u64,
+}
+
+impl JobMetrics {
+    /// Extract the journaled metrics from a frame result.
+    #[must_use]
+    pub fn of(result: &FrameResult) -> Self {
+        Self {
+            coupled_cycles: result.total_cycles(BarrierMode::Coupled),
+            decoupled_cycles: result.total_cycles(BarrierMode::Decoupled),
+            l2_accesses: result.hierarchy.l2.accesses,
+        }
+    }
+}
+
+/// Terminal state of one job in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Simulated successfully (this run).
+    Ok,
+    /// Failed after all permitted attempts.
+    Failed,
+    /// Skipped: the journal says a previous run already completed it.
+    Skipped,
+    /// Never dispatched: the sweep aborted on an earlier failure.
+    NotRun,
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Index into the job slice passed to [`run_sweep`].
+    pub index: usize,
+    /// The job's stable identity ([`SweepJob::key`]).
+    pub key: String,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Attempts consumed (0 for skipped/not-run jobs).
+    pub attempts: u32,
+    /// Wall time spent on the job across attempts.
+    pub elapsed: Duration,
+    /// The last error, for failed jobs.
+    pub error: Option<JobError>,
+    /// Headline metrics, for successful jobs.
+    pub metrics: Option<JobMetrics>,
+}
+
+/// End-of-sweep summary: one record per job plus the abort flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-job outcomes, in job order.
+    pub records: Vec<JobRecord>,
+    /// Whether the sweep stopped dispatching after a failure
+    /// (`keep_going == false`).
+    pub aborted: bool,
+}
+
+impl SweepReport {
+    /// Jobs that completed (this run or, when resuming, a previous
+    /// one).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, JobStatus::Ok | JobStatus::Skipped))
+            .count()
+    }
+
+    /// Jobs that exhausted their attempts.
+    #[must_use]
+    pub fn failed(&self) -> Vec<&JobRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.status == JobStatus::Failed)
+            .collect()
+    }
+
+    /// Whether every job completed.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        !self.aborted && self.failed().is_empty()
+    }
+
+    /// Multi-line failure report: a headline count plus one line per
+    /// failed job (`key`, attempts, error).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let failed = self.failed();
+        let mut s = format!(
+            "sweep: {}/{} jobs completed, {} failed{}",
+            self.completed(),
+            self.records.len(),
+            failed.len(),
+            if self.aborted {
+                " (aborted on first failure)"
+            } else {
+                ""
+            }
+        );
+        for r in failed {
+            use std::fmt::Write as _;
+            let err = r.error.as_ref().map_or_else(String::new, |e| e.to_string());
+            let _ = write!(s, "\n  {} after {} attempt(s): {err}", r.key, r.attempts);
+        }
+        s
+    }
+}
+
+/// Run one job attempt on a disposable thread: panics are caught, and
+/// with a timeout the thread is abandoned (detached) once the budget is
+/// exhausted — it cannot block the sweep.
+fn run_attempt(job: SweepJob, timeout: Option<Duration>) -> Result<FrameResult, JobError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.simulate()));
+        // The receiver may be gone (timeout): ignore the send error.
+        let _ = tx.send(outcome.map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into())
+        }));
+    });
+    let outcome = match timeout {
+        Some(t) => rx
+            .recv_timeout(t)
+            .map_err(|_| JobError::TimedOut { after: t })?,
+        None => rx
+            .recv()
+            .map_err(|_| JobError::Panicked("job thread died without reporting".into()))?,
+    };
+    match outcome {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(sim)) => Err(JobError::Invalid(sim)),
+        Err(panic_msg) => Err(JobError::Panicked(panic_msg)),
+    }
+}
+
+/// Execute `jobs` with isolation, retries and journaling; `on_ok` is
+/// invoked (from worker threads) with each successful result.
+///
+/// # Errors
+///
+/// Returns an I/O error only for journal file problems (opening or
+/// reading it); simulation failures are reported in the
+/// [`SweepReport`], never as `Err`.
+pub fn run_sweep<F>(
+    jobs: &[SweepJob],
+    opts: &SweepOptions,
+    on_ok: F,
+) -> std::io::Result<SweepReport>
+where
+    F: Fn(&SweepJob, FrameResult) + Sync,
+{
+    let done_keys = match (&opts.journal, opts.resume) {
+        (Some(path), true) if path.exists() => completed_keys(&std::fs::read_to_string(path)?),
+        _ => std::collections::HashSet::new(),
+    };
+    let journal = match &opts.journal {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ))
+        }
+        None => None,
+    };
+
+    let records: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let abort = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let workers = if opts.workers == 0 {
+        jobs.len().clamp(1, 8)
+    } else {
+        opts.workers.clamp(1, jobs.len().max(1))
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if !opts.keep_going && abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index).copied() else {
+                    break;
+                };
+                let key = job.key();
+                if done_keys.contains(&key) {
+                    let record = JobRecord {
+                        index,
+                        key,
+                        status: JobStatus::Skipped,
+                        attempts: 0,
+                        elapsed: Duration::ZERO,
+                        error: None,
+                        metrics: None,
+                    };
+                    records.lock().push(record);
+                    continue;
+                }
+
+                let started = Instant::now();
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    attempts += 1;
+                    match run_attempt(job, opts.job_timeout) {
+                        Ok(result) => break Ok(result),
+                        Err(e) => {
+                            if !e.retryable() || attempts > opts.retry.max_retries {
+                                break Err(e);
+                            }
+                            std::thread::sleep(opts.retry.backoff * attempts);
+                        }
+                    }
+                };
+                let elapsed = started.elapsed();
+
+                let record = match outcome {
+                    Ok(result) => {
+                        let metrics = JobMetrics::of(&result);
+                        on_ok(&job, result);
+                        JobRecord {
+                            index,
+                            key,
+                            status: JobStatus::Ok,
+                            attempts,
+                            elapsed,
+                            error: None,
+                            metrics: Some(metrics),
+                        }
+                    }
+                    Err(e) => {
+                        abort.store(true, Ordering::Relaxed);
+                        JobRecord {
+                            index,
+                            key,
+                            status: JobStatus::Failed,
+                            attempts,
+                            elapsed,
+                            error: Some(e),
+                            metrics: None,
+                        }
+                    }
+                };
+                if let Some(j) = &journal {
+                    let line = journal_line(&record);
+                    let mut file = j.lock();
+                    // Journal write failures must not kill the sweep;
+                    // the in-memory report stays authoritative.
+                    let _ = writeln!(file, "{line}");
+                    let _ = file.flush();
+                }
+                records.lock().push(record);
+            });
+        }
+    });
+
+    let mut records = records.into_inner();
+    records.sort_by_key(|r| r.index);
+    let aborted = abort.load(Ordering::Relaxed) && !opts.keep_going;
+    // Jobs never dispatched because of an abort still get a record, so
+    // reports always cover the full job list.
+    let covered: std::collections::HashSet<usize> = records.iter().map(|r| r.index).collect();
+    for (index, job) in jobs.iter().enumerate() {
+        if !covered.contains(&index) {
+            records.push(JobRecord {
+                index,
+                key: job.key(),
+                status: JobStatus::NotRun,
+                attempts: 0,
+                elapsed: Duration::ZERO,
+                error: None,
+                metrics: None,
+            });
+        }
+    }
+    records.sort_by_key(|r| r.index);
+    Ok(SweepReport { records, aborted })
+}
+
+// --- hand-rolled JSON (the vendored serde stand-in does not serialize) ---
+
+/// Escape a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One journal line for a finished job (single-line JSON object).
+#[must_use]
+pub fn journal_line(r: &JobRecord) -> String {
+    let mut s = format!(
+        "{{\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{},\"elapsed_ms\":{}",
+        json_escape(&r.key),
+        match r.status {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+            JobStatus::Skipped => "skipped",
+            JobStatus::NotRun => "not_run",
+        },
+        r.attempts,
+        r.elapsed.as_millis()
+    );
+    use std::fmt::Write as _;
+    if let Some(m) = &r.metrics {
+        let _ = write!(
+            s,
+            ",\"coupled_cycles\":{},\"decoupled_cycles\":{},\"l2_accesses\":{}",
+            m.coupled_cycles, m.decoupled_cycles, m.l2_accesses
+        );
+    }
+    if let Some(e) = &r.error {
+        let _ = write!(
+            s,
+            ",\"error_kind\":\"{}\",\"error\":\"{}\"",
+            e.kind(),
+            json_escape(&e.to_string())
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// Extract a string field from a single-line JSON object (minimal
+/// parser for the journal's own output; tolerates unknown fields).
+fn field_str(line: &str, field: &str) -> Option<String> {
+    let tag = format!("\"{field}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract an unsigned integer field from a single-line JSON object.
+fn field_u64(line: &str, field: &str) -> Option<u64> {
+    let tag = format!("\"{field}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// A parsed journal entry (the fields resume and tests need).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Job identity.
+    pub key: String,
+    /// `"ok"`, `"failed"`, `"skipped"` or `"not_run"`.
+    pub status: String,
+    /// Attempts consumed.
+    pub attempts: u64,
+    /// Journaled metrics, when the entry is `ok`.
+    pub metrics: Option<JobMetrics>,
+}
+
+/// Parse one journal line; `None` for blank, truncated or corrupt
+/// lines (a killed process may leave a partial final line — resume
+/// must shrug it off).
+#[must_use]
+pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let line = line.trim();
+    if line.is_empty() || !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    let key = field_str(line, "key")?;
+    let status = field_str(line, "status")?;
+    let metrics = match (
+        field_u64(line, "coupled_cycles"),
+        field_u64(line, "decoupled_cycles"),
+        field_u64(line, "l2_accesses"),
+    ) {
+        (Some(c), Some(d), Some(l)) => Some(JobMetrics {
+            coupled_cycles: c,
+            decoupled_cycles: d,
+            l2_accesses: l,
+        }),
+        _ => None,
+    };
+    Some(JournalEntry {
+        key,
+        status,
+        attempts: field_u64(line, "attempts").unwrap_or(0),
+        metrics,
+    })
+}
+
+/// The set of job keys whose **latest** journal entry is `ok` or
+/// `skipped` (last-wins: a later failed re-run invalidates an earlier
+/// success).
+#[must_use]
+pub fn completed_keys(journal: &str) -> std::collections::HashSet<String> {
+    let mut latest: HashMap<String, String> = HashMap::new();
+    for line in journal.lines() {
+        if let Some(e) = parse_journal_line(line) {
+            latest.insert(e.key, e.status);
+        }
+    }
+    latest
+        .into_iter()
+        .filter(|(_, s)| s == "ok" || s == "skipped")
+        .map(|(k, _)| k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job(game: Game) -> SweepJob {
+        SweepJob::new(game, ScheduleConfig::baseline(), false, 96, 64, 0)
+    }
+
+    #[test]
+    fn journal_roundtrips_ok_and_failed_records() {
+        let ok = JobRecord {
+            index: 0,
+            key: "CCS|x|base|96x64#0".into(),
+            status: JobStatus::Ok,
+            attempts: 2,
+            elapsed: Duration::from_millis(7),
+            error: None,
+            metrics: Some(JobMetrics {
+                coupled_cycles: 100,
+                decoupled_cycles: 90,
+                l2_accesses: 5,
+            }),
+        };
+        let line = journal_line(&ok);
+        let e = parse_journal_line(&line).unwrap();
+        assert_eq!(e.key, ok.key);
+        assert_eq!(e.status, "ok");
+        assert_eq!(e.attempts, 2);
+        assert_eq!(e.metrics, ok.metrics);
+
+        let failed = JobRecord {
+            error: Some(JobError::Panicked("boom \"quoted\"\npath".into())),
+            status: JobStatus::Failed,
+            metrics: None,
+            ..ok
+        };
+        let line = journal_line(&failed);
+        let e = parse_journal_line(&line).unwrap();
+        assert_eq!(e.status, "failed");
+        assert_eq!(e.metrics, None);
+        assert!(field_str(&line, "error")
+            .unwrap()
+            .contains("boom \"quoted\""));
+    }
+
+    #[test]
+    fn corrupt_or_partial_lines_are_ignored() {
+        assert_eq!(parse_journal_line(""), None);
+        assert_eq!(parse_journal_line("{\"key\":\"x\",\"status\":\"o"), None);
+        assert_eq!(parse_journal_line("not json at all"), None);
+        let keys = completed_keys("{\"key\":\"a\",\"status\":\"ok\"}\ngarbage\n");
+        assert!(keys.contains("a"));
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn completed_keys_are_last_wins() {
+        let journal = concat!(
+            "{\"key\":\"a\",\"status\":\"ok\"}\n",
+            "{\"key\":\"b\",\"status\":\"failed\"}\n",
+            "{\"key\":\"a\",\"status\":\"failed\"}\n",
+            "{\"key\":\"c\",\"status\":\"ok\"}\n",
+        );
+        let keys = completed_keys(journal);
+        assert!(!keys.contains("a"), "later failure invalidates success");
+        assert!(!keys.contains("b"));
+        assert!(keys.contains("c"));
+    }
+
+    #[test]
+    fn invalid_jobs_fail_typed_and_are_not_retried() {
+        let mut job = tiny_job(Game::CandyCrush);
+        job.pipeline.num_sc = 8;
+        let opts = SweepOptions {
+            keep_going: true,
+            retry: RetryPolicy {
+                max_retries: 3,
+                backoff: Duration::from_millis(1),
+            },
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&[job], &opts, |_, _| {}).unwrap();
+        let r = &report.records[0];
+        assert_eq!(r.status, JobStatus::Failed);
+        assert_eq!(r.attempts, 1, "Invalid is not retryable");
+        assert!(matches!(r.error, Some(JobError::Invalid(_))));
+        assert!(!report.is_success());
+        assert!(report.summary().contains("num_sc = 8"));
+    }
+
+    #[test]
+    fn timeouts_are_detected_and_retried() {
+        let mut job = tiny_job(Game::CandyCrush);
+        job.pipeline.fault.wall_stall_ms = 5_000;
+        let opts = SweepOptions {
+            keep_going: true,
+            job_timeout: Some(Duration::from_millis(50)),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff: Duration::from_millis(1),
+            },
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&[job], &opts, |_, _| {}).unwrap();
+        let r = &report.records[0];
+        assert_eq!(r.status, JobStatus::Failed);
+        assert_eq!(r.attempts, 2, "timeout consumed the one retry");
+        assert!(matches!(r.error, Some(JobError::TimedOut { .. })));
+    }
+
+    #[test]
+    fn abort_mode_stops_dispatch_and_marks_not_run() {
+        let mut bad = tiny_job(Game::CandyCrush);
+        bad.pipeline.num_sc = 8;
+        // Serial worker: the bad job fails first, the rest never run.
+        let jobs = vec![bad, tiny_job(Game::TempleRun), tiny_job(Game::Maze)];
+        let opts = SweepOptions {
+            workers: 1,
+            keep_going: false,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&jobs, &opts, |_, _| {}).unwrap();
+        assert!(report.aborted);
+        assert_eq!(report.records[0].status, JobStatus::Failed);
+        assert_eq!(report.records[1].status, JobStatus::NotRun);
+        assert_eq!(report.records[2].status, JobStatus::NotRun);
+        assert!(report.summary().contains("aborted"));
+    }
+
+    #[test]
+    fn keep_going_completes_good_jobs_around_a_bad_one() {
+        let mut bad = tiny_job(Game::CandyCrush);
+        bad.pipeline.num_sc = 8;
+        let good = tiny_job(Game::TempleRun);
+        let jobs = vec![good, bad, tiny_job(Game::Maze)];
+        let opts = SweepOptions {
+            keep_going: true,
+            ..SweepOptions::default()
+        };
+        let done = Mutex::new(Vec::new());
+        let report = run_sweep(&jobs, &opts, |job, _| done.lock().push(job.key())).unwrap();
+        assert!(!report.aborted);
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.failed().len(), 1);
+        assert_eq!(done.lock().len(), 2);
+    }
+
+    #[test]
+    fn resume_skips_journaled_ok_jobs() {
+        let dir = std::env::temp_dir().join(format!("dtexl_sweep_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let jobs = vec![tiny_job(Game::CandyCrush), tiny_job(Game::TempleRun)];
+        let opts = SweepOptions {
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        };
+        let first = run_sweep(&jobs, &opts, |_, _| {}).unwrap();
+        assert!(first.is_success());
+
+        let opts = SweepOptions {
+            resume: true,
+            ..opts
+        };
+        let ran = AtomicUsize::new(0);
+        let second = run_sweep(&jobs, &opts, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(second.is_success());
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "everything was skipped");
+        assert!(second
+            .records
+            .iter()
+            .all(|r| r.status == JobStatus::Skipped));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,14 +18,22 @@ pub struct DramConfig {
     pub min_latency: u32,
     /// Maximum load-to-use latency in cycles.
     pub max_latency: u32,
+    /// Deterministic fault injection: every `spike_period`-th request
+    /// (1-based) pays `spike_extra` additional cycles, modeling
+    /// contention spikes on the memory bus. `0` disables spikes.
+    pub spike_period: u64,
+    /// Extra latency cycles charged on spiked requests.
+    pub spike_extra: u32,
 }
 
 impl Default for DramConfig {
-    /// Table II: 50–100 cycles.
+    /// Table II: 50–100 cycles, no injected spikes.
     fn default() -> Self {
         Self {
             min_latency: 50,
             max_latency: 100,
+            spike_period: 0,
+            spike_extra: 0,
         }
     }
 }
@@ -76,7 +84,10 @@ impl DramModel {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
-        let lat = self.config.min_latency + (z % span) as u32;
+        let mut lat = self.config.min_latency + (z % span) as u32;
+        if self.config.spike_period > 0 && self.requests.is_multiple_of(self.config.spike_period) {
+            lat += self.config.spike_extra;
+        }
         self.total_latency += u64::from(lat);
         lat
     }
@@ -142,6 +153,7 @@ mod tests {
         let mut d = DramModel::new(DramConfig {
             min_latency: 70,
             max_latency: 70,
+            ..DramConfig::default()
         });
         assert_eq!(d.request(5), 70);
     }
@@ -152,6 +164,32 @@ mod tests {
         let _ = DramModel::new(DramConfig {
             min_latency: 100,
             max_latency: 50,
+            ..DramConfig::default()
         });
+    }
+
+    #[test]
+    fn latency_spikes_hit_every_nth_request() {
+        let cfg = DramConfig {
+            min_latency: 70,
+            max_latency: 70,
+            spike_period: 3,
+            spike_extra: 500,
+        };
+        let mut d = DramModel::new(cfg);
+        let lats: Vec<u32> = (0..9).map(|line| d.request(line)).collect();
+        // Requests are 1-based: the 3rd, 6th and 9th spike.
+        assert_eq!(lats, [70, 70, 570, 70, 70, 570, 70, 70, 570]);
+    }
+
+    #[test]
+    fn zero_period_never_spikes() {
+        let mut d = DramModel::new(DramConfig {
+            spike_extra: 500,
+            ..DramConfig::default()
+        });
+        for line in 0..100 {
+            assert!((50..=100).contains(&d.request(line)));
+        }
     }
 }

@@ -134,7 +134,7 @@ proptest! {
     /// DRAM latencies always land in the configured window.
     #[test]
     fn dram_window(lo in 10u32..60, span in 0u32..80, lines in proptest::collection::vec(any::<u64>(), 1..100)) {
-        let mut d = DramModel::new(DramConfig { min_latency: lo, max_latency: lo + span });
+        let mut d = DramModel::new(DramConfig { min_latency: lo, max_latency: lo + span, ..DramConfig::default() });
         for &l in &lines {
             let lat = d.request(l);
             prop_assert!(lat >= lo && lat <= lo + span);

@@ -1,5 +1,7 @@
 //! Pipeline configuration (Table II defaults).
 
+use crate::error::SimError;
+use crate::fault::FaultPlan;
 use dtexl_mem::{CacheConfig, TextureHierarchyConfig};
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +67,9 @@ pub struct PipelineConfig {
     /// shared L2 replays the miss streams in serial order). Defaults
     /// to the `DTEXL_THREADS` environment variable when set, else 1.
     pub threads: usize,
+    /// Deterministic fault injection (robustness testing; off by
+    /// default — see [`FaultPlan`]).
+    pub fault: FaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +89,7 @@ impl Default for PipelineConfig {
             flush_cycles_per_bank: 16,
             upper_bound: false,
             threads: Self::default_threads(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -106,14 +112,20 @@ impl PipelineConfig {
     }
 
     /// The effective texture-hierarchy configuration, honoring
-    /// [`upper_bound`](Self::upper_bound).
+    /// [`upper_bound`](Self::upper_bound) and merging in any DRAM
+    /// fault injection from [`fault`](Self::fault).
     #[must_use]
     pub fn effective_hierarchy(&self) -> TextureHierarchyConfig {
-        if self.upper_bound {
+        let mut h = if self.upper_bound {
             self.hierarchy.upper_bound(self.num_sc as u64)
         } else {
             self.hierarchy
+        };
+        if let Some(spike) = self.fault.dram_spike {
+            h.dram.spike_period = spike.period;
+            h.dram.spike_extra = spike.extra_cycles;
         }
+        h
     }
 
     /// Number of shader cores actually instantiated (1 in upper-bound
@@ -131,30 +143,39 @@ impl PipelineConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when the configuration is inconsistent.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`SimError::Config`] when the configuration is
+    /// inconsistent, or [`SimError::Fault`] when the fault plan does
+    /// not fit the hardware.
+    pub fn validate(&self) -> Result<(), SimError> {
         if self.tile_size == 0 || !self.tile_size.is_multiple_of(2) {
-            return Err(format!(
+            return Err(SimError::Config(format!(
                 "tile size {} must be even and non-zero",
                 self.tile_size
-            ));
+            )));
         }
         if self.num_sc != 4 {
-            return Err(format!(
+            return Err(SimError::Config(format!(
                 "num_sc = {} is unsupported: the modeled raster pipeline has exactly 4 \
                  parallel units (Fig. 4); use `upper_bound` for the aggregated-cache study",
                 self.num_sc
-            ));
+            )));
         }
         if self.warp_slots == 0 {
-            return Err("need at least one warp slot".into());
+            return Err(SimError::Config("need at least one warp slot".into()));
         }
         if self.threads == 0 {
-            return Err("threads must be >= 1 (1 selects the serial reference path)".into());
+            return Err(SimError::Config(
+                "threads must be >= 1 (1 selects the serial reference path)".into(),
+            ));
         }
         if self.raster_quads_per_cycle == 0 {
-            return Err("rasterizer throughput must be non-zero".into());
+            return Err(SimError::Config(
+                "rasterizer throughput must be non-zero".into(),
+            ));
         }
+        self.fault
+            .validate(self.effective_num_sc())
+            .map_err(SimError::Fault)?;
         Ok(())
     }
 }
@@ -205,12 +226,42 @@ mod tests {
             ..PipelineConfig::default()
         };
         let err = c.validate().unwrap_err();
-        assert!(err.contains("num_sc = 8"), "error names the value: {err}");
+        assert!(
+            err.to_string().contains("num_sc = 8"),
+            "error names the value: {err}"
+        );
         let c = PipelineConfig {
             threads: 0,
             ..PipelineConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_covers_the_fault_plan() {
+        use crate::fault::LaneStall;
+        let c = PipelineConfig {
+            fault: crate::fault::FaultPlan {
+                lane_stall: Some(LaneStall { lane: 9, cycles: 1 }),
+                ..crate::fault::FaultPlan::default()
+            },
+            ..PipelineConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(SimError::Fault(_))));
+    }
+
+    #[test]
+    fn dram_spike_merges_into_effective_hierarchy() {
+        use crate::fault::DramSpike;
+        let mut c = PipelineConfig::default();
+        assert_eq!(c.effective_hierarchy().dram.spike_period, 0);
+        c.fault.dram_spike = Some(DramSpike {
+            period: 7,
+            extra_cycles: 300,
+        });
+        let h = c.effective_hierarchy();
+        assert_eq!(h.dram.spike_period, 7);
+        assert_eq!(h.dram.spike_extra, 300);
     }
 
     #[test]

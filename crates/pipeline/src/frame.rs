@@ -1,6 +1,7 @@
 //! Whole-frame simulation: functional pass + metrics.
 
 use crate::config::{BarrierMode, PipelineConfig};
+use crate::error::SimError;
 use crate::geometry::{GeometryPipeline, GeometryStats};
 use crate::prim::Quad;
 use crate::raster::Rasterizer;
@@ -211,6 +212,9 @@ impl FrameSim {
     /// Simulate one frame of `scene` under `schedule` on `config`'s
     /// hardware.
     ///
+    /// Thin panicking wrapper over [`try_run`](Self::try_run) for
+    /// callers that treat malformed input as a programming error.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration or scene is invalid (see
@@ -218,7 +222,7 @@ impl FrameSim {
     /// scene's texture ids are not dense (`textures[i].id() == i`).
     #[must_use]
     pub fn run(scene: &Scene, schedule: &ScheduleConfig, config: &PipelineConfig) -> FrameResult {
-        Self::run_sized(scene, schedule, config, None)
+        Self::try_run(scene, schedule, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`run`](Self::run), but with an explicit screen size. The
@@ -226,6 +230,12 @@ impl FrameSim {
     /// may under- or overshoot it), so callers pass the resolution the
     /// scene was generated for; [`run`](Self::run) assumes Table II's
     /// 1960×768.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`run`](Self::run); use
+    /// [`try_run_with_resolution`](Self::try_run_with_resolution) to
+    /// get a typed [`SimError`] instead.
     #[must_use]
     pub fn run_with_resolution(
         scene: &Scene,
@@ -234,23 +244,66 @@ impl FrameSim {
         width: u32,
         height: u32,
     ) -> FrameResult {
-        Self::run_sized(scene, schedule, config, Some((width, height)))
+        Self::try_run_with_resolution(scene, schedule, config, width, height)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn run_sized(
+    /// Fallible variant of [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the configuration, fault plan or
+    /// scene is invalid. Never panics on malformed input.
+    pub fn try_run(
+        scene: &Scene,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+    ) -> Result<FrameResult, SimError> {
+        Self::try_run_sized(scene, schedule, config, None)
+    }
+
+    /// Fallible variant of
+    /// [`run_with_resolution`](Self::run_with_resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the configuration, fault plan or
+    /// scene is invalid. Never panics on malformed input.
+    pub fn try_run_with_resolution(
+        scene: &Scene,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        width: u32,
+        height: u32,
+    ) -> Result<FrameResult, SimError> {
+        Self::try_run_sized(scene, schedule, config, Some((width, height)))
+    }
+
+    fn try_run_sized(
         scene: &Scene,
         schedule: &ScheduleConfig,
         config: &PipelineConfig,
         resolution: Option<(u32, u32)>,
-    ) -> FrameResult {
-        config.validate().expect("invalid pipeline configuration");
-        scene.validate().expect("invalid scene");
+    ) -> Result<FrameResult, SimError> {
+        config.validate()?;
+        scene.validate().map_err(SimError::Scene)?;
         let (width, height) = resolution.unwrap_or((1960, 768));
 
         // Texture table indexed by id.
         let textures: Vec<TextureDesc> = scene.textures.clone();
         for (i, t) in textures.iter().enumerate() {
-            assert_eq!(t.id() as usize, i, "texture ids must be dense");
+            if t.id() as usize != i {
+                return Err(SimError::SparseTextureIds {
+                    index: i,
+                    id: t.id(),
+                });
+            }
+        }
+
+        // Wall-clock fault hook: wedge the job without touching any
+        // simulated metric (exercises sweep timeout watchdogs).
+        if config.fault.wall_stall_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(config.fault.wall_stall_ms));
         }
 
         // 1. Geometry phase.
@@ -389,7 +442,12 @@ impl FrameSim {
             );
         }
 
-        FrameResult {
+        // Inject any lane-stall fault into the recorded durations.
+        // Both barrier modes compose frame time from these durations,
+        // so coupled and decoupled see the identical perturbation.
+        config.fault.apply_to_durations(&mut durations);
+
+        Ok(FrameResult {
             config: *config,
             schedule: *schedule,
             width,
@@ -400,7 +458,7 @@ impl FrameSim {
             durations,
             hierarchy: hierarchy.stats(),
             shader: shader_total,
-        }
+        })
     }
 
     /// The parallel fragment stage: one worker thread per SC lane

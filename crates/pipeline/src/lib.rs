@@ -48,6 +48,8 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
+mod fault;
 mod frame;
 mod geometry;
 mod prim;
@@ -60,6 +62,8 @@ mod timing;
 mod zbuffer;
 
 pub use config::{BarrierMode, PipelineConfig};
+pub use error::SimError;
+pub use fault::{DramSpike, FaultPlan, LaneStall};
 pub use frame::{FrameResult, FrameSim, TileRecord};
 pub use geometry::{GeometryOutput, GeometryPipeline, GeometryStats};
 pub use prim::{Quad, RasterPrim};

@@ -122,8 +122,10 @@ impl Renderer {
         width: u32,
         height: u32,
     ) -> Image {
-        config.validate().expect("invalid pipeline configuration");
-        scene.validate().expect("invalid scene");
+        config.validate().unwrap_or_else(|e| panic!("{e}"));
+        scene
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scene: {e}"));
 
         let mut geom = GeometryPipeline::new(config.vertex_cache);
         let gout = geom.run(scene, width, height);

@@ -96,15 +96,27 @@ impl SceneSpec {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero; see
+    /// [`try_new`](Self::try_new) for the fallible variant.
     #[must_use]
     pub fn new(width: u32, height: u32, frame: u32) -> Self {
-        assert!(width > 0 && height > 0, "resolution must be non-zero");
-        Self {
+        Self::try_new(width, height, frame).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Create a spec, rejecting degenerate resolutions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if either dimension is zero.
+    pub fn try_new(width: u32, height: u32, frame: u32) -> Result<Self, String> {
+        if width == 0 || height == 0 {
+            return Err(format!("resolution must be non-zero, got {width}x{height}"));
+        }
+        Ok(Self {
             width,
             height,
             frame,
-        }
+        })
     }
 
     /// The paper's screen resolution (Table II: 1960×768).

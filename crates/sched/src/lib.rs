@@ -49,7 +49,7 @@ pub use assign::{AssignMode, SlotLayout, SubtileAssigner};
 pub use grouping::QuadGrouping;
 pub use order::{hilbert_d2xy, MoveDir, TileOrder};
 pub use presets::NamedMapping;
-pub use schedule::{ScheduleConfig, TileSchedule};
+pub use schedule::{ParseScheduleError, ScheduleConfig, TileSchedule};
 
 /// Number of parallel raster pipelines / shader cores in the modeled GPU
 /// (the paper fixes this to four).

@@ -72,6 +72,28 @@ impl NamedMapping {
         }
     }
 
+    /// All named mappings, including the fine-grained baseline.
+    pub const ALL: [Self; 9] = [
+        Self::Baseline,
+        Self::ZorderConst,
+        Self::ZorderFlip,
+        Self::HilbertConst,
+        Self::HilbertFlip1,
+        Self::HilbertFlip2,
+        Self::HilbertFlip3,
+        Self::SorderConst,
+        Self::SorderFlip,
+    ];
+
+    /// Look up a mapping by its paper label (case-insensitive), e.g.
+    /// `"HLB-flp2"`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
     /// The full schedule configuration for this mapping.
     #[must_use]
     pub fn config(&self) -> ScheduleConfig {

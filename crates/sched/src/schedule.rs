@@ -53,6 +53,52 @@ impl ScheduleConfig {
     }
 }
 
+/// A schedule name that did not resolve to any known configuration.
+///
+/// Produced by [`ScheduleConfig`]'s [`FromStr`](std::str::FromStr)
+/// implementation; its `Display` lists the accepted names so CLI users
+/// see the valid vocabulary in the error itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl std::fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let known: Vec<&str> = crate::NamedMapping::ALL.iter().map(|m| m.name()).collect();
+        write!(
+            f,
+            "unknown schedule {:?}: expected \"baseline\", \"dtexl\", or one of {}",
+            self.name,
+            known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl std::str::FromStr for ScheduleConfig {
+    type Err = ParseScheduleError;
+
+    /// Parse a schedule by name, case-insensitively: the aliases
+    /// `"baseline"` and `"dtexl"`, or any paper label accepted by
+    /// [`NamedMapping::from_name`](crate::NamedMapping::from_name)
+    /// (e.g. `"HLB-flp2"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let name = s.trim();
+        if name.eq_ignore_ascii_case("baseline") {
+            return Ok(Self::baseline());
+        }
+        if name.eq_ignore_ascii_case("dtexl") {
+            return Ok(Self::dtexl());
+        }
+        crate::NamedMapping::from_name(name)
+            .map(|m| m.config())
+            .ok_or_else(|| ParseScheduleError { name: name.into() })
+    }
+}
+
 /// A materialized schedule for one frame: the tile sequence plus the
 /// per-tile slot→SC assignment.
 ///
@@ -164,6 +210,35 @@ mod tests {
         assert_eq!(b.label(), "FG-xshift2/Z-order/const");
         let d = ScheduleConfig::dtexl();
         assert_eq!(d.label(), "CG-square/Hilbert/flp2");
+    }
+
+    #[test]
+    fn parses_aliases_and_paper_names() {
+        assert_eq!(
+            "baseline".parse::<ScheduleConfig>().unwrap(),
+            ScheduleConfig::baseline()
+        );
+        assert_eq!(
+            "DTexL".parse::<ScheduleConfig>().unwrap(),
+            ScheduleConfig::dtexl()
+        );
+        assert_eq!(
+            "hlb-flp2".parse::<ScheduleConfig>().unwrap(),
+            ScheduleConfig::dtexl()
+        );
+        assert_eq!(
+            " Sorder-const ".parse::<ScheduleConfig>().unwrap(),
+            crate::NamedMapping::SorderConst.config()
+        );
+    }
+
+    #[test]
+    fn unknown_schedule_error_lists_vocabulary() {
+        let err = "bogus".parse::<ScheduleConfig>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bogus"));
+        assert!(msg.contains("baseline"));
+        assert!(msg.contains("HLB-flp2"));
     }
 
     #[test]

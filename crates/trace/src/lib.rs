@@ -47,6 +47,13 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 4] = b"DTXL";
 const VERSION: u32 = 1;
 
+/// Maximum texture count a trace header may declare (2^16).
+pub const MAX_TEXTURES: usize = 1 << 16;
+/// Maximum vertex count a trace header may declare (2^26, ~64M).
+pub const MAX_VERTICES: usize = 1 << 26;
+/// Maximum draw count a trace header may declare (2^20, ~1M).
+pub const MAX_DRAWS: usize = 1 << 20;
+
 /// Errors produced while reading or writing traces.
 #[derive(Debug)]
 pub enum TraceError {
@@ -157,8 +164,11 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Scene, TraceError> {
     let n_tex = get_u32(&mut r)? as usize;
     let n_vtx = get_u32(&mut r)? as usize;
     let n_draw = get_u32(&mut r)? as usize;
-    // A light sanity bound against garbage headers.
-    if n_tex > 1 << 20 || n_vtx > 1 << 28 || n_draw > 1 << 24 {
+    // Reject garbage headers before allocating anything: the largest
+    // real frames are thousands of draws over tens of textures, so
+    // these caps are generous but keep a corrupted header from
+    // requesting gigabytes of `Vec` up front.
+    if n_tex > MAX_TEXTURES || n_vtx > MAX_VERTICES || n_draw > MAX_DRAWS {
         return Err(TraceError::Corrupt("implausible counts"));
     }
 
@@ -353,6 +363,63 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&Game::ShootWar.scene(&SceneSpec::new(64, 64, 0)), &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_header_is_io_error_at_every_cut() {
+        // Cut the stream inside the magic, the version and each count:
+        // all must surface as Io (unexpected EOF), never a panic or a
+        // bogus empty scene.
+        let mut buf = Vec::new();
+        write_trace(&Game::ShootWar.scene(&SceneSpec::new(64, 64, 0)), &mut buf).unwrap();
+        for cut in [0, 2, 4, 6, 8, 11, 14, 17, 19] {
+            let short = &buf[..cut];
+            assert!(
+                matches!(read_trace(short), Err(TraceError::Io(_))),
+                "cut at {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_counts_are_rejected_before_allocation() {
+        // A valid header whose counts claim gigabytes of payload: the
+        // reader must fail fast with Corrupt, not try to allocate.
+        for (tex, vtx, draw) in [
+            (u32::MAX, 0, 0),
+            (0, u32::MAX, 0),
+            (0, 0, u32::MAX),
+            (MAX_TEXTURES as u32 + 1, 0, 0),
+            (0, MAX_VERTICES as u32 + 1, 0),
+            (0, 0, MAX_DRAWS as u32 + 1),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&VERSION.to_le_bytes());
+            buf.extend_from_slice(&tex.to_le_bytes());
+            buf.extend_from_slice(&vtx.to_le_bytes());
+            buf.extend_from_slice(&draw.to_le_bytes());
+            assert!(
+                matches!(
+                    read_trace(buf.as_slice()),
+                    Err(TraceError::Corrupt("implausible counts"))
+                ),
+                "counts ({tex}, {vtx}, {draw})"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_at_the_cap_are_not_rejected_as_implausible() {
+        // Exactly at the cap: the bound check passes and the failure
+        // (if any) comes from the truncated payload, not the header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(MAX_TEXTURES as u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(read_trace(buf.as_slice()), Err(TraceError::Io(_))));
     }
 

@@ -4,8 +4,12 @@
 
 use dtexl::gmath::{Mat4, Vec2, Vec3};
 use dtexl::texture::TextureDesc;
-use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
-use dtexl_scene::{DepthMode, DrawCommand, Scene, ShaderProfile, Vertex, TEXTURE_BASE_ADDR};
+use dtexl_pipeline::{
+    BarrierMode, DramSpike, FaultPlan, FrameSim, LaneStall, PipelineConfig, SimError,
+};
+use dtexl_scene::{
+    DepthMode, DrawCommand, Game, Scene, SceneSpec, ShaderProfile, Vertex, TEXTURE_BASE_ADDR,
+};
 use dtexl_sched::ScheduleConfig;
 
 fn one_tri_scene() -> Scene {
@@ -68,6 +72,98 @@ fn sparse_texture_ids_panic() {
         64,
         64,
     );
+}
+
+// --- typed-error parity: every panic above has a `try_*` sibling ---
+
+#[test]
+fn dangling_texture_is_a_scene_error() {
+    let mut scene = one_tri_scene();
+    scene.draws[0].texture = 99;
+    let err = FrameSim::try_run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::Scene(_)));
+    assert!(err.to_string().starts_with("invalid scene"));
+}
+
+#[test]
+fn odd_tile_size_is_a_config_error() {
+    let cfg = PipelineConfig {
+        tile_size: 31,
+        ..PipelineConfig::default()
+    };
+    let err = FrameSim::try_run_with_resolution(
+        &one_tri_scene(),
+        &ScheduleConfig::baseline(),
+        &cfg,
+        64,
+        64,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::Config(_)));
+    assert!(err
+        .to_string()
+        .starts_with("invalid pipeline configuration"));
+}
+
+#[test]
+fn sparse_texture_ids_are_a_typed_error() {
+    let mut scene = one_tri_scene();
+    scene.textures = vec![TextureDesc::new(5, 64, 64, TEXTURE_BASE_ADDR)];
+    scene.draws[0].texture = 5;
+    let err = FrameSim::try_run_with_resolution(
+        &scene,
+        &ScheduleConfig::baseline(),
+        &PipelineConfig::default(),
+        64,
+        64,
+    )
+    .unwrap_err();
+    assert_eq!(err, SimError::SparseTextureIds { index: 0, id: 5 });
+    assert!(err.to_string().contains("texture ids must be dense"));
+}
+
+#[test]
+#[should_panic(expected = "non-zero")]
+fn zero_resolution_spec_panics() {
+    let _ = SceneSpec::new(0, 64, 0);
+}
+
+#[test]
+fn zero_resolution_spec_is_a_typed_error() {
+    let err = SceneSpec::try_new(0, 64, 0).unwrap_err();
+    assert!(err.contains("non-zero"));
+    assert!(SceneSpec::try_new(64, 64, 0).is_ok());
+}
+
+#[test]
+fn invalid_fault_plan_is_a_fault_error() {
+    let cfg = PipelineConfig {
+        fault: FaultPlan {
+            lane_stall: Some(LaneStall {
+                lane: 7,
+                cycles: 100,
+            }),
+            ..FaultPlan::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let err = FrameSim::try_run_with_resolution(
+        &one_tri_scene(),
+        &ScheduleConfig::baseline(),
+        &cfg,
+        64,
+        64,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::Fault(_)));
+    assert!(err.to_string().contains("lane 7"));
 }
 
 #[test]
@@ -173,4 +269,128 @@ fn extreme_uv_scale_stays_finite() {
     );
     assert!(r.total_quads_shaded() > 0);
     assert!(r.hierarchy.l1_accesses() > 0);
+}
+
+// --- deterministic fault injection (FaultPlan) ---
+
+fn game_frame(game: Game, fault: FaultPlan) -> dtexl_pipeline::FrameResult {
+    let (w, h) = (480, 192);
+    let scene = game.scene(&SceneSpec::new(w, h, 0));
+    let cfg = PipelineConfig {
+        fault,
+        ..PipelineConfig::default()
+    };
+    FrameSim::try_run_with_resolution(&scene, &ScheduleConfig::dtexl(), &cfg, w, h).unwrap()
+}
+
+/// The paper's robustness claim, made executable: when one SC lane
+/// stalls, coupled barriers propagate the stall through every
+/// subsequent tile boundary, while decoupled barriers absorb part of
+/// it in the other lanes' slack — so decoupled loses strictly fewer
+/// cycles, on multiple games.
+#[test]
+fn decoupled_absorbs_a_lane_stall_better_than_coupled() {
+    for game in [Game::GravityTetris, Game::CandyCrush] {
+        let clean = game_frame(game, FaultPlan::default());
+        // Stall the least-loaded lane: a coupled pipeline still pays
+        // for the stall at every tile barrier, while the decoupled
+        // pipeline has the most slack in exactly that lane's chain.
+        let mut totals = [0u64; 4];
+        for frag in &clean.durations.fragment {
+            for (lane, &cycles) in frag.iter().enumerate() {
+                totals[lane] += cycles;
+            }
+        }
+        let lane = (0..4).min_by_key(|&l| totals[l]).unwrap();
+        let stall_cycles = clean.total_cycles(BarrierMode::Coupled) / 8;
+        let stalled = game_frame(
+            game,
+            FaultPlan {
+                seed: 7,
+                lane_stall: Some(LaneStall {
+                    lane,
+                    cycles: stall_cycles,
+                }),
+                ..FaultPlan::default()
+            },
+        );
+        let loss_coupled =
+            stalled.total_cycles(BarrierMode::Coupled) - clean.total_cycles(BarrierMode::Coupled);
+        let loss_decoupled = stalled.total_cycles(BarrierMode::Decoupled)
+            - clean.total_cycles(BarrierMode::Decoupled);
+        assert!(
+            loss_coupled > 0,
+            "{game:?}: the stall must cost coupled barriers something"
+        );
+        assert!(
+            loss_decoupled < loss_coupled,
+            "{game:?}: decoupled lost {loss_decoupled} cycles vs coupled {loss_coupled}"
+        );
+        // The cache model must be untouched: the stall perturbs timing
+        // composition only, so both runs saw identical memory traffic.
+        assert_eq!(clean.hierarchy, stalled.hierarchy);
+    }
+}
+
+/// DRAM latency spikes slow the frame down but do not change *what*
+/// is accessed: cache statistics stay bit-identical.
+#[test]
+fn dram_spikes_cost_cycles_but_not_accesses() {
+    let game = Game::TempleRun;
+    let clean = game_frame(game, FaultPlan::default());
+    let spiked = game_frame(
+        game,
+        FaultPlan {
+            dram_spike: Some(DramSpike {
+                period: 2,
+                extra_cycles: 400,
+            }),
+            ..FaultPlan::default()
+        },
+    );
+    assert!(
+        spiked.total_cycles(BarrierMode::Decoupled) > clean.total_cycles(BarrierMode::Decoupled),
+        "every other DRAM fill paying +400 cycles must slow the frame"
+    );
+    assert_eq!(clean.hierarchy, spiked.hierarchy);
+    assert_eq!(clean.total_quads_shaded(), spiked.total_quads_shaded());
+}
+
+/// The same fault plan is bit-identical across runs and across the
+/// serial/parallel simulator paths.
+#[test]
+fn fault_injection_is_deterministic_and_thread_invariant() {
+    let plan = FaultPlan {
+        seed: 42,
+        lane_stall: Some(LaneStall {
+            lane: 2,
+            cycles: 10_000,
+        }),
+        dram_spike: Some(DramSpike {
+            period: 5,
+            extra_cycles: 120,
+        }),
+        ..FaultPlan::default()
+    };
+    let a = game_frame(Game::Maze, plan);
+    let b = game_frame(Game::Maze, plan);
+    assert_eq!(a.durations, b.durations, "same plan, same timing");
+    assert_eq!(a.hierarchy, b.hierarchy, "same plan, same traffic");
+
+    let scene = Game::Maze.scene(&SceneSpec::new(480, 192, 0));
+    let parallel_cfg = PipelineConfig {
+        fault: plan,
+        threads: 4,
+        ..PipelineConfig::default()
+    };
+    let c = FrameSim::try_run_with_resolution(
+        &scene,
+        &ScheduleConfig::dtexl(),
+        &parallel_cfg,
+        480,
+        192,
+    )
+    .unwrap();
+    assert_eq!(a.durations, c.durations, "threads must not change timing");
+    assert_eq!(a.hierarchy, c.hierarchy, "threads must not change traffic");
 }

@@ -1,0 +1,235 @@
+//! End-to-end resilience of the sweep engine: a sweep containing an
+//! invalid job and a wedged (timed-out) job must still complete every
+//! healthy job with bit-identical results, report the failures, and
+//! resume from its journal re-running only what failed.
+
+use dtexl::experiments::{Lab, Setup};
+use dtexl::sweep::{
+    completed_keys, run_sweep, JobError, JobStatus, RetryPolicy, SweepJob, SweepOptions,
+};
+use dtexl_pipeline::{BarrierMode, FrameResult, PipelineConfig};
+use dtexl_scene::Game;
+use dtexl_sched::ScheduleConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const W: u32 = 192;
+const H: u32 = 96;
+
+fn job(game: Game, schedule: ScheduleConfig) -> SweepJob {
+    SweepJob::new(game, schedule, false, W, H, 0)
+}
+
+fn healthy_jobs() -> Vec<SweepJob> {
+    vec![
+        job(Game::CandyCrush, ScheduleConfig::baseline()),
+        job(Game::CandyCrush, ScheduleConfig::dtexl()),
+        job(Game::GravityTetris, ScheduleConfig::baseline()),
+        job(Game::GravityTetris, ScheduleConfig::dtexl()),
+    ]
+}
+
+fn collect_ok(
+    jobs: &[SweepJob],
+    opts: &SweepOptions,
+) -> (dtexl::sweep::SweepReport, HashMap<String, FrameResult>) {
+    let results = Mutex::new(HashMap::new());
+    let report = run_sweep(jobs, opts, |job, result| {
+        results.lock().unwrap().insert(job.key(), result);
+    })
+    .unwrap();
+    (report, results.into_inner().unwrap())
+}
+
+/// The acceptance scenario: one invalid job, one wedged job, four
+/// healthy jobs. Under `keep_going` the sweep finishes, the failures
+/// are typed, and every healthy result is bit-identical to a clean
+/// sweep's.
+#[test]
+fn keep_going_isolates_failures_and_preserves_results() {
+    let clean_opts = SweepOptions {
+        keep_going: true,
+        ..SweepOptions::default()
+    };
+    let (clean_report, clean_results) = collect_ok(&healthy_jobs(), &clean_opts);
+    assert!(clean_report.is_success());
+
+    let mut invalid = job(Game::TempleRun, ScheduleConfig::baseline());
+    invalid.pipeline.num_sc = 8; // rejected by PipelineConfig::validate
+    let mut wedged = job(Game::TempleRun, ScheduleConfig::dtexl());
+    wedged.pipeline.fault.wall_stall_ms = 60_000; // far beyond the timeout
+
+    let mut jobs = healthy_jobs();
+    jobs.insert(1, invalid);
+    jobs.insert(3, wedged);
+
+    let opts = SweepOptions {
+        keep_going: true,
+        job_timeout: Some(Duration::from_secs(5)),
+        ..SweepOptions::default()
+    };
+    let (report, results) = collect_ok(&jobs, &opts);
+
+    assert!(!report.is_success());
+    assert!(!report.aborted, "keep_going never aborts");
+    assert_eq!(report.completed(), 4);
+    let failed = report.failed();
+    assert_eq!(failed.len(), 2);
+    let by_key: HashMap<_, _> = failed.iter().map(|r| (r.key.clone(), *r)).collect();
+    assert!(matches!(
+        by_key[&invalid.key()].error,
+        Some(JobError::Invalid(_))
+    ));
+    assert!(matches!(
+        by_key[&wedged.key()].error,
+        Some(JobError::TimedOut { .. })
+    ));
+    let summary = report.summary();
+    assert!(summary.contains("2 failed"), "summary: {summary}");
+    assert!(summary.contains("num_sc = 8"), "summary: {summary}");
+    assert!(summary.contains("timeout"), "summary: {summary}");
+
+    // Healthy results are bit-identical to the clean sweep's.
+    assert_eq!(results.len(), 4);
+    for (key, clean) in &clean_results {
+        let faulty = &results[key];
+        assert_eq!(clean.durations, faulty.durations, "{key}");
+        assert_eq!(clean.hierarchy, faulty.hierarchy, "{key}");
+        assert_eq!(
+            clean.total_cycles(BarrierMode::Decoupled),
+            faulty.total_cycles(BarrierMode::Decoupled),
+            "{key}"
+        );
+    }
+}
+
+/// Resume re-runs only the jobs that failed: the journal marks the
+/// healthy jobs `ok`, and a second sweep over the same job list (with
+/// the wedge removed) executes exactly the previously-failed jobs.
+#[test]
+fn resume_reruns_only_failed_jobs() {
+    let dir = std::env::temp_dir().join(format!("dtexl_sweep_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let mut wedged = job(Game::TempleRun, ScheduleConfig::dtexl());
+    wedged.pipeline.fault.wall_stall_ms = 60_000;
+    let mut jobs = healthy_jobs();
+    jobs.push(wedged);
+
+    let opts = SweepOptions {
+        keep_going: true,
+        job_timeout: Some(Duration::from_secs(5)),
+        journal: Some(journal.clone()),
+        ..SweepOptions::default()
+    };
+    let (first, _) = collect_ok(&jobs, &opts);
+    assert_eq!(first.completed(), 4);
+    assert_eq!(first.failed().len(), 1);
+
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let done = completed_keys(&text);
+    assert_eq!(done.len(), 4, "four ok entries: {text}");
+    assert!(!done.contains(&wedged.key()));
+
+    // Un-wedge the job (same key: the fault plan is not part of it)
+    // and resume: only the previously-failed job runs.
+    let fixed = job(Game::TempleRun, ScheduleConfig::dtexl());
+    assert_eq!(fixed.key(), wedged.key());
+    *jobs.last_mut().unwrap() = fixed;
+
+    let opts = SweepOptions {
+        resume: true,
+        ..opts
+    };
+    let ran = AtomicUsize::new(0);
+    let keys_run = Mutex::new(Vec::new());
+    let second = run_sweep(&jobs, &opts, |job, _| {
+        ran.fetch_add(1, Ordering::Relaxed);
+        keys_run.lock().unwrap().push(job.key());
+    })
+    .unwrap();
+    assert!(second.is_success());
+    assert_eq!(ran.load(Ordering::Relaxed), 1, "only the failed job re-ran");
+    assert_eq!(keys_run.lock().unwrap().as_slice(), &[fixed.key()]);
+    assert_eq!(
+        second
+            .records
+            .iter()
+            .filter(|r| r.status == JobStatus::Skipped)
+            .count(),
+        4
+    );
+
+    // The journal now records everything as complete.
+    let done = completed_keys(&std::fs::read_to_string(&journal).unwrap());
+    assert_eq!(done.len(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Retries re-attempt transient failures with the configured budget
+/// and eventually give up; attempt counts land in the report.
+#[test]
+fn retries_consume_their_budget_then_fail() {
+    let mut wedged = job(Game::CandyCrush, ScheduleConfig::baseline());
+    wedged.pipeline.fault.wall_stall_ms = 60_000;
+    let opts = SweepOptions {
+        keep_going: true,
+        job_timeout: Some(Duration::from_millis(50)),
+        retry: RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        },
+        ..SweepOptions::default()
+    };
+    let (report, _) = collect_ok(&[wedged], &opts);
+    let r = &report.records[0];
+    assert_eq!(r.status, JobStatus::Failed);
+    assert_eq!(r.attempts, 3, "initial try + 2 retries");
+}
+
+/// `Lab::try_ensure` carries the same guarantees through the figure
+/// harness: failures are isolated, successes are cached and
+/// `try_result` surfaces the typed error.
+#[test]
+fn lab_try_ensure_is_fault_tolerant() {
+    let mut setup = Setup::quick();
+    setup.width = W;
+    setup.height = H;
+    setup.games.truncate(1);
+    let game = setup.games[0];
+
+    // A lab whose base pipeline wedges every job: try_result times out.
+    let mut stalling = PipelineConfig::default();
+    stalling.fault.wall_stall_ms = 60_000;
+    let lab = Lab::with_pipeline(setup.clone(), stalling);
+    let opts = SweepOptions {
+        keep_going: true,
+        job_timeout: Some(Duration::from_millis(100)),
+        ..SweepOptions::default()
+    };
+    let err = lab
+        .try_result(game, ScheduleConfig::dtexl(), false, &opts)
+        .unwrap_err();
+    assert!(matches!(err, JobError::TimedOut { .. }));
+
+    // A healthy lab: try_result succeeds and the result is cached (a
+    // second call must not simulate again — `ensure` would no-op).
+    let lab = Lab::new(setup);
+    let opts = SweepOptions {
+        keep_going: true,
+        ..SweepOptions::default()
+    };
+    let a = lab
+        .try_result(game, ScheduleConfig::dtexl(), false, &opts)
+        .unwrap();
+    let report = lab
+        .try_ensure(&[(game, ScheduleConfig::dtexl(), false)], &opts)
+        .unwrap();
+    assert!(report.records.is_empty(), "cache hit: nothing to run");
+    let b = lab.result(game, ScheduleConfig::dtexl(), false);
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+}
