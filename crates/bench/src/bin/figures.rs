@@ -15,9 +15,15 @@
 //!
 //! The full run (default) uses the Table II configuration — 1960×768,
 //! ten games — and takes a couple of minutes on a laptop.
+//!
+//! The ablation sweeps run through the fault-tolerant lab
+//! ([`Lab::try_ensure`] / [`Lab::try_result`]): a configuration the
+//! simulator rejects becomes a `NaN` cell plus a `[gap]` note on
+//! stderr, and the remaining ablations still run to completion.
 
-use dtexl::experiments::Lab;
+use dtexl::experiments::{Lab, Setup};
 use dtexl::report;
+use dtexl::sweep::SweepOptions;
 use dtexl::{Table, CLOCK_HZ};
 use dtexl_bench::{bench_setup, paper_setup};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
@@ -132,17 +138,50 @@ fn main() {
     }
 }
 
+/// Record an ablation cell the simulator refused: `NaN` in the table,
+/// a note on stderr, and the sweep moves on.
+fn gap(table_id: &str, label: &str, err: &dyn std::fmt::Display) -> f64 {
+    eprintln!("[gap] {table_id}/{label}: {err}");
+    f64::NAN
+}
+
 /// Ablations of DESIGN.md §6: sensitivity of the headline result to the
 /// design knobs.
+///
+/// Each pipeline-configuration cell is evaluated through a
+/// fault-tolerant [`Lab`] ([`Lab::try_result`], backed by
+/// [`Lab::try_ensure`]'s sweep isolation), so one bad configuration in
+/// a knob sweep degrades to a reported gap instead of aborting the
+/// run. Scene- and schedule-mutating cells use
+/// [`FrameSim::try_run_with_resolution`] with the same policy.
 fn ablations(quick: bool) {
     let (w, h) = if quick { (512, 256) } else { (1960, 768) };
     let game = Game::GravityTetris;
     let scene = game.scene(&SceneSpec::new(w, h, 0));
-    let speedup = |cfg: &PipelineConfig| {
-        let base = FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), cfg, w, h);
-        let dt = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), cfg, w, h);
-        base.total_cycles(BarrierMode::Coupled) as f64
-            / dt.total_cycles(BarrierMode::Decoupled) as f64
+    let setup = Setup {
+        width: w,
+        height: h,
+        games: vec![game],
+        ..Setup::quick()
+    };
+    let opts = SweepOptions {
+        keep_going: true,
+        ..SweepOptions::default()
+    };
+
+    // Coupled-baseline over decoupled-DTexL speedup for one pipeline
+    // configuration, isolated per cell.
+    let speedup = |table_id: &str, label: &str, cfg: &PipelineConfig| -> f64 {
+        let lab = Lab::with_pipeline(setup.clone(), *cfg);
+        let base = lab.try_result(game, ScheduleConfig::baseline(), false, &opts);
+        let dt = lab.try_result(game, ScheduleConfig::dtexl(), false, &opts);
+        match (base, dt) {
+            (Ok(b), Ok(d)) => {
+                b.total_cycles(BarrierMode::Coupled) as f64
+                    / d.total_cycles(BarrierMode::Decoupled) as f64
+            }
+            (Err(e), _) | (_, Err(e)) => gap(table_id, label, &e),
+        }
     };
 
     let mut t = Table::new(
@@ -155,7 +194,9 @@ fn ablations(quick: bool) {
             warp_slots: slots,
             ..PipelineConfig::default()
         };
-        t.push_row(format!("{slots} warps"), vec![speedup(&cfg)]);
+        let label = format!("{slots} warps");
+        let v = speedup("ablation-warps", &label, &cfg);
+        t.push_row(label, vec![v]);
     }
     println!("{}", t.render());
 
@@ -167,7 +208,9 @@ fn ablations(quick: bool) {
     for kib in [8u64, 16, 32, 64] {
         let mut cfg = PipelineConfig::default();
         cfg.hierarchy.l1.size_bytes = kib * 1024;
-        t.push_row(format!("{kib} KiB"), vec![speedup(&cfg)]);
+        let label = format!("{kib} KiB");
+        let v = speedup("ablation-l1", &label, &cfg);
+        t.push_row(label, vec![v]);
     }
     println!("{}", t.render());
 
@@ -181,11 +224,13 @@ fn ablations(quick: bool) {
             order: TileOrder::Hilbert { sub },
             ..ScheduleConfig::dtexl()
         };
-        let r = FrameSim::run_with_resolution(&scene, &sched, &PipelineConfig::default(), w, h);
-        t.push_row(
-            format!("sub {sub}"),
-            vec![CLOCK_HZ / r.total_cycles(BarrierMode::Decoupled) as f64],
-        );
+        let lab = Lab::new(setup.clone());
+        let label = format!("sub {sub}");
+        let v = match lab.try_result(game, sched, false, &opts) {
+            Ok(r) => CLOCK_HZ / r.total_cycles(BarrierMode::Decoupled) as f64,
+            Err(e) => gap("ablation-hilbert", &label, &e),
+        };
+        t.push_row(label, vec![v]);
     }
     println!("{}", t.render());
 
@@ -199,7 +244,9 @@ fn ablations(quick: bool) {
             l1_miss_fill_cycles: fill,
             ..PipelineConfig::default()
         };
-        t.push_row(format!("{fill} cycles"), vec![speedup(&cfg)]);
+        let label = format!("{fill} cycles");
+        let v = speedup("ablation-fill", &label, &cfg);
+        t.push_row(label, vec![v]);
     }
     println!("{}", t.render());
 
@@ -212,26 +259,39 @@ fn ablations(quick: bool) {
         vec!["speedup".into()],
     );
     {
-        let cfg = PipelineConfig::default();
-        let base = FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, w, h);
-        let dt = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &cfg, w, h);
-        let coupled = base.total_cycles(BarrierMode::Coupled) as f64;
-        for ahead in [0u32, 1, 2, 4, 16] {
-            let mode = BarrierMode::DecoupledBounded { tiles_ahead: ahead };
-            t.push_row(
-                format!("credit {ahead}"),
-                vec![coupled / dt.total_cycles(mode) as f64],
-            );
+        let lab = Lab::new(setup.clone());
+        let base = lab.try_result(game, ScheduleConfig::baseline(), false, &opts);
+        let dt = lab.try_result(game, ScheduleConfig::dtexl(), false, &opts);
+        match (base, dt) {
+            (Ok(base), Ok(dt)) => {
+                let coupled = base.total_cycles(BarrierMode::Coupled) as f64;
+                for ahead in [0u32, 1, 2, 4, 16] {
+                    let mode = BarrierMode::DecoupledBounded { tiles_ahead: ahead };
+                    t.push_row(
+                        format!("credit {ahead}"),
+                        vec![coupled / dt.total_cycles(mode) as f64],
+                    );
+                }
+                t.push_row(
+                    "unbounded",
+                    vec![coupled / dt.total_cycles(BarrierMode::Decoupled) as f64],
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                let v = gap("ablation-credit", "all credits", &e);
+                for ahead in [0u32, 1, 2, 4, 16] {
+                    t.push_row(format!("credit {ahead}"), vec![v]);
+                }
+                t.push_row("unbounded", vec![v]);
+            }
         }
-        t.push_row(
-            "unbounded",
-            vec![coupled / dt.total_cycles(BarrierMode::Decoupled) as f64],
-        );
     }
     println!("{}", t.render());
 
     // Texture layout: Morton tiling vs linear scanlines. Linear lines
     // are 16×1 texel strips, so less 2-D locality is schedulable.
+    // The scene itself is relaid out, which a game-keyed lab cannot
+    // express — these cells run the fallible simulator directly.
     let mut t = Table::new(
         "ablation-layout",
         format!("CG-square L2 ratio vs texel layout ({game})"),
@@ -243,12 +303,13 @@ fn ablations(quick: bool) {
     ] {
         let s = scene.relayout(layout);
         let cfg = PipelineConfig::default();
-        let fg = FrameSim::run_with_resolution(&s, &ScheduleConfig::baseline(), &cfg, w, h);
-        let cg = FrameSim::run_with_resolution(&s, &ScheduleConfig::dtexl(), &cfg, w, h);
-        t.push_row(
-            name,
-            vec![cg.hierarchy.l2.accesses as f64 / fg.hierarchy.l2.accesses as f64],
-        );
+        let fg = FrameSim::try_run_with_resolution(&s, &ScheduleConfig::baseline(), &cfg, w, h);
+        let cg = FrameSim::try_run_with_resolution(&s, &ScheduleConfig::dtexl(), &cfg, w, h);
+        let v = match (fg, cg) {
+            (Ok(fg), Ok(cg)) => cg.hierarchy.l2.accesses as f64 / fg.hierarchy.l2.accesses as f64,
+            (Err(e), _) | (_, Err(e)) => gap("ablation-layout", name, &e),
+        };
+        t.push_row(name, vec![v]);
     }
     println!("{}", t.render());
 
@@ -267,14 +328,10 @@ fn ablations(quick: bool) {
     ] {
         let mut cfg = PipelineConfig::default();
         cfg.hierarchy.prefetch_next_line = prefetch;
-        let base = FrameSim::run_with_resolution(
-            &scene,
-            &ScheduleConfig::baseline(),
-            &PipelineConfig::default(),
-            w,
-            h,
-        );
-        let r = FrameSim::run_with_resolution(&scene, &sched, &cfg, w, h);
+        let base_lab = Lab::new(setup.clone());
+        let lab = Lab::with_pipeline(setup.clone(), cfg);
+        let base = base_lab.try_result(game, ScheduleConfig::baseline(), false, &opts);
+        let r = lab.try_result(game, sched, false, &opts);
         // FG rows stay coupled (the paper's baseline pipeline);
         // DTexL rows use its decoupled barriers.
         let mode = if sched == ScheduleConfig::baseline() {
@@ -282,13 +339,17 @@ fn ablations(quick: bool) {
         } else {
             BarrierMode::Decoupled
         };
-        t.push_row(
-            name,
-            vec![
+        let (sp, l2) = match (base, r) {
+            (Ok(base), Ok(r)) => (
                 base.total_cycles(BarrierMode::Coupled) as f64 / r.total_cycles(mode) as f64,
                 r.total_l2_accesses() as f64,
-            ],
-        );
+            ),
+            (Err(e), _) | (_, Err(e)) => {
+                let v = gap("ablation-prefetch", name, &e);
+                (v, v)
+            }
+        };
+        t.push_row(name, vec![sp, l2]);
     }
     println!("{}", t.render());
 
@@ -305,21 +366,27 @@ fn ablations(quick: bool) {
     ] {
         let mut cfg = PipelineConfig::default();
         cfg.hierarchy.replacement = kind;
-        let base = FrameSim::run_with_resolution(&scene, &ScheduleConfig::baseline(), &cfg, w, h);
-        let dt = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &cfg, w, h);
-        t.push_row(
-            name,
-            vec![
+        let lab = Lab::with_pipeline(setup.clone(), cfg);
+        let base = lab.try_result(game, ScheduleConfig::baseline(), false, &opts);
+        let dt = lab.try_result(game, ScheduleConfig::dtexl(), false, &opts);
+        let (sp, dec) = match (base, dt) {
+            (Ok(base), Ok(dt)) => (
                 base.total_cycles(BarrierMode::Coupled) as f64
                     / dt.total_cycles(BarrierMode::Decoupled) as f64,
                 100.0 * (1.0 - dt.total_l2_accesses() as f64 / base.total_l2_accesses() as f64),
-            ],
-        );
+            ),
+            (Err(e), _) | (_, Err(e)) => {
+                let v = gap("ablation-replacement", name, &e);
+                (v, v)
+            }
+        };
+        t.push_row(name, vec![sp, dec]);
     }
     println!("{}", t.render());
 
     // Late-Z pressure: how the speedup behaves when a fraction of the
-    // shading can no longer be early-culled.
+    // shading can no longer be early-culled. Scene-mutating, so the
+    // cells run the fallible simulator directly.
     let mut t = Table::new(
         "ablation-latez",
         format!("DTexL speedup vs late-Z draw fraction ({game})"),
@@ -333,10 +400,10 @@ fn ablations(quick: bool) {
             }
         }
         let cfg = PipelineConfig::default();
-        t.push_row(
-            format!("{pct}% late-Z"),
-            vec![speedup_scene(&s, &cfg, w, h)],
-        );
+        let label = format!("{pct}% late-Z");
+        let v =
+            try_speedup_scene(&s, &cfg, w, h).unwrap_or_else(|e| gap("ablation-latez", &label, &e));
+        t.push_row(label, vec![v]);
     }
     println!("{}", t.render());
 }
@@ -345,8 +412,14 @@ fn s_len(scene: &dtexl_scene::Scene) -> u32 {
     scene.draws.len().max(1) as u32
 }
 
-fn speedup_scene(scene: &dtexl_scene::Scene, cfg: &PipelineConfig, w: u32, h: u32) -> f64 {
-    let base = FrameSim::run_with_resolution(scene, &ScheduleConfig::baseline(), cfg, w, h);
-    let dt = FrameSim::run_with_resolution(scene, &ScheduleConfig::dtexl(), cfg, w, h);
-    base.total_cycles(BarrierMode::Coupled) as f64 / dt.total_cycles(BarrierMode::Decoupled) as f64
+fn try_speedup_scene(
+    scene: &dtexl_scene::Scene,
+    cfg: &PipelineConfig,
+    w: u32,
+    h: u32,
+) -> Result<f64, dtexl_pipeline::SimError> {
+    let base = FrameSim::try_run_with_resolution(scene, &ScheduleConfig::baseline(), cfg, w, h)?;
+    let dt = FrameSim::try_run_with_resolution(scene, &ScheduleConfig::dtexl(), cfg, w, h)?;
+    Ok(base.total_cycles(BarrierMode::Coupled) as f64
+        / dt.total_cycles(BarrierMode::Decoupled) as f64)
 }

@@ -288,6 +288,7 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         },
         journal: journal.map(std::path::PathBuf::from),
         resume,
+        ..SweepOptions::default()
     };
     let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})
         .map_err(|e| format!("journal I/O: {e}"))?;

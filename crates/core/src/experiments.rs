@@ -10,6 +10,7 @@ use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::{AssignMode, NamedMapping, QuadGrouping, ScheduleConfig, TileOrder};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+// lint: allow(determinism-hash) -- keyed lookup cache and dedup sets only; iteration order is never observed
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -37,6 +38,7 @@ impl Setup {
             height: 768,
             frame: 0,
             games: Game::ALL.to_vec(),
+            // lint: allow(determinism-env) -- worker count is metric-invariant (pinned by tests/parallel_equivalence.rs)
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
@@ -78,6 +80,7 @@ type Job = (Game, ScheduleConfig, bool);
 pub struct Lab {
     setup: Setup,
     pipeline: PipelineConfig,
+    // lint: allow(determinism-hash) -- keyed lookups only; results are read back per job key, never iterated
     cache: Mutex<HashMap<Key, Arc<FrameResult>>>,
 }
 
@@ -96,6 +99,7 @@ impl Lab {
         Self {
             setup,
             pipeline,
+            // lint: allow(determinism-hash) -- keyed lookups only; never iterated
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -121,6 +125,7 @@ impl Lab {
         self.cache
             .lock()
             .get(&Self::key(game, &sched, upper))
+            // lint: allow(no-panic) -- ensure() either populated this key or already panicked with the job report
             .expect("just ensured")
             .clone()
     }
@@ -150,6 +155,7 @@ impl Lab {
             .cache
             .lock()
             .get(&Self::key(game, &sched, upper))
+            // lint: allow(no-panic) -- try_ensure returned success for this key on the line above
             .expect("just ensured")
             .clone())
     }
@@ -171,6 +177,7 @@ impl Lab {
         };
         let report = self
             .try_ensure(jobs, &opts)
+            // lint: allow(no-panic) -- no journal is configured, so the only I/O error source is absent
             .expect("no journal configured, I/O cannot fail");
         assert!(report.is_success(), "{}", report.summary());
     }
@@ -190,6 +197,7 @@ impl Lab {
     pub fn try_ensure(&self, jobs: &[Job], opts: &SweepOptions) -> std::io::Result<SweepReport> {
         let missing: Vec<Job> = {
             let cache = self.cache.lock();
+            // lint: allow(determinism-hash) -- membership-only dedup; job order comes from the input slice
             let mut seen = std::collections::HashSet::new();
             jobs.iter()
                 .filter(|(g, s, u)| {

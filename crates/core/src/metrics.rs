@@ -225,6 +225,7 @@ impl Distribution {
             return Self::default();
         }
         let mut v = samples.to_vec();
+        // lint: allow(no-panic) -- simulated metrics are finite by construction; a NaN here is a simulator bug worth crashing on
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         Self {
             min: v[0],
@@ -289,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    // lint: typed-sibling(average_is_cellwise_mean)
     #[should_panic(expected = "row labels differ")]
     fn average_rejects_mismatched_rows() {
         let mut a = Table::new("t", "demo", vec!["v".into()]);
@@ -323,6 +325,7 @@ mod tests {
     }
 
     #[test]
+    // lint: typed-sibling(table_roundtrip)
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         let mut t = Table::new("t", "t", vec!["a".into()]);

@@ -264,6 +264,7 @@ impl Simulator {
             }
         });
         for slot in slots {
+            // lint: allow(no-panic) -- the scoped pool joins before this loop, so every slot was filled exactly once
             let (cycles, l2, energy) = slot.into_inner().expect("every frame simulated");
             report.cycles.push(cycles);
             report.l2_accesses.push(l2);

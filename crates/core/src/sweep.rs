@@ -11,9 +11,9 @@
 //!   ([`SweepOptions::job_timeout`]) abandons jobs that exceed their
 //!   budget and reports them as [`JobError::TimedOut`].
 //! * **Retry** — transient failures (panics, timeouts) are retried up
-//!   to [`RetryPolicy::max_retries`] times with linear backoff;
-//!   deterministic rejections ([`JobError::Invalid`]) are never
-//!   retried.
+//!   to [`RetryPolicy::max_retries`] times with exponential backoff
+//!   and deterministic (key-seeded) jitter; deterministic rejections
+//!   ([`JobError::Invalid`]) are never retried.
 //! * **Keep-going vs abort** — with [`SweepOptions::keep_going`] the
 //!   sweep finishes every job and reports all failures at the end;
 //!   without it the first failure stops the dispatch of new jobs.
@@ -21,6 +21,10 @@
 //!   appends one JSON line (append + flush, so a killed process loses
 //!   at most the in-flight jobs); a resumed sweep skips jobs whose
 //!   most recent journal entry is `ok` and re-runs only the rest.
+//!   Since journal v2 each line also records the job's
+//!   [config hash](SweepJob::config_hash); resume refuses to skip a
+//!   completed job whose recorded hash no longer matches the job, so
+//!   stale results can never masquerade as current ones.
 //!
 //! The journal is hand-rolled JSON (the vendored `serde` stand-in does
 //! not serialize); the format is pinned in `docs/ROBUSTNESS.md` and by
@@ -30,7 +34,7 @@ use dtexl_pipeline::{BarrierMode, FrameResult, FrameSim, PipelineConfig, SimErro
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::ScheduleConfig;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -96,6 +100,24 @@ impl SweepJob {
             self.height,
             self.frame
         )
+    }
+
+    /// Hash of everything that determines this job's *results*: the
+    /// full pipeline configuration (fault plan included) plus the
+    /// scene identity. `threads` is normalized out — the parallel path
+    /// is bit-identical to serial by construction (pinned by
+    /// tests/parallel_equivalence.rs and tests/schedule_permutation.rs)
+    /// — so resuming under a different `DTEXL_THREADS` does not force
+    /// re-runs. Journal v2 records this hash per line and resume
+    /// refuses to skip entries whose hash changed.
+    #[must_use]
+    pub fn config_hash(&self) -> u64 {
+        let mut normalized = self.pipeline;
+        normalized.threads = 1;
+        // The Debug rendering is a stable canonical form within one
+        // build of the simulator, which is exactly the scope a resumed
+        // journal is trusted for.
+        fnv1a(format!("{}|{:?}", self.key(), normalized).as_bytes())
     }
 
     /// Run the simulation for this job (no isolation — callers wanting
@@ -168,12 +190,14 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-/// Bounded retry with linear backoff.
+/// Bounded retry with exponential backoff and deterministic jitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Extra attempts after the first (0 = try once).
     pub max_retries: u32,
-    /// Sleep before retry `n` is `backoff × n` (linear).
+    /// Base delay: retry `n` sleeps `backoff × 2^(n-1)` plus a
+    /// key-seeded jitter in `[0, backoff / 2)` (see
+    /// [`delay`](Self::delay)).
     pub backoff: Duration,
 }
 
@@ -186,8 +210,47 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (1-based: the sleep after the
+    /// `attempt`-th failed try): `backoff × 2^(attempt-1)`, doubling
+    /// capped at `×64`, plus a deterministic jitter in
+    /// `[0, backoff / 2)` derived from `salt` (the job-key hash) and
+    /// `attempt`. Pure and seeded, so retry schedules are replayable
+    /// and testable without wall-clock coupling.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(6);
+        let base = self.backoff.saturating_mul(1 << exp);
+        let half = self.backoff.checked_div(2).unwrap_or(Duration::ZERO);
+        if half.is_zero() {
+            return base;
+        }
+        let jitter_ns = splitmix64(salt ^ u64::from(attempt)) % half.as_nanos().max(1) as u64;
+        base + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// FNV-1a 64-bit: stable, dependency-free hash for job identities.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 mixer (same finalizer the fault plan uses): uncorrelated
+/// jitter streams from consecutive salts.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Knobs for [`run_sweep`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker threads (0 = one per job, capped at 8).
     pub workers: usize,
@@ -200,9 +263,27 @@ pub struct SweepOptions {
     pub retry: RetryPolicy,
     /// Append one JSON line per finished job to this file.
     pub journal: Option<PathBuf>,
-    /// Skip jobs whose latest journal entry is `ok` (requires
-    /// `journal`).
+    /// Skip jobs whose latest journal entry is `ok` *and* whose
+    /// recorded config hash still matches (requires `journal`).
     pub resume: bool,
+    /// How backoff delays are slept. Defaults to
+    /// [`std::thread::sleep`]; tests inject a recording stub so retry
+    /// schedules are pinned without wall-clock coupling.
+    pub sleeper: fn(Duration),
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            keep_going: false,
+            job_timeout: None,
+            retry: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+            sleeper: std::thread::sleep,
+        }
+    }
 }
 
 /// Headline metrics captured per successful job (journaled, so a
@@ -259,6 +340,9 @@ pub struct JobRecord {
     pub error: Option<JobError>,
     /// Headline metrics, for successful jobs.
     pub metrics: Option<JobMetrics>,
+    /// The job's [`SweepJob::config_hash`], journaled so resume can
+    /// detect configuration drift.
+    pub config_hash: u64,
 }
 
 /// End-of-sweep summary: one record per job plus the abort flag.
@@ -370,8 +454,8 @@ where
     F: Fn(&SweepJob, FrameResult) + Sync,
 {
     let done_keys = match (&opts.journal, opts.resume) {
-        (Some(path), true) if path.exists() => completed_keys(&std::fs::read_to_string(path)?),
-        _ => std::collections::HashSet::new(),
+        (Some(path), true) if path.exists() => completed_entries(&std::fs::read_to_string(path)?),
+        _ => BTreeMap::new(),
     };
     let journal = match &opts.journal {
         Some(path) => {
@@ -408,7 +492,13 @@ where
                     break;
                 };
                 let key = job.key();
-                if done_keys.contains(&key) {
+                let config_hash = job.config_hash();
+                // Resume refuses to skip when the journaled config
+                // hash differs from the job's: the old result was
+                // produced by a different simulator configuration.
+                // Pre-v2 lines carry no hash and stay skippable.
+                let hash_matches = |h: &Option<u64>| h.is_none_or(|h| h == config_hash);
+                if done_keys.get(&key).is_some_and(hash_matches) {
                     let record = JobRecord {
                         index,
                         key,
@@ -417,6 +507,7 @@ where
                         elapsed: Duration::ZERO,
                         error: None,
                         metrics: None,
+                        config_hash,
                     };
                     records.lock().push(record);
                     continue;
@@ -432,7 +523,7 @@ where
                             if !e.retryable() || attempts > opts.retry.max_retries {
                                 break Err(e);
                             }
-                            std::thread::sleep(opts.retry.backoff * attempts);
+                            (opts.sleeper)(opts.retry.delay(attempts, fnv1a(key.as_bytes())));
                         }
                     }
                 };
@@ -450,6 +541,7 @@ where
                             elapsed,
                             error: None,
                             metrics: Some(metrics),
+                            config_hash,
                         }
                     }
                     Err(e) => {
@@ -462,6 +554,7 @@ where
                             elapsed,
                             error: Some(e),
                             metrics: None,
+                            config_hash,
                         }
                     }
                 };
@@ -483,7 +576,7 @@ where
     let aborted = abort.load(Ordering::Relaxed) && !opts.keep_going;
     // Jobs never dispatched because of an abort still get a record, so
     // reports always cover the full job list.
-    let covered: std::collections::HashSet<usize> = records.iter().map(|r| r.index).collect();
+    let covered: BTreeSet<usize> = records.iter().map(|r| r.index).collect();
     for (index, job) in jobs.iter().enumerate() {
         if !covered.contains(&index) {
             records.push(JobRecord {
@@ -494,6 +587,7 @@ where
                 elapsed: Duration::ZERO,
                 error: None,
                 metrics: None,
+                config_hash: job.config_hash(),
             });
         }
     }
@@ -528,7 +622,7 @@ pub fn json_escape(s: &str) -> String {
 #[must_use]
 pub fn journal_line(r: &JobRecord) -> String {
     let mut s = format!(
-        "{{\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{},\"elapsed_ms\":{}",
+        "{{\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{},\"elapsed_ms\":{},\"config_hash\":\"{:016x}\"",
         json_escape(&r.key),
         match r.status {
             JobStatus::Ok => "ok",
@@ -537,7 +631,8 @@ pub fn journal_line(r: &JobRecord) -> String {
             JobStatus::NotRun => "not_run",
         },
         r.attempts,
-        r.elapsed.as_millis()
+        r.elapsed.as_millis(),
+        r.config_hash
     );
     use std::fmt::Write as _;
     if let Some(m) = &r.metrics {
@@ -609,6 +704,8 @@ pub struct JournalEntry {
     pub attempts: u64,
     /// Journaled metrics, when the entry is `ok`.
     pub metrics: Option<JobMetrics>,
+    /// Journal-v2 config hash; `None` on pre-v2 lines.
+    pub config_hash: Option<u64>,
 }
 
 /// Parse one journal line; `None` for blank, truncated or corrupt
@@ -639,6 +736,7 @@ pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
         status,
         attempts: field_u64(line, "attempts").unwrap_or(0),
         metrics,
+        config_hash: field_str(line, "config_hash").and_then(|h| u64::from_str_radix(&h, 16).ok()),
     })
 }
 
@@ -646,17 +744,26 @@ pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
 /// `skipped` (last-wins: a later failed re-run invalidates an earlier
 /// success).
 #[must_use]
-pub fn completed_keys(journal: &str) -> std::collections::HashSet<String> {
-    let mut latest: HashMap<String, String> = HashMap::new();
+pub fn completed_keys(journal: &str) -> BTreeSet<String> {
+    completed_entries(journal).into_keys().collect()
+}
+
+/// Like [`completed_keys`], but paired with each entry's journaled
+/// [config hash](SweepJob::config_hash) (`None` on pre-v2 lines).
+/// Resume uses the hash to refuse skipping jobs whose configuration
+/// drifted since the journal was written.
+#[must_use]
+pub fn completed_entries(journal: &str) -> BTreeMap<String, Option<u64>> {
+    let mut latest: BTreeMap<String, (String, Option<u64>)> = BTreeMap::new();
     for line in journal.lines() {
         if let Some(e) = parse_journal_line(line) {
-            latest.insert(e.key, e.status);
+            latest.insert(e.key, (e.status, e.config_hash));
         }
     }
     latest
         .into_iter()
-        .filter(|(_, s)| s == "ok" || s == "skipped")
-        .map(|(k, _)| k)
+        .filter(|(_, (s, _))| s == "ok" || s == "skipped")
+        .map(|(k, (_, h))| (k, h))
         .collect()
 }
 
@@ -682,6 +789,7 @@ mod tests {
                 decoupled_cycles: 90,
                 l2_accesses: 5,
             }),
+            config_hash: 0xdead_beef_0042,
         };
         let line = journal_line(&ok);
         let e = parse_journal_line(&line).unwrap();
@@ -689,6 +797,7 @@ mod tests {
         assert_eq!(e.status, "ok");
         assert_eq!(e.attempts, 2);
         assert_eq!(e.metrics, ok.metrics);
+        assert_eq!(e.config_hash, Some(0xdead_beef_0042));
 
         let failed = JobRecord {
             error: Some(JobError::Panicked("boom \"quoted\"\npath".into())),
@@ -838,5 +947,153 @@ mod tests {
             .iter()
             .all(|r| r.status == JobStatus::Skipped));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_is_exponential_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            backoff: Duration::from_millis(8),
+        };
+        let salt = fnv1a(b"some job key");
+        for attempt in 1..=10 {
+            let d = policy.delay(attempt, salt);
+            // Replayable: the schedule is a pure function of (attempt, salt).
+            assert_eq!(d, policy.delay(attempt, salt), "attempt {attempt}");
+            let base = policy
+                .backoff
+                .saturating_mul(1 << attempt.saturating_sub(1).min(6));
+            assert!(d >= base, "attempt {attempt}: {d:?} < base {base:?}");
+            assert!(
+                d < base + policy.backoff / 2,
+                "attempt {attempt}: jitter exceeds backoff/2"
+            );
+        }
+        // Doubling: attempt 2's floor is twice attempt 1's.
+        assert!(policy.delay(2, salt) + policy.backoff >= policy.delay(1, salt) * 2);
+        // Capped at x64: attempts 7 and beyond share a floor.
+        let floor = policy.backoff * 64;
+        assert!(policy.delay(7, salt) >= floor && policy.delay(7, salt) < floor + policy.backoff);
+        assert!(policy.delay(9, salt) >= floor && policy.delay(9, salt) < floor + policy.backoff);
+        // Different salts decorrelate the jitter stream.
+        assert_ne!(policy.delay(1, salt), policy.delay(1, salt ^ 1));
+        // A zero backoff never sleeps (and never divides by zero).
+        let zero = RetryPolicy {
+            max_retries: 1,
+            backoff: Duration::ZERO,
+        };
+        assert_eq!(zero.delay(3, salt), Duration::ZERO);
+    }
+
+    #[test]
+    fn config_hash_ignores_threads_but_not_faults() {
+        let job = tiny_job(Game::CandyCrush);
+        let mut threaded = job;
+        threaded.pipeline.threads = 4;
+        assert_eq!(
+            job.config_hash(),
+            threaded.config_hash(),
+            "threads are metric-invariant and must not force re-runs"
+        );
+        let mut faulted = job;
+        faulted.pipeline.fault.wall_stall_ms = 100;
+        assert_ne!(job.config_hash(), faulted.config_hash());
+        let mut tuned = job;
+        tuned.pipeline.l1_miss_fill_cycles += 1;
+        assert_ne!(job.config_hash(), tuned.config_hash());
+        let other_game = tiny_job(Game::TempleRun);
+        assert_ne!(job.config_hash(), other_game.config_hash());
+    }
+
+    #[test]
+    fn pre_v2_journal_lines_remain_skippable() {
+        let journal = concat!(
+            "{\"key\":\"a\",\"status\":\"ok\"}\n",
+            "{\"key\":\"b\",\"status\":\"ok\",\"config_hash\":\"00000000deadbeef\"}\n",
+        );
+        let entries = completed_entries(journal);
+        assert_eq!(entries["a"], None, "pre-v2 line: no hash recorded");
+        assert_eq!(entries["b"], Some(0xdead_beef));
+    }
+
+    #[test]
+    fn resume_refuses_to_skip_jobs_whose_config_changed() {
+        let dir = std::env::temp_dir().join(format!("dtexl_sweep_hash_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let jobs = vec![tiny_job(Game::CandyCrush), tiny_job(Game::TempleRun)];
+        let opts = SweepOptions {
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        };
+        run_sweep(&jobs, &opts, |_, _| {}).unwrap();
+
+        // Same keys, different pipeline: the keys alone would skip, the
+        // hashes must not.
+        let mut changed = jobs.clone();
+        for j in &mut changed {
+            j.pipeline.l1_miss_fill_cycles += 5;
+            assert_eq!(j.key(), tiny_job(j.game).key());
+        }
+        let opts = SweepOptions {
+            resume: true,
+            ..opts
+        };
+        let ran = AtomicUsize::new(0);
+        let report = run_sweep(&changed, &opts, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            2,
+            "a changed config hash invalidates the journal entry"
+        );
+        assert!(report.records.iter().all(|r| r.status == JobStatus::Ok));
+
+        // A third run with the changed configs now skips: the journal's
+        // last-wins entries carry the new hash.
+        let ran = AtomicUsize::new(0);
+        run_sweep(&changed, &opts, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retries_sleep_through_the_injected_sleeper() {
+        static SLEEPS: AtomicUsize = AtomicUsize::new(0);
+        static TOTAL_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        fn recording_sleeper(d: Duration) {
+            SLEEPS.fetch_add(1, Ordering::Relaxed);
+            TOTAL_NS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+        let mut wedged = tiny_job(Game::CandyCrush);
+        wedged.pipeline.fault.wall_stall_ms = 60_000;
+        let opts = SweepOptions {
+            keep_going: true,
+            job_timeout: Some(Duration::from_millis(20)),
+            retry: RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::from_millis(4),
+            },
+            sleeper: recording_sleeper,
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&[wedged], &opts, |_, _| {}).unwrap();
+        assert_eq!(report.records[0].attempts, 3);
+        assert_eq!(
+            SLEEPS.load(Ordering::Relaxed),
+            2,
+            "one backoff per retry, through the injected sleeper"
+        );
+        // The recorded schedule matches the pure policy exactly.
+        let salt = fnv1a(wedged.key().as_bytes());
+        let expected = opts.retry.delay(1, salt) + opts.retry.delay(2, salt);
+        assert_eq!(TOTAL_NS.load(Ordering::Relaxed), expected.as_nanos() as u64);
     }
 }

@@ -299,6 +299,7 @@ impl Index<usize> for Vec4 {
             1 => &self.y,
             2 => &self.z,
             3 => &self.w,
+            // lint: allow(no-panic) -- std::ops::Index's contract requires a panic on out-of-range indices
             _ => panic!("Vec4 index {i} out of range"),
         }
     }
@@ -419,6 +420,15 @@ mod tests {
     }
 
     #[test]
+    fn vec4_index_reads_all_lanes() {
+        // The checked counterpart of `vec4_index_out_of_range`: every
+        // in-range index resolves to its component.
+        let v = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!((v[0], v[1], v[2], v[3]), (1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    // lint: typed-sibling(vec4_index_reads_all_lanes)
     #[should_panic(expected = "out of range")]
     fn vec4_index_out_of_range() {
         let _ = Vec4::ZERO[4];

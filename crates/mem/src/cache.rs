@@ -351,6 +351,20 @@ mod tests {
     }
 
     #[test]
+    fn divisible_config_is_accepted() {
+        // The checked counterpart of `degenerate_config_panics`: a
+        // geometry where size / (line * ways) divides evenly.
+        let c = SetAssocCache::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            latency: 1,
+        });
+        assert_eq!(c.config().sets(), 16);
+    }
+
+    #[test]
+    // lint: typed-sibling(divisible_config_is_accepted)
     #[should_panic(expected = "not divisible")]
     fn degenerate_config_panics() {
         let _ = SetAssocCache::new(CacheConfig {

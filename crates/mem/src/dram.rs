@@ -159,6 +159,7 @@ mod tests {
     }
 
     #[test]
+    // lint: typed-sibling(degenerate_window)
     #[should_panic]
     fn inverted_window_panics() {
         let _ = DramModel::new(DramConfig {

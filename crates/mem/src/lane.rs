@@ -18,7 +18,7 @@
 use crate::cache::SetAssocCache;
 use crate::dram::DramModel;
 use crate::LineAddr;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One request bound for the shared L2, recorded while tracing a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct L2Request {
 pub struct L1Lane {
     l1: SetAssocCache,
     prefetch_next_line: bool,
-    seen: HashSet<LineAddr>,
+    seen: BTreeSet<LineAddr>,
 }
 
 impl L1Lane {
@@ -44,7 +44,7 @@ impl L1Lane {
         Self {
             l1,
             prefetch_next_line,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
         }
     }
 
@@ -98,7 +98,7 @@ impl L1Lane {
         &mut self.l1
     }
 
-    pub(crate) fn seen(&self) -> &HashSet<LineAddr> {
+    pub(crate) fn seen(&self) -> &BTreeSet<LineAddr> {
         &self.seen
     }
 }

@@ -99,6 +99,7 @@ impl PipelineConfig {
     /// a positive integer, else 1 (serial).
     #[must_use]
     pub fn default_threads() -> usize {
+        // lint: allow(determinism-env) -- documented DTEXL_THREADS knob; thread count is metric-invariant (pinned by tests/parallel_equivalence.rs)
         std::env::var("DTEXL_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())

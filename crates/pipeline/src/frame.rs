@@ -222,6 +222,7 @@ impl FrameSim {
     /// scene's texture ids are not dense (`textures[i].id() == i`).
     #[must_use]
     pub fn run(scene: &Scene, schedule: &ScheduleConfig, config: &PipelineConfig) -> FrameResult {
+        // lint: allow(no-panic) -- documented panicking convenience wrapper over try_run
         Self::try_run(scene, schedule, config).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -245,6 +246,7 @@ impl FrameSim {
         height: u32,
     ) -> FrameResult {
         Self::try_run_with_resolution(scene, schedule, config, width, height)
+            // lint: allow(no-panic) -- documented panicking convenience wrapper over the try_ variant
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -510,11 +512,13 @@ impl FrameSim {
             for mut owned in assignment {
                 let txs: Vec<_> = owned
                     .iter()
+                    // lint: allow(no-panic) -- round-robin assignment visits each SC exactly once by construction
                     .map(|(sc, _)| txs[*sc].take().expect("each lane assigned once"))
                     .collect();
+                let fault = config.fault;
                 handles.push(scope.spawn(move || {
                     let mut scratch: Vec<Quad> = Vec::new();
-                    'tiles: for prep in preps {
+                    'tiles: for (ti, prep) in preps.iter().enumerate() {
                         for ((sc, lane), tx) in owned.iter_mut().zip(&txs) {
                             let quads: &[Quad] = if upper {
                                 scratch.clear();
@@ -523,7 +527,14 @@ impl FrameSim {
                             } else {
                                 &prep.shaded[*sc]
                             };
-                            let trace = core.trace_subtile(quads, textures, lane);
+                            let mut trace = core.trace_subtile(quads, textures, lane);
+                            trace.origin = (ti, *sc);
+                            // Race-harness hook: a seeded wall-clock
+                            // delay perturbs lane *completion* order
+                            // without touching simulated state.
+                            if let Some(jitter) = fault.send_jitter(ti, *sc) {
+                                std::thread::sleep(jitter);
+                            }
                             if tx.send(trace).is_err() {
                                 // Replay side dropped (panic unwinding):
                                 // stop tracing.
@@ -537,7 +548,7 @@ impl FrameSim {
 
             // Serial replay, tile-major, SC ascending: identical L2 /
             // DRAM request order to the serial reference path.
-            for prep in preps {
+            for (ti, prep) in preps.iter().enumerate() {
                 durations.fetch.push(prep.fetch);
                 durations.raster.push(prep.raster);
                 let mut rec = prep.rec;
@@ -545,7 +556,19 @@ impl FrameSim {
                 let mut frag = [0u64; 4];
                 let mut blend = [0u64; 4];
                 for (sc, rx) in rxs.iter().enumerate() {
+                    // lint: allow(no-panic) -- a worker sends one trace per (tile, sc) or the scope propagates its panic first
                     let trace = rx.recv().expect("lane worker feeds every tile");
+                    // Replay-order checker: the shared levels must see
+                    // the identical tile-major, SC-ascending request
+                    // order as the serial path, no matter how the
+                    // workers' completions interleave.
+                    debug_assert_eq!(
+                        trace.origin,
+                        (ti, sc),
+                        "replay order violated: lane {sc} delivered tile {} while replay \
+                         expected tile {ti}",
+                        trace.origin.0,
+                    );
                     let latencies = shared.replay_demand(&trace.requests);
                     let (cycles, stats) = core.time_subtile(&trace, l1_latency, &latencies);
                     let shaded = if upper {
@@ -571,6 +594,7 @@ impl FrameSim {
             }
 
             for handle in handles {
+                // lint: allow(no-panic) -- re-raises a lane worker panic on the coordinating thread (caught upstream by the sweep engine)
                 for (sc, lane) in handle.join().expect("lane worker panicked") {
                     rejoined[sc] = Some(lane);
                 }
@@ -581,6 +605,7 @@ impl FrameSim {
             hcfg,
             rejoined
                 .into_iter()
+                // lint: allow(no-panic) -- the join loop above rejoined every SC index
                 .map(|l| l.expect("every lane returned"))
                 .collect(),
             shared,

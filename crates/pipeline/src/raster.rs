@@ -110,6 +110,7 @@ impl Rasterizer {
             return None;
         }
         for i in 0..4 {
+            // lint: allow(no-panic) -- bary[i] was filled for every lane in the loop above when mask != 0
             let b = bary[i].expect("computed above");
             z[i] = b.interpolate(prim.z[0], prim.z[1], prim.z[2]);
             uv[i] = uv_plane.eval(b);

@@ -122,9 +122,11 @@ impl Renderer {
         width: u32,
         height: u32,
     ) -> Image {
+        // lint: allow(no-panic) -- documented panicking debug renderer; simulation paths use the try_ APIs
         config.validate().unwrap_or_else(|e| panic!("{e}"));
         scene
             .validate()
+            // lint: allow(no-panic) -- documented panicking debug renderer; simulation paths use the try_ APIs
             .unwrap_or_else(|e| panic!("invalid scene: {e}"));
 
         let mut geom = GeometryPipeline::new(config.vertex_cache);
@@ -190,6 +192,7 @@ impl Renderer {
 
 /// Shade and blend one quad's live fragments into the image.
 fn blend_quad(image: &mut Image, q: &Quad, scene: &Scene, tile_px: i32, tile_py: i32) {
+    // lint: allow(no-panic) -- scene.validate() above guarantees every quad's texture id resolves
     let tex = scene.texture(q.texture).expect("validated scene");
     let sampler = Sampler::new(q.shader.filter);
     // Per-quad LOD from the UV footprint, as the texture unit computes.

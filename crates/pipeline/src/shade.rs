@@ -82,6 +82,11 @@ pub struct SubtileTrace {
     /// Shared-L2 requests in the order the serial simulator would
     /// issue them (demand misses interleaved with their prefetches).
     pub requests: Vec<L2Request>,
+    /// `(tile index, SC lane)` stamp set by the parallel fragment
+    /// stage; the serial replay debug-asserts the stream arrives
+    /// tile-major, SC-ascending (the lock-order invariant the
+    /// schedule-permutation harness exercises).
+    pub(crate) origin: (usize, usize),
     /// Per-line-access L1 hit flags, flat in access order.
     hits: Vec<bool>,
     /// Per-quad replay metadata.
@@ -239,6 +244,7 @@ impl ShaderCore {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &t)| t)
+                // lint: allow(no-panic) -- ShaderCore::new asserts warp_slots > 0, so the iterator is non-empty
                 .expect("warp_slots > 0");
             let occupancy = quad.issue + misses * u64::from(self.miss_fill_cycles);
             let start = port.max(free);

@@ -316,6 +316,7 @@ impl<'r> Builder<'r> {
         // blend (parallax layers, vignettes).
         for layer in 0..self.params.overdraw_layers {
             let tex_id = self.pick_texture(&mut used);
+            // lint: allow(no-panic) -- the generator registered tex_id in this same builder before any draw references it
             let side = self.scene.texture(tex_id).unwrap().width() as f32;
             self.push_sprite(
                 0.0,
@@ -344,6 +345,7 @@ impl<'r> Builder<'r> {
                 let y = cy as f32 * cell;
                 if self.rng.gen_bool(0.8) {
                     let tex = self.pick_texture(&mut used);
+                    // lint: allow(no-panic) -- the generator registered this texture in the same builder before any draw references it
                     let side = self.scene.texture(tex).unwrap().width() as f32;
                     let opaque = !self.rng.gen_bool(self.params.transparent_fraction);
                     let shader = self.pick_shader();
@@ -360,6 +362,7 @@ impl<'r> Builder<'r> {
         let extra = (self.params.hotspot_strength * cells_x as f64) as u32 * 2;
         for _ in 0..extra {
             let tex = self.pick_texture(&mut used);
+            // lint: allow(no-panic) -- the generator registered this texture in the same builder before any draw references it
             let side = self.scene.texture(tex).unwrap().width() as f32;
             let sw = cell * self.rng.gen_range(0.8..2.0);
             let x = self.rng.gen_range(0.0..(w - sw).max(1.0));
@@ -467,6 +470,7 @@ impl<'r> Builder<'r> {
         // UI overlay: a few screen-space sprites on top (transparent).
         for i in 0..4 {
             let tex = self.pick_texture(&mut used);
+            // lint: allow(no-panic) -- the generator registered this texture in the same builder before any draw references it
             let side = self.scene.texture(tex).unwrap().width() as f32;
             let sw = w * 0.12;
             self.push_sprite(

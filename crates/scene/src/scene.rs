@@ -100,6 +100,7 @@ impl SceneSpec {
     /// [`try_new`](Self::try_new) for the fallible variant.
     #[must_use]
     pub fn new(width: u32, height: u32, frame: u32) -> Self {
+        // lint: allow(no-panic) -- documented panicking convenience wrapper over try_new
         Self::try_new(width, height, frame).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -276,6 +277,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_resolution_is_a_typed_error() {
+        let err = SceneSpec::try_new(0, 100, 0).unwrap_err();
+        assert!(
+            err.contains("non-zero"),
+            "typed path names the invariant: {err}"
+        );
+    }
+
+    #[test]
+    // lint: typed-sibling(zero_resolution_is_a_typed_error)
     #[should_panic(expected = "non-zero")]
     fn zero_resolution_panics() {
         let _ = SceneSpec::new(0, 100, 0);

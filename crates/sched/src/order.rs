@@ -375,6 +375,19 @@ mod tests {
     }
 
     #[test]
+    fn hilbert_accepts_pow2_sides() {
+        // The checked counterpart of `hilbert_bad_side_panics`: every
+        // power-of-two side is accepted and stays in bounds.
+        for n in [1u32, 2, 4, 8] {
+            for d in 0..u64::from(n) * u64::from(n) {
+                let (x, y) = hilbert_d2xy(n, d);
+                assert!(x < n && y < n);
+            }
+        }
+    }
+
+    #[test]
+    // lint: typed-sibling(hilbert_accepts_pow2_sides)
     #[should_panic(expected = "power of two")]
     fn hilbert_bad_side_panics() {
         let _ = hilbert_d2xy(6, 0);

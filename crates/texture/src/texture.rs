@@ -293,6 +293,14 @@ mod tests {
     }
 
     #[test]
+    fn pow2_dims_are_accepted() {
+        // The checked counterpart of `non_pow2_panics`.
+        let t = TextureDesc::new(0, 128, 64, 0);
+        assert_eq!((t.width(), t.height()), (128, 64));
+    }
+
+    #[test]
+    // lint: typed-sibling(pow2_dims_are_accepted)
     #[should_panic(expected = "powers of two")]
     fn non_pow2_panics() {
         let _ = TextureDesc::new(0, 100, 64, 0);
@@ -328,6 +336,7 @@ mod tests {
     }
 
     #[test]
+    // lint: typed-sibling(layouts_share_footprint_and_bounds)
     #[should_panic(expected = "out of range")]
     fn bad_level_panics() {
         let t = TextureDesc::new(0, 4, 4, 0);

@@ -135,4 +135,111 @@ proptest! {
             Err(TraceError::Io(_) | TraceError::BadMagic(_) | TraceError::Corrupt(_) | TraceError::UnsupportedVersion(_))
         ));
     }
+
+    /// Flipping bits *anywhere* in a valid trace — header, texture
+    /// table, vertex payload, draw records — never panics: the reader
+    /// either reproduces a scene that still validates or returns a
+    /// typed [`TraceError`].
+    #[test]
+    fn any_byte_mutation_never_panics(
+        scene in arb_scene(),
+        mutations in proptest::collection::vec((0usize..4096, 0u8..8), 1..8),
+    ) {
+        prop_assume!(scene.validate().is_ok());
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        for (pos, bit) in mutations {
+            let len = buf.len();
+            buf[pos % len] ^= 1 << bit;
+        }
+        match read_trace(buf.as_slice()) {
+            Ok(s) => prop_assert!(s.validate().is_ok(), "Ok scenes must validate"),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Overwriting the three count fields with arbitrary values never
+    /// allocates past the plausibility caps: implausible counts are
+    /// rejected up front, plausible-but-wrong ones run out of bytes.
+    /// Either way the scene that escapes is bounded by the caps.
+    #[test]
+    fn count_field_attacks_respect_plausibility_caps(
+        scene in arb_scene(),
+        n_tex in any::<u32>(),
+        n_vtx in any::<u32>(),
+        n_draw in any::<u32>(),
+    ) {
+        use dtexl_trace::{MAX_DRAWS, MAX_TEXTURES, MAX_VERTICES};
+        prop_assume!(scene.validate().is_ok());
+        let mut buf = Vec::new();
+        write_trace(&scene, &mut buf).unwrap();
+        buf[8..12].copy_from_slice(&n_tex.to_le_bytes());
+        buf[12..16].copy_from_slice(&n_vtx.to_le_bytes());
+        buf[16..20].copy_from_slice(&n_draw.to_le_bytes());
+        let over_cap = n_tex as usize > MAX_TEXTURES
+            || n_vtx as usize > MAX_VERTICES
+            || n_draw as usize > MAX_DRAWS;
+        match read_trace(buf.as_slice()) {
+            Ok(s) => {
+                prop_assert!(!over_cap);
+                prop_assert!(s.textures.len() <= MAX_TEXTURES);
+                prop_assert!(s.vertices.len() <= MAX_VERTICES);
+                prop_assert!(s.draws.len() <= MAX_DRAWS);
+            }
+            Err(e) => {
+                if over_cap {
+                    prop_assert!(
+                        matches!(e, TraceError::Corrupt("implausible counts")),
+                        "cap rejection must fire before any parsing: {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arbitrary garbage bytes are rejected with a typed error — the
+    /// reader never panics on input it did not write.
+    #[test]
+    fn garbage_input_yields_typed_errors(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match read_trace(bytes.as_slice()) {
+            Ok(s) => prop_assert!(s.validate().is_ok()),
+            Err(
+                TraceError::Io(_)
+                | TraceError::BadMagic(_)
+                | TraceError::UnsupportedVersion(_)
+                | TraceError::Corrupt(_),
+            ) => {}
+        }
+    }
+
+    /// The file-path entry point surfaces the same guarantees as the
+    /// reader: a mutated on-disk trace loads as a typed error or a
+    /// still-valid scene, never a panic.
+    #[test]
+    fn load_trace_of_a_mutated_file_never_panics(
+        scene in arb_scene(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+        case in 0u32..1_000_000,
+    ) {
+        use dtexl_trace::{load_trace, save_trace};
+        prop_assume!(scene.validate().is_ok());
+        let dir = std::env::temp_dir().join(format!(
+            "dtexl_trace_fuzz_{}_{case}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.dtxl");
+        save_trace(&scene, &path).unwrap();
+        let mut buf = std::fs::read(&path).unwrap();
+        let len = buf.len();
+        buf[pos % len] ^= 1 << bit;
+        std::fs::write(&path, &buf).unwrap();
+        let outcome = load_trace(&path);
+        std::fs::remove_dir_all(&dir).ok();
+        match outcome {
+            Ok(s) => prop_assert!(s.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
 }

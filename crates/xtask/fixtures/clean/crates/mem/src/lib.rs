@@ -1,0 +1,12 @@
+//! Fixture: annotated sites the linter must accept and count.
+
+// lint: allow(determinism-hash) -- membership probes only; order is never observed
+use std::collections::HashSet;
+
+pub fn first(v: &[u32]) -> u32 {
+    // lint: allow(determinism-hash) -- collected for len() only; order is never observed
+    let seen: HashSet<u32> = v.iter().copied().collect();
+    // lint: allow(no-panic) -- caller guarantees a non-empty slice (pinned by tests)
+    let x = v.first().copied().unwrap();
+    x + seen.len() as u32
+}

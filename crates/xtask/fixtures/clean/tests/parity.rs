@@ -1,0 +1,14 @@
+//! Fixture: the typed-error-parity pattern done right.
+
+#[test]
+// lint: typed-sibling(bad_input_is_a_typed_error)
+#[should_panic(expected = "boom")]
+fn bad_input_panics() {
+    panic!("boom");
+}
+
+#[test]
+fn bad_input_is_a_typed_error() {
+    let r: Result<(), String> = Err("boom".into());
+    assert!(r.is_err());
+}

@@ -1,0 +1,8 @@
+//! Fixture: a no-panic violation and a stale annotation.
+
+pub fn third(v: &[u32]) -> u32 {
+    let x = v.get(2).copied().unwrap(); // line 4: no-panic (.unwrap())
+    // lint: allow(no-panic) -- stale: nothing below triggers it (line 5: lint-annotation)
+    let y = x + 1;
+    y
+}

@@ -1,0 +1,12 @@
+//! Fixture: one seeded determinism violation per rule in a simulation
+//! crate. Never compiled — scanned by xtask's own tests.
+
+use std::collections::HashMap; // line 4: determinism-hash
+
+pub fn seeded() -> u64 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let r = thread_rng(); // line 8: determinism-rng
+    let t = Instant::now(); // line 9: determinism-clock
+    let v = std::env::var("SEED"); // line 10: determinism-env
+    m.len() as u64
+}

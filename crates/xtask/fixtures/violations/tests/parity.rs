@@ -1,0 +1,7 @@
+//! Fixture: a `#[should_panic]` test with no typed sibling.
+
+#[test]
+#[should_panic(expected = "boom")] // line 4: typed-error-parity
+fn panics_without_typed_twin() {
+    panic!("boom");
+}

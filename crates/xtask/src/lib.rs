@@ -1,0 +1,45 @@
+//! `cargo xtask lint` — repo invariant checker.
+//!
+//! A dependency-free, lexer-level scanner enforcing the invariants the
+//! DTexL reproduction depends on (docs/LINTS.md):
+//!
+//! * **determinism** in simulation crates — no unordered-container
+//!   iteration, ambient randomness, wall-clock reads or environment
+//!   sniffing in any path that feeds simulated metrics;
+//! * **no-panic** in library code — typed errors or a justified
+//!   `// lint: allow(no-panic) -- <why>` annotation;
+//! * **typed-error parity** — every `#[should_panic]` test names a
+//!   sibling pinning the typed error via
+//!   `// lint: typed-sibling(<test_fn>)`.
+//!
+//! The scanner is intentionally not a Rust parser: [`sanitize`] blanks
+//! comments and literals so the substring rules in [`rules`] are sound
+//! on this workspace, and that is all `cargo xtask lint` needs to work
+//! against the offline vendored registry.
+
+pub mod report;
+pub mod rules;
+pub mod sanitize;
+pub mod walk;
+
+use report::Report;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lint every workspace source under `root`, returning the aggregated
+/// report.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable tree or file).
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (rel, path) in walk::rust_sources(root)? {
+        let source = fs::read_to_string(&path)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+        let outcome = rules::check_file(&rel, &source);
+        report.absorb(&rel, outcome.findings, outcome.allowed);
+    }
+    Ok(report)
+}

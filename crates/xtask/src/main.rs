@@ -1,0 +1,67 @@
+//! `cargo xtask` entry point.
+//!
+//! ```text
+//! cargo xtask lint [--format text|json] [--root <dir>]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask lint [--format text|json] [--root <dir>]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut format = String::from("text");
+    // Default to the workspace this binary was built from, so
+    // `cargo xtask lint` works from any subdirectory.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--format" => match args.next() {
+                Some(v) if v == "text" || v == "json" => format = v,
+                _ => {
+                    eprintln!("--format takes `text` or `json`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root takes a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match xtask::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

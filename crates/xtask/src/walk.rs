@@ -1,0 +1,96 @@
+//! Deterministic discovery of the workspace's Rust sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", ".github"];
+
+/// Collect every `.rs` file under the workspace's `src/` and `tests/`
+/// trees (root crate and `crates/*`), as sorted
+/// `(workspace-relative path, absolute path)` pairs.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from reading the tree.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests"] {
+        collect(&root.join(top), &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in sorted_entries(&crates)? {
+            if entry.is_dir() {
+                for sub in ["src", "tests", "benches"] {
+                    collect(&entry.join(sub), &mut files)?;
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, path));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in sorted_entries(dir)? {
+        let name = entry
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if entry.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&entry, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_sources_include_this_file_but_not_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_sources(&root).expect("walk workspace");
+        assert!(files
+            .iter()
+            .any(|(rel, _)| rel == "crates/xtask/src/walk.rs"));
+        assert!(files.iter().any(|(rel, _)| rel.starts_with("tests/")));
+        assert!(
+            !files.iter().any(|(rel, _)| rel.contains("/fixtures/")),
+            "fixtures must never be linted as workspace code"
+        );
+        assert!(!files.iter().any(|(rel, _)| rel.contains("vendor/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order is deterministic");
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end pins for `cargo xtask lint`:
+//!
+//! * the seeded-violation fixture trips every rule with `file:line`
+//!   diagnostics and a non-zero exit;
+//! * the clean fixture exits 0 while counting its allow annotations;
+//! * the real workspace is lint-clean (the acceptance gate CI runs).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule_with_file_line() {
+    let report = xtask::lint_root(&fixture("violations")).expect("lint fixture");
+    let hit = |file: &str, line: usize, rule: &str| {
+        report
+            .violations
+            .iter()
+            .any(|v| v.file == file && v.line == line && v.rule == rule)
+    };
+    assert!(hit("crates/pipeline/src/lib.rs", 4, "determinism-hash"));
+    assert!(hit("crates/pipeline/src/lib.rs", 8, "determinism-rng"));
+    assert!(hit("crates/pipeline/src/lib.rs", 9, "determinism-clock"));
+    assert!(hit("crates/pipeline/src/lib.rs", 10, "determinism-env"));
+    assert!(hit("crates/gmath/src/lib.rs", 4, "no-panic"));
+    assert!(hit("crates/gmath/src/lib.rs", 5, "lint-annotation"));
+    assert!(hit("tests/parity.rs", 4, "typed-error-parity"));
+    assert!(!report.ok());
+    // Every violation carries a non-empty hint.
+    assert!(report.violations.iter().all(|v| !v.hint.is_empty()));
+}
+
+#[test]
+fn clean_fixture_passes_and_counts_allows() {
+    let report = xtask::lint_root(&fixture("clean")).expect("lint fixture");
+    assert!(
+        report.ok(),
+        "clean fixture must have no violations: {}",
+        report.render_text()
+    );
+    let annotated = report.allowed.iter().filter(|a| !a.builtin).count();
+    assert_eq!(annotated, 3, "both allows parsed and counted");
+    assert!(report.allowed.iter().all(|a| !a.justification.is_empty()));
+}
+
+#[test]
+fn lint_binary_exits_nonzero_with_diagnostics_on_the_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(fixture("violations"))
+        .args(["--format", "json"])
+        .output()
+        .expect("run xtask binary");
+    assert_eq!(out.status.code(), Some(1), "violations exit non-zero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\": false"));
+    assert!(stdout.contains("\"rule\": \"determinism-rng\""));
+    assert!(stdout.contains("\"file\": \"crates/pipeline/src/lib.rs\""));
+    assert!(stdout.contains("\"line\": 8"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(fixture("violations"))
+        .output()
+        .expect("run xtask binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("error[typed-error-parity]: tests/parity.rs:4"),
+        "text format prints file:line: {stdout}"
+    );
+}
+
+#[test]
+fn lint_binary_rejects_bad_usage() {
+    for bad in [
+        vec!["frobnicate"],
+        vec!["lint", "--format", "yaml"],
+        vec!["lint", "--bogus"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(&bad)
+            .output()
+            .expect("run xtask binary");
+        assert_eq!(out.status.code(), Some(2), "usage error for {bad:?}");
+    }
+}
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let report = xtask::lint_root(&workspace_root()).expect("lint workspace");
+    assert!(
+        report.ok(),
+        "workspace must stay lint-clean:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 40, "walker found the workspace");
+    // The no-panic discipline is annotation-backed: the report parses
+    // and counts justifications for every remaining library panic.
+    assert!(
+        report
+            .allowed
+            .iter()
+            .any(|a| a.rule == "no-panic" && !a.builtin),
+        "expected annotated no-panic sites"
+    );
+    assert!(
+        report.allowed.iter().any(|a| a.builtin),
+        "expected the built-in wall-clock allowlist to be exercised"
+    );
+}

@@ -34,6 +34,7 @@ fn one_tri_scene() -> Scene {
 }
 
 #[test]
+// lint: typed-sibling(dangling_texture_is_a_scene_error)
 #[should_panic(expected = "invalid scene")]
 fn scene_with_dangling_texture_panics() {
     let mut scene = one_tri_scene();
@@ -48,6 +49,7 @@ fn scene_with_dangling_texture_panics() {
 }
 
 #[test]
+// lint: typed-sibling(odd_tile_size_is_a_config_error)
 #[should_panic(expected = "invalid pipeline configuration")]
 fn odd_tile_size_panics() {
     let cfg = PipelineConfig {
@@ -59,6 +61,7 @@ fn odd_tile_size_panics() {
 }
 
 #[test]
+// lint: typed-sibling(sparse_texture_ids_are_a_typed_error)
 #[should_panic(expected = "texture ids must be dense")]
 fn sparse_texture_ids_panic() {
     let mut scene = one_tri_scene();
@@ -130,6 +133,7 @@ fn sparse_texture_ids_are_a_typed_error() {
 }
 
 #[test]
+// lint: typed-sibling(zero_resolution_spec_is_a_typed_error)
 #[should_panic(expected = "non-zero")]
 fn zero_resolution_spec_panics() {
     let _ = SceneSpec::new(0, 64, 0);
