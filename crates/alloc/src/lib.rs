@@ -1,0 +1,289 @@
+//! Counting global allocator with thread-tagged meters.
+//!
+//! The sweep engine (`dtexl::sweep`) enforces per-job *memory budgets*
+//! the same way it enforces wall-clock timeouts: every job runs on a
+//! disposable thread, and a watchdog on the dispatching worker observes
+//! the job from outside. This crate supplies the observation channel —
+//! a [`#[global_allocator]`](std::alloc::GlobalAlloc) wrapper around
+//! [`System`] that, when a thread is *tagged* with an [`AllocMeter`],
+//! charges that thread's allocations and frees to the meter.
+//!
+//! Design constraints (all load-bearing):
+//!
+//! * **Zero dependencies, no allocation on the hot path.** The
+//!   allocator consults one `const`-initialized thread-local `Cell`
+//!   (native TLS, no lazy allocation) and touches only atomics; an
+//!   untagged thread pays a single pointer read + null check per
+//!   allocator call.
+//! * **Never panics, never unwinds.** Unwinding out of a global
+//!   allocator is undefined behavior, so the hook uses
+//!   [`LocalKey::try_with`](std::thread::LocalKey::try_with) and
+//!   shrugs off TLS-destruction edge cases instead of asserting.
+//! * **Enforcement lives outside the allocator.** Exceeding a budget
+//!   must not abort the process (the default `handle_alloc_error`
+//!   would), so the allocator only *counts*; the sweep watchdog polls
+//!   [`AllocMeter::peak_bytes`] from the worker thread and abandons
+//!   the job exactly like a wall-clock timeout.
+//!
+//! Cross-thread flows are attributed conservatively: memory allocated
+//! on a tagged thread but freed elsewhere stays charged (the peak —
+//! the budget signal — is monotone anyway), and frees of memory that
+//! predates the tag clamp at zero instead of underflowing. Lane
+//! workers spawned *by* a job (`PipelineConfig::threads > 1`) are
+//! untagged, so budgets meter the job thread itself; serial jobs
+//! (`threads = 1`, the sweep default) are metered completely.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Allocation counters for one tagged thread (shared with its
+/// watchdog via `Arc`). All counters are monotone except `current`,
+/// which tracks live bytes and may dip below zero transiently when a
+/// thread frees memory allocated before it was tagged.
+#[derive(Debug, Default)]
+pub struct AllocMeter {
+    /// Live bytes: allocations minus frees observed since tagging.
+    current: AtomicI64,
+    /// High-water mark of `current` (the budget signal).
+    peak: AtomicU64,
+    /// Cumulative bytes allocated (throughput diagnostic).
+    total: AtomicU64,
+}
+
+impl AllocMeter {
+    /// A fresh meter with all counters at zero.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Live bytes currently attributed to the tagged thread
+    /// (clamped at zero).
+    #[must_use]
+    pub fn current_bytes(&self) -> u64 {
+        self.current.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// High-water mark of live bytes — the "peak RSS"-style figure
+    /// budgets are enforced against and journals record.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes allocated since tagging (ignores frees).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn on_alloc(&self, bytes: usize) {
+        let bytes_i = i64::try_from(bytes).unwrap_or(i64::MAX);
+        let now = self.current.fetch_add(bytes_i, Ordering::Relaxed) + bytes_i;
+        self.total.fetch_add(bytes as u64, Ordering::Relaxed);
+        if now > 0 {
+            self.peak.fetch_max(now as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn on_dealloc(&self, bytes: usize) {
+        let bytes_i = i64::try_from(bytes).unwrap_or(i64::MAX);
+        self.current.fetch_sub(bytes_i, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// The meter charged for this thread's allocations (null = untagged).
+    /// `const`-initialized so first access never allocates — a lazily
+    /// initialized TLS slot would recurse into the allocator.
+    static METER: Cell<*const AllocMeter> = const { Cell::new(ptr::null()) };
+}
+
+/// Tags the current thread until dropped; created by
+/// [`meter_current_thread`].
+#[derive(Debug)]
+pub struct MeterGuard {
+    raw: *const AllocMeter,
+}
+
+impl Drop for MeterGuard {
+    fn drop(&mut self) {
+        let _ = METER.try_with(|slot| {
+            if slot.get() == self.raw {
+                slot.set(ptr::null());
+            }
+        });
+        // Release the refcount `meter_current_thread` leaked into the
+        // TLS slot. The slot itself was cleared above, so no further
+        // allocator call can observe the pointer.
+        unsafe { drop(Arc::from_raw(self.raw)) }
+    }
+}
+
+/// Tag the current thread: until the returned guard drops, every
+/// allocation and free this thread performs is charged to `meter`.
+///
+/// Tags do not nest — tagging an already-tagged thread replaces the
+/// previous meter for the guard's lifetime (the sweep engine tags each
+/// disposable job thread exactly once, at birth).
+#[must_use]
+pub fn meter_current_thread(meter: &Arc<AllocMeter>) -> MeterGuard {
+    let raw = Arc::into_raw(Arc::clone(meter));
+    let previous = METER.with(|slot| slot.replace(raw));
+    if !previous.is_null() {
+        // Drop the displaced tag's refcount so replacement cannot leak.
+        unsafe { drop(Arc::from_raw(previous)) }
+    }
+    MeterGuard { raw }
+}
+
+#[inline]
+fn record_alloc(bytes: usize) {
+    let _ = METER.try_with(|slot| {
+        let meter = slot.get();
+        if !meter.is_null() {
+            unsafe { &*meter }.on_alloc(bytes);
+        }
+    });
+}
+
+#[inline]
+fn record_dealloc(bytes: usize) {
+    let _ = METER.try_with(|slot| {
+        let meter = slot.get();
+        if !meter.is_null() {
+            unsafe { &*meter }.on_dealloc(bytes);
+        }
+    });
+}
+
+/// The counting allocator: [`System`] plus per-thread attribution.
+#[derive(Debug)]
+pub struct CountingAlloc;
+
+// Installed here, in a leaf crate, so every workspace binary that
+// links the simulator gets metering without declaring anything.
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the
+// bookkeeping around each call touches only atomics via a
+// const-initialized TLS slot and can neither allocate nor unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        record_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            record_dealloc(layout.size());
+            record_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untagged_threads_charge_nothing() {
+        let meter = AllocMeter::new();
+        let probe = vec![0u8; 64 * 1024];
+        std::hint::black_box(&probe);
+        assert_eq!(meter.peak_bytes(), 0);
+        assert_eq!(meter.total_bytes(), 0);
+    }
+
+    #[test]
+    fn tagged_allocations_raise_peak_and_total() {
+        let meter = AllocMeter::new();
+        {
+            let _guard = meter_current_thread(&meter);
+            let big = vec![7u8; 1 << 20];
+            std::hint::black_box(&big);
+            drop(big);
+            let small = vec![7u8; 1 << 10];
+            std::hint::black_box(&small);
+        }
+        assert!(
+            meter.peak_bytes() >= 1 << 20,
+            "peak {} must cover the 1 MiB spike",
+            meter.peak_bytes()
+        );
+        assert!(meter.total_bytes() >= (1 << 20) + (1 << 10));
+        // After the guard drops, this thread stops charging the meter.
+        let total = meter.total_bytes();
+        let after = vec![1u8; 1 << 16];
+        std::hint::black_box(&after);
+        assert_eq!(meter.total_bytes(), total);
+    }
+
+    #[test]
+    fn peak_is_highwater_not_live() {
+        let meter = AllocMeter::new();
+        let _guard = meter_current_thread(&meter);
+        let a = vec![1u8; 512 * 1024];
+        std::hint::black_box(&a);
+        drop(a);
+        assert!(meter.peak_bytes() >= 512 * 1024);
+        assert!(
+            meter.current_bytes() < meter.peak_bytes(),
+            "freeing must lower live bytes below the high-water mark"
+        );
+    }
+
+    #[test]
+    fn frees_of_pre_tag_memory_clamp_at_zero() {
+        let pre = vec![9u8; 256 * 1024];
+        let meter = AllocMeter::new();
+        let _guard = meter_current_thread(&meter);
+        drop(pre);
+        assert_eq!(meter.current_bytes(), 0, "clamped, not underflowed");
+        assert_eq!(meter.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn meters_are_per_thread() {
+        let meter = AllocMeter::new();
+        let worker = meter.clone();
+        std::thread::spawn(move || {
+            let _guard = meter_current_thread(&worker);
+            let buf = vec![3u8; 2 << 20];
+            std::hint::black_box(&buf);
+            worker.peak_bytes()
+        })
+        .join()
+        .map(|peak| assert!(peak >= 2 << 20, "job thread metered: {peak}"))
+        .unwrap();
+        // This (untagged) thread contributed nothing since the join.
+        let total = meter.total_bytes();
+        let here = vec![0u8; 1 << 18];
+        std::hint::black_box(&here);
+        assert_eq!(meter.total_bytes(), total);
+    }
+}

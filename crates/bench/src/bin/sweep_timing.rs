@@ -1,21 +1,67 @@
 //! Wall-clock timing of the quick experiment sweep.
 //!
-//! Runs [`Lab::all_figures`] over [`Setup::quick`] with the Lab's own
-//! job fan-out pinned to a single thread, so the only parallelism left
-//! is the per-frame SC-lane simulation selected by `DTEXL_THREADS`.
-//! Run it twice to measure the serial-vs-parallel speedup of the lane
-//! pipeline (results are bit-identical either way):
+//! Two modes:
 //!
-//! ```text
-//! DTEXL_THREADS=1 cargo run --release -p dtexl-bench --bin sweep_timing
-//! DTEXL_THREADS=4 cargo run --release -p dtexl-bench --bin sweep_timing
-//! ```
+//! * **Default** — runs [`Lab::all_figures`] over [`Setup::quick`] with
+//!   the Lab's own job fan-out pinned to a single thread, so the only
+//!   parallelism left is the per-frame SC-lane simulation selected by
+//!   `DTEXL_THREADS`. Run it twice to measure the serial-vs-parallel
+//!   speedup of the lane pipeline (results are bit-identical either
+//!   way):
+//!
+//!   ```text
+//!   DTEXL_THREADS=1 cargo run --release -p dtexl-bench --bin sweep_timing
+//!   DTEXL_THREADS=4 cargo run --release -p dtexl-bench --bin sweep_timing
+//!   ```
+//!
+//! * **`--quick [--out BENCH_sweep.json]`** — runs the canonical 20-job
+//!   quick sweep (all ten games × baseline,dtexl at 480x192) through
+//!   the sweep engine with one worker, and writes a JSON benchmark
+//!   report with the total wall-clock plus per-job wall time and
+//!   allocator high-water marks. `cargo xtask bench-compare` diffs two
+//!   of these reports for the CI perf gate.
 
 use dtexl::experiments::{Lab, Setup};
+use dtexl::sweep::{json_escape, run_sweep, SweepJob, SweepOptions};
 use dtexl_pipeline::PipelineConfig;
+use dtexl_scene::Game;
+use dtexl_sched::ScheduleConfig;
+use std::io::Write as _;
 use std::time::Instant;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = take_flag(&mut args, "--quick");
+    let out = take_value(&mut args, "--out");
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {args:?}");
+        std::process::exit(1);
+    }
+    if quick {
+        bench_quick_sweep(out.as_deref());
+    } else {
+        bench_all_figures();
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args.remove(i))
+        .is_some()
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 >= args.len() {
+        args.remove(i);
+        return None;
+    }
+    args.remove(i);
+    Some(args.remove(i))
+}
+
+fn bench_all_figures() {
     let lane_threads = PipelineConfig::default().threads;
     let setup = Setup {
         threads: 1,
@@ -33,4 +79,73 @@ fn main() {
         lane_threads,
         elapsed.as_secs_f64()
     );
+}
+
+/// The canonical 20-job quick sweep, timed job-by-job through the
+/// sweep engine. One worker so the per-job wall times are not fighting
+/// each other for cores; the journal-visible metrics are bit-identical
+/// regardless.
+fn bench_quick_sweep(out: Option<&str>) {
+    let lane_threads = PipelineConfig::default().threads;
+    let jobs: Vec<SweepJob> = Game::ALL
+        .into_iter()
+        .flat_map(|game| {
+            [ScheduleConfig::baseline(), ScheduleConfig::dtexl()]
+                .into_iter()
+                .map(move |schedule| SweepJob::new(game, schedule, false, 480, 192, 0))
+        })
+        .collect();
+    let opts = SweepOptions {
+        workers: 1,
+        keep_going: true,
+        ..SweepOptions::default()
+    };
+    let start = Instant::now();
+    let report = match run_sweep(&jobs, &opts, |_, _| {}) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let total = start.elapsed();
+    if !report.is_success() {
+        eprintln!("{}", report.summary());
+        std::process::exit(1);
+    }
+
+    let mut json = format!(
+        "{{\"total_wall_ms\":{},\"lane_threads\":{lane_threads},\"jobs\":[",
+        total.as_millis()
+    );
+    for (i, r) in report.records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n  {{\"key\":\"{}\",\"wall_ms\":{},\"peak_alloc_bytes\":{}}}",
+            json_escape(&r.key),
+            r.elapsed.as_millis(),
+            r.peak_alloc.unwrap_or(0)
+        ));
+    }
+    json.push_str("\n]}\n");
+
+    match out {
+        Some(path) => {
+            let write = std::fs::File::create(path)
+                .and_then(|f| std::io::BufWriter::new(f).write_all(json.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "quick sweep: {} jobs, lane threads = {}, {:.3} s -> {path}",
+                report.records.len(),
+                lane_threads,
+                total.as_secs_f64()
+            );
+        }
+        None => print!("{json}"),
+    }
 }

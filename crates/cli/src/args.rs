@@ -62,6 +62,22 @@ impl Args {
         }
     }
 
+    /// Take every remaining argument that does not start with `-`, in
+    /// order. Call this *after* consuming named options, so an option's
+    /// value is not mistaken for a positional.
+    pub fn positionals(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.rest.len() {
+            if self.rest[i].starts_with('-') {
+                i += 1;
+            } else {
+                out.push(self.rest.remove(i));
+            }
+        }
+        out
+    }
+
     /// Fail if any argument was not consumed.
     pub fn finish(&mut self) -> Result<(), String> {
         if self.rest.is_empty() {
@@ -122,6 +138,20 @@ mod tests {
         let err = a.parsed_value::<usize>("--threads").unwrap_err();
         assert!(err.contains("--threads") && err.contains("nope"), "{err}");
         assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn positionals_after_named_options() {
+        let mut a = args("merge s0.jsonl s1.jsonl --out merged.jsonl");
+        assert_eq!(a.subcommand().as_deref(), Some("merge"));
+        assert_eq!(a.value("--out").as_deref(), Some("merged.jsonl"));
+        assert_eq!(a.positionals(), ["s0.jsonl", "s1.jsonl"]);
+        assert!(a.finish().is_ok());
+        // Unconsumed flags are still leftovers.
+        let mut a = args("merge s0.jsonl --typo");
+        a.subcommand();
+        assert_eq!(a.positionals(), ["s0.jsonl"]);
+        assert!(a.finish().unwrap_err().contains("--typo"));
     }
 
     #[test]

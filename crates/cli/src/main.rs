@@ -8,6 +8,9 @@
 //!                   [--res 1960x768] [--journal sweep.jsonl] [--resume]
 //!                   [--keep-going] [--job-timeout SECS] [--retries N]
 //!                   [--backoff-ms N] [--upper] [--threads N]
+//!                   [--shard i/N] [--job-mem-budget MB] [--table]
+//! dtexl sweep merge <journals...> --out merged.jsonl
+//! dtexl sweep canon <journal>
 //! dtexl render      --game SoD --out frame.ppm [--res 980x384]
 //! dtexl characterize [--res 1960x768]
 //! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
@@ -22,11 +25,22 @@
 //! object per line on stderr; `sweep` also emits its per-job records as
 //! JSON lines on stdout.
 //!
+//! `sweep --shard i/N` runs only the jobs a stable hash of the job key
+//! assigns to shard `i` of `N`; `sweep merge` unions shard journals
+//! back into one (last-wins per key, typed error on divergent records)
+//! and `sweep canon` prints a journal's latest `ok` records in a
+//! canonical `key|config_hash|coupled|decoupled|l2` form for diffing.
+//! `sweep --job-mem-budget MB` bounds each job's allocator high-water
+//! mark (exceeding it is a journaled, non-retried `mem_budget` error).
+//!
 //! Exit codes: `0` success; `1` error or aborted sweep; `2` sweep
 //! completed with failures (`--keep-going`).
 
 use dtexl::characterize::characterize_all;
-use dtexl::sweep::{journal_line, json_escape, RetryPolicy, SweepJob, SweepOptions};
+use dtexl::sweep::{
+    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, RetryPolicy,
+    Shard, SweepJob, SweepOptions,
+};
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
 use dtexl_scene::{Game, Scene, SceneSpec};
@@ -241,6 +255,13 @@ fn parse_schedules(args: &mut Args) -> Result<Vec<ScheduleConfig>, String> {
 /// JSON line per job. Exit code 0: all jobs completed; 1: aborted on
 /// first failure; 2: completed with failures (`--keep-going`).
 fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
+    // Nested subcommands operate on journals instead of running jobs.
+    match args.subcommand().as_deref() {
+        Some("merge") => return cmd_sweep_merge(args).map(|()| ExitCode::SUCCESS),
+        Some("canon") => return cmd_sweep_canon(args).map(|()| ExitCode::SUCCESS),
+        Some(other) => return Err(format!("unknown sweep subcommand '{other}'\n{}", usage())),
+        None => {}
+    }
     let games = parse_games(args)?;
     let schedules = parse_schedules(args)?;
     let (w, h) = parse_res(args)?;
@@ -255,6 +276,14 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         .map(std::time::Duration::from_secs);
     let retries: u32 = args.parsed_value("--retries")?.unwrap_or(0);
     let backoff_ms: u64 = args.parsed_value("--backoff-ms")?.unwrap_or(50);
+    let shard: Option<Shard> = match args.value("--shard") {
+        None => None,
+        Some(spec) => Some(spec.parse().map_err(|e| format!("bad --shard: {e}"))?),
+    };
+    let job_mem_budget = args
+        .parsed_value::<u64>("--job-mem-budget")?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let table = args.flag("--table");
     args.finish()?;
 
     if resume && journal.is_none() {
@@ -288,6 +317,8 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         },
         journal: journal.map(std::path::PathBuf::from),
         resume,
+        shard,
+        job_mem_budget,
         ..SweepOptions::default()
     };
     let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})
@@ -309,6 +340,9 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
             }
         }
     }
+    if table && format == Format::Text {
+        println!("{}", report.table());
+    }
     if report.is_success() {
         if format == Format::Text {
             println!("{}", report.summary());
@@ -321,6 +355,65 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         report_error(format, &report.summary());
         Ok(ExitCode::from(2))
     }
+}
+
+/// Union shard journals into one: `dtexl sweep merge <journals...>
+/// --out merged.jsonl`. Last-wins per key; two `ok` records with the
+/// same key and config hash but different metrics are a typed error.
+fn cmd_sweep_merge(args: &mut Args) -> Result<(), String> {
+    let out = args
+        .value("--out")
+        .ok_or_else(|| "missing --out <file>".to_string())?;
+    let inputs: Vec<std::path::PathBuf> = args
+        .positionals()
+        .into_iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    args.finish()?;
+    if inputs.is_empty() {
+        return Err("merge needs at least one input journal".into());
+    }
+    let stats = merge_journals(&inputs, std::path::Path::new(&out)).map_err(|e| e.to_string())?;
+    println!(
+        "merged {} journal(s): {} record(s), {} superseded, {} corrupt line(s) dropped -> {out}",
+        stats.journals, stats.records, stats.superseded, stats.corrupt
+    );
+    Ok(())
+}
+
+/// Print a journal's latest `ok` records in the canonical, sorted
+/// `key|config_hash|coupled|decoupled|l2` form. Volatile fields (wall
+/// time, peak allocation, shard) are omitted, so two journals that
+/// simulated the same jobs canonicalize identically — CI diffs a
+/// merged shard run against an unsharded one this way.
+fn cmd_sweep_canon(args: &mut Args) -> Result<(), String> {
+    let inputs = args.positionals();
+    args.finish()?;
+    let [path] = inputs.as_slice() else {
+        return Err("canon needs exactly one journal".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut latest: std::collections::BTreeMap<String, JournalEntry> =
+        std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if let Some(e) = parse_journal_line(line) {
+            latest.insert(e.key.clone(), e);
+        }
+    }
+    for (key, e) in latest {
+        if e.status != "ok" {
+            continue;
+        }
+        let Some(m) = e.metrics else { continue };
+        println!(
+            "{key}|{:016x}|{}|{}|{}",
+            e.config_hash.unwrap_or(0),
+            m.coupled_cycles,
+            m.decoupled_cycles,
+            m.l2_accesses
+        );
+    }
+    Ok(())
 }
 
 fn cmd_render(args: &mut Args) -> Result<(), String> {

@@ -229,6 +229,139 @@ fn sweep_resume_requires_a_journal() {
 }
 
 #[test]
+fn sharded_sweeps_merge_back_to_the_unsharded_journal() {
+    let dir = std::env::temp_dir().join(format!("dtexl_cli_shard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    let sweep = |extra: &[&str]| {
+        let mut args = vec!["sweep", "--games", "CCS,GTr,Mze", "--res", "128x64"];
+        args.extend_from_slice(extra);
+        let out = dtexl(&args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    sweep(&["--journal", &path("all.jsonl")]);
+    sweep(&["--journal", &path("s0.jsonl"), "--shard", "0/2", "--table"]);
+    sweep(&["--journal", &path("s1.jsonl"), "--shard", "1/2"]);
+
+    let out = dtexl(&[
+        "sweep",
+        "merge",
+        &path("s0.jsonl"),
+        &path("s1.jsonl"),
+        "--out",
+        &path("merged.jsonl"),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("merged 2 journal(s): 6 record(s)"),
+        "stdout: {stdout}"
+    );
+
+    // `sweep canon` strips the volatile fields (timings, peaks, shard
+    // stamps): the merged journal must canonicalise identically to the
+    // unsharded one.
+    let canon = |journal: &str| {
+        let out = dtexl(&["sweep", "canon", journal]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let merged = canon(&path("merged.jsonl"));
+    assert_eq!(merged, canon(&path("all.jsonl")));
+    assert_eq!(merged.lines().count(), 6);
+    assert!(merged.lines().all(|l| l.split('|').count() >= 5));
+
+    // The merged journal drives --resume exactly like a native one.
+    let out = dtexl(&[
+        "sweep",
+        "--games",
+        "CCS,GTr,Mze",
+        "--res",
+        "128x64",
+        "--journal",
+        &path("merged.jsonl"),
+        "--resume",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("Skipped").count(), 6, "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_bad_shard_specs_and_merge_without_out() {
+    for bad in ["2/2", "0/0", "nonsense", "1"] {
+        let out = dtexl(&["sweep", "--games", "CCS", "--res", "128x64", "--shard", bad]);
+        assert_eq!(out.status.code(), Some(1), "--shard {bad} must be rejected");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--shard"));
+    }
+    let out = dtexl(&["sweep", "merge", "some.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn job_mem_budget_fails_hungry_jobs_with_a_typed_error() {
+    // 1 MB budget: even a small frame's working set exceeds it, so the
+    // job fails with the mem_budget error kind and exit code 2
+    // (completed with failures), not a crash.
+    let out = dtexl(&[
+        "sweep",
+        "--games",
+        "CCS",
+        "--schedules",
+        "baseline",
+        "--res",
+        "128x64",
+        "--keep-going",
+        "--job-mem-budget",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("memory budget"), "stderr: {stderr}");
+}
+
+#[test]
+fn sweep_table_reports_peaks_per_job() {
+    let out = dtexl(&[
+        "sweep",
+        "--games",
+        "GTr",
+        "--schedules",
+        "dtexl",
+        "--res",
+        "128x64",
+        "--table",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("peak_alloc"), "stdout: {stdout}");
+    assert!(stdout.contains("MiB"), "stdout: {stdout}");
+}
+
+#[test]
 fn named_schedules_are_accepted() {
     let out = dtexl(&[
         "sim",

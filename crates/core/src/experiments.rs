@@ -231,6 +231,11 @@ impl Lab {
         if opts.workers == 0 {
             opts.workers = self.setup.threads;
         }
+        // Sharding is a fleet-level concern: the lab needs every job's
+        // result in its cache, so a shard filter (which silently drops
+        // out-of-shard jobs) would break the `try_result` invariant
+        // that ensured keys are present.
+        opts.shard = None;
         run_sweep(&sweep_jobs, &opts, |job, result| {
             self.cache.lock().insert(
                 Self::key(job.game, &job.schedule, job.pipeline.upper_bound),

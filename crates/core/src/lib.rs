@@ -47,6 +47,7 @@ pub use metrics::{percentile, Distribution, Row, Table};
 pub use sim::{SequenceReport, SimConfig, SimReport, Simulator, CLOCK_HZ};
 
 // Re-export the member crates so `dtexl` is a one-stop dependency.
+pub use dtexl_alloc as alloc;
 pub use dtexl_gmath as gmath;
 pub use dtexl_mem as mem;
 pub use dtexl_pipeline as pipeline;

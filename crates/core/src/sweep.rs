@@ -25,11 +25,30 @@
 //!   [config hash](SweepJob::config_hash); resume refuses to skip a
 //!   completed job whose recorded hash no longer matches the job, so
 //!   stale results can never masquerade as current ones.
+//! * **Sharding** — [`SweepOptions::shard`] restricts a run to the
+//!   jobs a stable hash of the *job key* assigns to shard `i` of `N`
+//!   ([`shard_of`]), so several machines can split one canonical job
+//!   list without coordination and appending jobs never reshuffles
+//!   existing assignments. Shard journals are unioned back together by
+//!   [`merge_journals`] (last-wins per key, with a typed
+//!   [`MergeError::Divergent`] when two `ok` records for the same key
+//!   and config hash disagree on metrics); `--resume` works against
+//!   both per-shard and merged journals.
+//! * **Memory budgets** — [`SweepOptions::job_mem_budget`] bounds each
+//!   job's allocator high-water mark. Every job thread is tagged with
+//!   a [`dtexl_alloc::AllocMeter`]; the dispatching worker polls the
+//!   meter and abandons jobs that exceed the budget with a typed
+//!   [`JobError::MemBudget`] — journaled and resumable exactly like a
+//!   wall-clock timeout, but never retried (the same job at the same
+//!   budget allocates the same bytes). Peak usage is recorded on every
+//!   attempted job ([`JobRecord::peak_alloc`]) whether or not a budget
+//!   is set, so fleet runs are memory-debuggable from journals alone.
 //!
 //! The journal is hand-rolled JSON (the vendored `serde` stand-in does
 //! not serialize); the format is pinned in `docs/ROBUSTNESS.md` and by
 //! the tests in this module.
 
+use dtexl_alloc::{meter_current_thread, AllocMeter};
 use dtexl_pipeline::{BarrierMode, FrameResult, FrameSim, PipelineConfig, SimError};
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::ScheduleConfig;
@@ -37,8 +56,9 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One unit of sweep work: a fully-specified frame simulation.
@@ -141,6 +161,105 @@ impl SweepJob {
     }
 }
 
+/// Which shard of the canonical job list `shard_of` assigns a key to:
+/// `fnv1a(key) % count`. Hashing the *key* (not the list position)
+/// makes assignments stable under job-list append — adding games never
+/// moves an existing job to a different shard.
+#[must_use]
+pub fn shard_of(key: &str, count: u32) -> u32 {
+    (fnv1a(key.as_bytes()) % u64::from(count.max(1))) as u32
+}
+
+/// One slice `i/N` of a sharded sweep (`0 <= i < N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index (0-based).
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Shard {
+    /// Build a validated shard selector.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `count == 0` and `index >= count`.
+    pub fn new(index: u32, count: u32) -> Result<Self, ParseShardError> {
+        if count == 0 {
+            return Err(ParseShardError::ZeroCount);
+        }
+        if index >= count {
+            return Err(ParseShardError::IndexOutOfRange { index, count });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Whether this shard owns the job with identity `key`.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        shard_of(key, self.count) == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = ParseShardError;
+
+    /// Parse the CLI spelling `i/N`, e.g. `0/2`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| ParseShardError::Malformed(s.into()))?;
+        let index = index
+            .trim()
+            .parse()
+            .map_err(|_| ParseShardError::Malformed(s.into()))?;
+        let count = count
+            .trim()
+            .parse()
+            .map_err(|_| ParseShardError::Malformed(s.into()))?;
+        Shard::new(index, count)
+    }
+}
+
+/// Why a shard spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseShardError {
+    /// Not of the form `i/N` with two unsigned integers.
+    Malformed(String),
+    /// `N == 0`: a sweep cannot be split into zero shards.
+    ZeroCount,
+    /// `i >= N`: the index names a shard that does not exist.
+    IndexOutOfRange {
+        /// Offending index.
+        index: u32,
+        /// Declared shard count.
+        count: u32,
+    },
+}
+
+impl fmt::Display for ParseShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseShardError::Malformed(s) => {
+                write!(f, "shard spec `{s}` is not of the form i/N (e.g. 0/2)")
+            }
+            ParseShardError::ZeroCount => write!(f, "shard count must be >= 1"),
+            ParseShardError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range for {count} shard(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseShardError {}
+
 /// Why a sweep job failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
@@ -155,14 +274,25 @@ pub enum JobError {
         /// The budget it blew through.
         after: Duration,
     },
+    /// The job's allocator high-water mark exceeded the per-job memory
+    /// budget and the job was abandoned. Deterministic at a fixed
+    /// budget (the same job allocates the same bytes), so never
+    /// retried; `--resume` with a raised budget re-runs it.
+    MemBudget {
+        /// Peak bytes observed when the job was abandoned.
+        used: u64,
+        /// The budget (bytes) it exceeded.
+        budget: u64,
+    },
 }
 
 impl JobError {
     /// Whether a retry could plausibly succeed (panics and timeouts can
-    /// be transient; typed rejections cannot).
+    /// be transient; typed rejections cannot, and a memory budget is
+    /// deterministic at a fixed budget).
     #[must_use]
     pub fn retryable(&self) -> bool {
-        !matches!(self, JobError::Invalid(_))
+        !matches!(self, JobError::Invalid(_) | JobError::MemBudget { .. })
     }
 
     /// Short machine-readable kind tag (journal `error_kind` field).
@@ -172,6 +302,7 @@ impl JobError {
             JobError::Invalid(_) => "invalid",
             JobError::Panicked(_) => "panic",
             JobError::TimedOut { .. } => "timeout",
+            JobError::MemBudget { .. } => "mem_budget",
         }
     }
 }
@@ -184,6 +315,10 @@ impl fmt::Display for JobError {
             JobError::TimedOut { after } => {
                 write!(f, "job exceeded its {}ms timeout", after.as_millis())
             }
+            JobError::MemBudget { used, budget } => write!(
+                f,
+                "job allocated {used} bytes, exceeding its {budget}-byte memory budget"
+            ),
         }
     }
 }
@@ -266,6 +401,14 @@ pub struct SweepOptions {
     /// Skip jobs whose latest journal entry is `ok` *and* whose
     /// recorded config hash still matches (requires `journal`).
     pub resume: bool,
+    /// Run only the jobs [`shard_of`] assigns to this shard; `None`
+    /// runs the full list. Out-of-shard jobs get no record and no
+    /// journal line — they belong to another machine's run.
+    pub shard: Option<Shard>,
+    /// Per-job allocator high-water budget in **bytes**; `None` is
+    /// unbounded. Exceeding it fails the job with
+    /// [`JobError::MemBudget`] (never retried at the same budget).
+    pub job_mem_budget: Option<u64>,
     /// How backoff delays are slept. Defaults to
     /// [`std::thread::sleep`]; tests inject a recording stub so retry
     /// schedules are pinned without wall-clock coupling.
@@ -281,6 +424,8 @@ impl Default for SweepOptions {
             retry: RetryPolicy::default(),
             journal: None,
             resume: false,
+            shard: None,
+            job_mem_budget: None,
             sleeper: std::thread::sleep,
         }
     }
@@ -343,6 +488,11 @@ pub struct JobRecord {
     /// The job's [`SweepJob::config_hash`], journaled so resume can
     /// detect configuration drift.
     pub config_hash: u64,
+    /// Allocator high-water mark (bytes) across all attempts; `None`
+    /// for jobs that never ran (skipped / not-run).
+    pub peak_alloc: Option<u64>,
+    /// The shard this record was produced under, when sharded.
+    pub shard: Option<Shard>,
 }
 
 /// End-of-sweep summary: one record per job plus the abort flag.
@@ -404,16 +554,83 @@ impl SweepReport {
         }
         s
     }
+
+    /// Fixed-width per-job summary table: status, attempts, wall time
+    /// and allocator high-water mark — the engine's own observability
+    /// view, so fleet runs are debuggable without re-parsing journals.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let key_w = self
+            .records
+            .iter()
+            .map(|r| r.key.len())
+            .max()
+            .unwrap_or(3)
+            .max(3);
+        let mut s = format!(
+            "{:key_w$}  {:8}  {:>3}  {:>10}  {:>14}",
+            "key", "status", "att", "elapsed_ms", "peak_alloc"
+        );
+        if let Some(shard) = self.records.iter().find_map(|r| r.shard) {
+            let _ = write!(s, "  (shard {shard})");
+        }
+        for r in &self.records {
+            let status = match r.status {
+                JobStatus::Ok => "ok",
+                JobStatus::Failed => "failed",
+                JobStatus::Skipped => "skipped",
+                JobStatus::NotRun => "not_run",
+            };
+            let peak = r
+                .peak_alloc
+                .map_or_else(|| "-".into(), |p| format!("{:.1} MiB", p as f64 / MIB));
+            let _ = write!(
+                s,
+                "\n{:key_w$}  {:8}  {:>3}  {:>10}  {:>14}",
+                r.key,
+                status,
+                r.attempts,
+                r.elapsed.as_millis(),
+                peak
+            );
+        }
+        s
+    }
 }
 
+/// Bytes per mebibyte (the unit `--job-mem-budget` is spelled in).
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// How often the watchdog samples the job's allocator meter while a
+/// memory budget (or a timeout alongside one) is in force.
+const WATCHDOG_POLL: Duration = Duration::from_millis(5);
+
 /// Run one job attempt on a disposable thread: panics are caught, and
-/// with a timeout the thread is abandoned (detached) once the budget is
-/// exhausted — it cannot block the sweep.
-fn run_attempt(job: SweepJob, timeout: Option<Duration>) -> Result<FrameResult, JobError> {
+/// the watchdogs abandon (detach) the thread once a wall-clock or
+/// memory budget is exhausted — it cannot block the sweep. The job
+/// thread is tagged with an [`AllocMeter`] for its whole life, so the
+/// returned peak covers the attempt whether or not a budget is set.
+///
+/// A budget overrun is detected two ways: the poll loop catches jobs
+/// mid-flight (so a wedged, over-budget job is abandoned promptly),
+/// and a final high-water check after completion catches spikes that
+/// came and went between polls — making the verdict deterministic for
+/// a given job and budget, independent of scheduler timing.
+fn run_attempt(
+    job: SweepJob,
+    timeout: Option<Duration>,
+    mem_budget: Option<u64>,
+) -> (Result<FrameResult, JobError>, u64) {
+    let meter = AllocMeter::new();
     let (tx, rx) = std::sync::mpsc::channel();
+    let job_meter = Arc::clone(&meter);
     std::thread::spawn(move || {
+        // Tag before any simulation work so every allocation of this
+        // disposable thread is charged to the job's meter.
+        let _tag = meter_current_thread(&job_meter);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.simulate()));
-        // The receiver may be gone (timeout): ignore the send error.
+        // The receiver may be gone (watchdog fired): ignore the send error.
         let _ = tx.send(outcome.map_err(|payload| {
             payload
                 .downcast_ref::<&str>()
@@ -422,19 +639,49 @@ fn run_attempt(job: SweepJob, timeout: Option<Duration>) -> Result<FrameResult, 
                 .unwrap_or_else(|| "non-string panic payload".into())
         }));
     });
-    let outcome = match timeout {
-        Some(t) => rx
-            .recv_timeout(t)
-            .map_err(|_| JobError::TimedOut { after: t })?,
-        None => rx
-            .recv()
-            .map_err(|_| JobError::Panicked("job thread died without reporting".into()))?,
+
+    let started = Instant::now();
+    let outcome = loop {
+        if let Some(budget) = mem_budget {
+            let used = meter.peak_bytes();
+            if used > budget {
+                return (Err(JobError::MemBudget { used, budget }), used);
+            }
+        }
+        let slice = match (timeout, mem_budget) {
+            (Some(t), _) => {
+                let elapsed = started.elapsed();
+                if elapsed >= t {
+                    return (Err(JobError::TimedOut { after: t }), meter.peak_bytes());
+                }
+                (t - elapsed).min(WATCHDOG_POLL)
+            }
+            (None, Some(_)) => WATCHDOG_POLL,
+            (None, None) => match rx.recv() {
+                Ok(v) => break v,
+                Err(_) => {
+                    break Err("job thread died without reporting".into());
+                }
+            },
+        };
+        match rx.recv_timeout(slice) {
+            Ok(v) => break v,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                break Err("job thread died without reporting".into());
+            }
+        }
     };
-    match outcome {
-        Ok(Ok(result)) => Ok(result),
+    let peak = meter.peak_bytes();
+    let result = match outcome {
+        Ok(Ok(result)) => match mem_budget {
+            Some(budget) if peak > budget => Err(JobError::MemBudget { used: peak, budget }),
+            _ => Ok(result),
+        },
         Ok(Err(sim)) => Err(JobError::Invalid(sim)),
         Err(panic_msg) => Err(JobError::Panicked(panic_msg)),
-    }
+    };
+    (result, peak)
 }
 
 /// Execute `jobs` with isolation, retries and journaling; `on_ok` is
@@ -492,6 +739,11 @@ where
                     break;
                 };
                 let key = job.key();
+                // Out-of-shard jobs belong to another machine's run:
+                // no record, no journal line.
+                if opts.shard.is_some_and(|s| !s.contains(&key)) {
+                    continue;
+                }
                 let config_hash = job.config_hash();
                 // Resume refuses to skip when the journaled config
                 // hash differs from the job's: the old result was
@@ -508,6 +760,8 @@ where
                         error: None,
                         metrics: None,
                         config_hash,
+                        peak_alloc: None,
+                        shard: opts.shard,
                     };
                     records.lock().push(record);
                     continue;
@@ -515,9 +769,12 @@ where
 
                 let started = Instant::now();
                 let mut attempts = 0u32;
+                let mut peak_alloc = 0u64;
                 let outcome = loop {
                     attempts += 1;
-                    match run_attempt(job, opts.job_timeout) {
+                    let (attempt, peak) = run_attempt(job, opts.job_timeout, opts.job_mem_budget);
+                    peak_alloc = peak_alloc.max(peak);
+                    match attempt {
                         Ok(result) => break Ok(result),
                         Err(e) => {
                             if !e.retryable() || attempts > opts.retry.max_retries {
@@ -542,6 +799,8 @@ where
                             error: None,
                             metrics: Some(metrics),
                             config_hash,
+                            peak_alloc: Some(peak_alloc),
+                            shard: opts.shard,
                         }
                     }
                     Err(e) => {
@@ -555,6 +814,8 @@ where
                             error: Some(e),
                             metrics: None,
                             config_hash,
+                            peak_alloc: Some(peak_alloc),
+                            shard: opts.shard,
                         }
                     }
                 };
@@ -575,21 +836,29 @@ where
     records.sort_by_key(|r| r.index);
     let aborted = abort.load(Ordering::Relaxed) && !opts.keep_going;
     // Jobs never dispatched because of an abort still get a record, so
-    // reports always cover the full job list.
+    // reports always cover the full job list — restricted, when
+    // sharded, to the jobs this shard owns.
     let covered: BTreeSet<usize> = records.iter().map(|r| r.index).collect();
     for (index, job) in jobs.iter().enumerate() {
-        if !covered.contains(&index) {
-            records.push(JobRecord {
-                index,
-                key: job.key(),
-                status: JobStatus::NotRun,
-                attempts: 0,
-                elapsed: Duration::ZERO,
-                error: None,
-                metrics: None,
-                config_hash: job.config_hash(),
-            });
+        if covered.contains(&index) {
+            continue;
         }
+        let key = job.key();
+        if opts.shard.is_some_and(|s| !s.contains(&key)) {
+            continue;
+        }
+        records.push(JobRecord {
+            index,
+            key,
+            status: JobStatus::NotRun,
+            attempts: 0,
+            elapsed: Duration::ZERO,
+            error: None,
+            metrics: None,
+            config_hash: job.config_hash(),
+            peak_alloc: None,
+            shard: opts.shard,
+        });
     }
     records.sort_by_key(|r| r.index);
     Ok(SweepReport { records, aborted })
@@ -641,6 +910,12 @@ pub fn journal_line(r: &JobRecord) -> String {
             ",\"coupled_cycles\":{},\"decoupled_cycles\":{},\"l2_accesses\":{}",
             m.coupled_cycles, m.decoupled_cycles, m.l2_accesses
         );
+    }
+    if let Some(p) = r.peak_alloc {
+        let _ = write!(s, ",\"peak_alloc_bytes\":{p}");
+    }
+    if let Some(shard) = r.shard {
+        let _ = write!(s, ",\"shard\":\"{shard}\"");
     }
     if let Some(e) = &r.error {
         let _ = write!(
@@ -706,6 +981,13 @@ pub struct JournalEntry {
     pub metrics: Option<JobMetrics>,
     /// Journal-v2 config hash; `None` on pre-v2 lines.
     pub config_hash: Option<u64>,
+    /// Allocator high-water mark (bytes); `None` on lines written
+    /// before memory metering or for jobs that never ran.
+    pub peak_alloc_bytes: Option<u64>,
+    /// The shard that produced the line, when the run was sharded.
+    pub shard: Option<Shard>,
+    /// Journaled `error_kind` tag, for failed entries.
+    pub error_kind: Option<String>,
 }
 
 /// Parse one journal line; `None` for blank, truncated or corrupt
@@ -737,6 +1019,9 @@ pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
         attempts: field_u64(line, "attempts").unwrap_or(0),
         metrics,
         config_hash: field_str(line, "config_hash").and_then(|h| u64::from_str_radix(&h, 16).ok()),
+        peak_alloc_bytes: field_u64(line, "peak_alloc_bytes"),
+        shard: field_str(line, "shard").and_then(|s| s.parse().ok()),
+        error_kind: field_str(line, "error_kind"),
     })
 }
 
@@ -767,6 +1052,172 @@ pub fn completed_entries(journal: &str) -> BTreeMap<String, Option<u64>> {
         .collect()
 }
 
+// --- shard-journal merge ---------------------------------------------------
+
+/// Why merging shard journals failed.
+#[derive(Debug)]
+pub enum MergeError {
+    /// An input journal could not be read, or the output written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Two `ok` records for the same key *and the same config hash*
+    /// disagree on metrics. The simulator is deterministic, so equal
+    /// configurations must produce bit-identical metrics — divergence
+    /// means corruption or mixed simulator builds, and is never
+    /// auto-resolved.
+    Divergent {
+        /// The job key both records claim.
+        key: String,
+        /// The config hash both records carry.
+        config_hash: u64,
+        /// Metrics from the record seen first.
+        first: JobMetrics,
+        /// Metrics from the conflicting later record.
+        second: JobMetrics,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            MergeError::Divergent {
+                key,
+                config_hash,
+                first,
+                second,
+            } => write!(
+                f,
+                "divergent records for `{key}` (config {config_hash:016x}): \
+                 {first:?} vs {second:?} — same configuration must be bit-identical"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Io { source, .. } => Some(source),
+            MergeError::Divergent { .. } => None,
+        }
+    }
+}
+
+/// Bookkeeping from one merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Input journals consumed.
+    pub journals: usize,
+    /// Parseable records read across all inputs.
+    pub lines: usize,
+    /// Non-blank lines that did not parse (corrupt / truncated) and
+    /// were dropped.
+    pub corrupt: usize,
+    /// Unique keys in the merged output.
+    pub records: usize,
+    /// Records replaced by a later entry for the same key (duplicates
+    /// across shards, or re-runs within one journal).
+    pub superseded: usize,
+}
+
+/// Union journal texts (in argument order, lines in file order) with
+/// last-wins-per-key resolution. Two `ok` records sharing a key *and*
+/// a config hash must agree on metrics ([`MergeError::Divergent`]
+/// otherwise); a record with a *different* hash simply supersedes the
+/// earlier one — the configuration drifted and the later run is
+/// authoritative, exactly as in-journal resume semantics. Output lines
+/// are the winning verbatim input lines, sorted by key.
+///
+/// # Errors
+///
+/// Only [`MergeError::Divergent`]; the text-level API does no I/O.
+pub fn merge_journal_texts(texts: &[String]) -> Result<(String, MergeStats), MergeError> {
+    let mut stats = MergeStats {
+        journals: texts.len(),
+        ..MergeStats::default()
+    };
+    let mut winners: BTreeMap<String, (JournalEntry, String)> = BTreeMap::new();
+    for text in texts {
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let Some(entry) = parse_journal_line(trimmed) else {
+                stats.corrupt += 1;
+                continue;
+            };
+            stats.lines += 1;
+            if let Some((prev, _)) = winners.get(&entry.key) {
+                if let (Some(h), Some(ph), Some(m), Some(pm)) = (
+                    entry.config_hash,
+                    prev.config_hash,
+                    entry.metrics,
+                    prev.metrics,
+                ) {
+                    if entry.status == "ok" && prev.status == "ok" && h == ph && m != pm {
+                        return Err(MergeError::Divergent {
+                            key: entry.key,
+                            config_hash: h,
+                            first: pm,
+                            second: m,
+                        });
+                    }
+                }
+                stats.superseded += 1;
+            }
+            winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
+        }
+    }
+    stats.records = winners.len();
+    let mut out = String::new();
+    for (_, (_, line)) in winners {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok((out, stats))
+}
+
+/// File-level [`merge_journal_texts`]: read `inputs` in order, write
+/// the merged journal to `out` (parent directories created). The
+/// merged file is itself a valid journal — `--resume` against it skips
+/// everything the shards completed.
+///
+/// # Errors
+///
+/// [`MergeError::Io`] for unreadable inputs or an unwritable output,
+/// [`MergeError::Divergent`] per [`merge_journal_texts`].
+pub fn merge_journals(inputs: &[PathBuf], out: &Path) -> Result<MergeStats, MergeError> {
+    let mut texts = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        texts.push(
+            std::fs::read_to_string(path).map_err(|source| MergeError::Io {
+                path: path.clone(),
+                source,
+            })?,
+        );
+    }
+    let (merged, stats) = merge_journal_texts(&texts)?;
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).map_err(|source| MergeError::Io {
+            path: out.to_path_buf(),
+            source,
+        })?;
+    }
+    std::fs::write(out, merged).map_err(|source| MergeError::Io {
+        path: out.to_path_buf(),
+        source,
+    })?;
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +1241,8 @@ mod tests {
                 l2_accesses: 5,
             }),
             config_hash: 0xdead_beef_0042,
+            peak_alloc: Some(1_482_336),
+            shard: Some(Shard { index: 1, count: 3 }),
         };
         let line = journal_line(&ok);
         let e = parse_journal_line(&line).unwrap();
@@ -798,6 +1251,9 @@ mod tests {
         assert_eq!(e.attempts, 2);
         assert_eq!(e.metrics, ok.metrics);
         assert_eq!(e.config_hash, Some(0xdead_beef_0042));
+        assert_eq!(e.peak_alloc_bytes, Some(1_482_336));
+        assert_eq!(e.shard, Some(Shard { index: 1, count: 3 }));
+        assert_eq!(e.error_kind, None);
 
         let failed = JobRecord {
             error: Some(JobError::Panicked("boom \"quoted\"\npath".into())),
@@ -809,9 +1265,217 @@ mod tests {
         let e = parse_journal_line(&line).unwrap();
         assert_eq!(e.status, "failed");
         assert_eq!(e.metrics, None);
+        assert_eq!(e.error_kind.as_deref(), Some("panic"));
         assert!(field_str(&line, "error")
             .unwrap()
             .contains("boom \"quoted\""));
+    }
+
+    #[test]
+    fn mem_budget_errors_journal_their_kind_and_are_not_retryable() {
+        let e = JobError::MemBudget {
+            used: 20 << 20,
+            budget: 16 << 20,
+        };
+        assert!(!e.retryable(), "deterministic at a fixed budget");
+        assert_eq!(e.kind(), "mem_budget");
+        assert!(e.to_string().contains("memory budget"));
+    }
+
+    #[test]
+    fn shard_spec_parses_displays_and_validates() {
+        let s: Shard = "0/2".parse().unwrap();
+        assert_eq!(s, Shard { index: 0, count: 2 });
+        assert_eq!(s.to_string(), "0/2");
+        assert_eq!("2/3".parse::<Shard>().unwrap().index, 2);
+        assert!(matches!(
+            "3/3".parse::<Shard>(),
+            Err(ParseShardError::IndexOutOfRange { index: 3, count: 3 })
+        ));
+        assert!(matches!(
+            "0/0".parse::<Shard>(),
+            Err(ParseShardError::ZeroCount)
+        ));
+        assert!(matches!(
+            "nope".parse::<Shard>(),
+            Err(ParseShardError::Malformed(_))
+        ));
+        assert!(matches!(
+            "1".parse::<Shard>(),
+            Err(ParseShardError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn shards_partition_keys_exactly_once() {
+        let keys: Vec<String> = (0..40).map(|i| format!("job-{i}|base|96x64#0")).collect();
+        for count in [1u32, 2, 3, 5] {
+            for key in &keys {
+                let owners = (0..count)
+                    .filter(|&i| Shard { index: i, count }.contains(key))
+                    .count();
+                assert_eq!(owners, 1, "{key} under {count} shards");
+            }
+        }
+        // Hash-of-key assignment: position in the list is irrelevant,
+        // so appending jobs cannot move existing ones across shards.
+        for key in &keys {
+            assert_eq!(shard_of(key, 3), shard_of(key, 3));
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_runs_only_its_slice_and_stamps_records() {
+        let jobs: Vec<SweepJob> = [Game::CandyCrush, Game::TempleRun, Game::Maze]
+            .into_iter()
+            .map(tiny_job)
+            .collect();
+        let shard = Shard { index: 0, count: 2 };
+        let opts = SweepOptions {
+            shard: Some(shard),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&jobs, &opts, |_, _| {}).unwrap();
+        let expected: Vec<&SweepJob> = jobs.iter().filter(|j| shard.contains(&j.key())).collect();
+        assert!(!expected.is_empty() && expected.len() < jobs.len());
+        assert_eq!(report.records.len(), expected.len());
+        for r in &report.records {
+            assert_eq!(r.status, JobStatus::Ok);
+            assert_eq!(r.shard, Some(shard));
+            assert!(r.peak_alloc.unwrap() > 0, "attempted jobs carry a peak");
+        }
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn merge_unions_shards_and_dedups_identical_records() {
+        let a = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"0000000000000001\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let b = "{\"key\":\"b\",\"status\":\"ok\",\"config_hash\":\"0000000000000002\",\"coupled_cycles\":20,\"decoupled_cycles\":18,\"l2_accesses\":6}\n".to_string();
+        let (merged, stats) = merge_journal_texts(&[a.clone(), b, a]).unwrap();
+        assert_eq!(stats.journals, 3);
+        assert_eq!(stats.lines, 3);
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.superseded, 1, "the duplicate `a` was deduped");
+        assert_eq!(stats.corrupt, 0);
+        let keys: Vec<String> = merged
+            .lines()
+            .map(|l| parse_journal_line(l).unwrap().key)
+            .collect();
+        assert_eq!(keys, ["a", "b"], "sorted by key");
+    }
+
+    #[test]
+    fn merge_rejects_divergent_metrics_for_equal_hashes() {
+        let a = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"00000000000000aa\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let twisted = a.replace("\"l2_accesses\":3", "\"l2_accesses\":4");
+        let err = merge_journal_texts(&[a, twisted]).unwrap_err();
+        match err {
+            MergeError::Divergent {
+                key,
+                config_hash,
+                first,
+                second,
+            } => {
+                assert_eq!(key, "a");
+                assert_eq!(config_hash, 0xaa);
+                assert_eq!(first.l2_accesses, 3);
+                assert_eq!(second.l2_accesses, 4);
+            }
+            other => panic!("expected Divergent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_lets_a_newer_config_hash_supersede() {
+        let old = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"0000000000000001\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let new = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"0000000000000002\",\"coupled_cycles\":99,\"decoupled_cycles\":80,\"l2_accesses\":7}\n".to_string();
+        let (merged, stats) = merge_journal_texts(&[old, new]).unwrap();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.superseded, 1);
+        let e = parse_journal_line(merged.trim()).unwrap();
+        assert_eq!(e.config_hash, Some(2), "config drift: the later run wins");
+        assert_eq!(e.metrics.unwrap().l2_accesses, 7);
+    }
+
+    #[test]
+    fn merge_tolerates_corrupt_pre_v2_and_empty_inputs() {
+        let shard0 = concat!(
+            "{\"key\":\"a\",\"status\":\"ok\"}\n", // pre-v2: no hash, no metrics
+            "{\"key\":\"b\",\"status\":\"fail",    // truncated by a kill
+        )
+        .to_string();
+        let shard1 = concat!(
+            "garbage line\n",
+            "{\"key\":\"c\",\"status\":\"failed\",\"config_hash\":\"0000000000000003\",\"error_kind\":\"timeout\",\"error\":\"x\"}\n",
+        )
+        .to_string();
+        let empty = String::new();
+        let (merged, stats) = merge_journal_texts(&[shard0, shard1, empty]).unwrap();
+        assert_eq!(stats.journals, 3);
+        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.corrupt, 2, "truncated + garbage lines dropped");
+        assert_eq!(stats.records, 2);
+        let entries: Vec<JournalEntry> = merged
+            .lines()
+            .map(|l| parse_journal_line(l).unwrap())
+            .collect();
+        assert_eq!(entries[0].key, "a");
+        assert_eq!(entries[0].config_hash, None, "pre-v2 line passes through");
+        assert_eq!(entries[1].error_kind.as_deref(), Some("timeout"));
+    }
+
+    #[test]
+    fn merged_file_resumes_like_a_single_journal() {
+        let dir = std::env::temp_dir().join(format!("dtexl_sweep_merge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs: Vec<SweepJob> = [Game::CandyCrush, Game::TempleRun, Game::Maze]
+            .into_iter()
+            .map(tiny_job)
+            .collect();
+        let mut shard_paths = Vec::new();
+        for index in 0..2u32 {
+            let path = dir.join(format!("shard{index}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let opts = SweepOptions {
+                shard: Some(Shard { index, count: 2 }),
+                journal: Some(path.clone()),
+                ..SweepOptions::default()
+            };
+            assert!(run_sweep(&jobs, &opts, |_, _| {}).unwrap().is_success());
+            shard_paths.push(path);
+        }
+        let merged = dir.join("merged.jsonl");
+        let stats = merge_journals(&shard_paths, &merged).unwrap();
+        assert_eq!(stats.records, jobs.len(), "shards cover the full list");
+
+        let opts = SweepOptions {
+            journal: Some(merged),
+            resume: true,
+            ..SweepOptions::default()
+        };
+        let ran = AtomicUsize::new(0);
+        let report = run_sweep(&jobs, &opts, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "merged journal resumes");
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.status == JobStatus::Skipped));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_table_lists_every_job_with_peaks() {
+        let jobs = vec![tiny_job(Game::CandyCrush), tiny_job(Game::TempleRun)];
+        let report = run_sweep(&jobs, &SweepOptions::default(), |_, _| {}).unwrap();
+        let table = report.table();
+        assert!(table.starts_with("key"), "{table}");
+        for r in &report.records {
+            assert!(table.contains(&r.key), "{table}");
+        }
+        assert!(table.contains("MiB"), "peaks rendered: {table}");
     }
 
     #[test]

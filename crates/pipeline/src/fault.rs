@@ -7,7 +7,7 @@
 //! lane stalls, while coupled barriers collapse to the slowest lane
 //! (see `tests/fault_injection.rs` and `docs/ROBUSTNESS.md`).
 //!
-//! Three independent knobs:
+//! Four independent knobs:
 //!
 //! * **Lane stall** — one shader-core lane loses [`LaneStall::cycles`]
 //!   fragment-stage cycles on a single tile chosen deterministically
@@ -20,6 +20,10 @@
 //!   [`FaultPlan::wall_stall_ms`] of real time before running. Purely a
 //!   test hook for the sweep engine's per-job timeout watchdog; it does
 //!   not change any simulated metric.
+//! * **Allocation spike** — the simulation transiently allocates
+//!   [`FaultPlan::alloc_spike_mb`] mebibytes on the calling thread
+//!   before running. Purely a test hook for the sweep engine's per-job
+//!   memory budget watchdog; it does not change any simulated metric.
 
 use crate::timing::StageDurations;
 use serde::{Deserialize, Serialize};
@@ -56,6 +60,11 @@ pub struct FaultPlan {
     /// Wall-clock sleep (milliseconds) before simulating — a watchdog
     /// test hook, not a model feature.
     pub wall_stall_ms: u64,
+    /// Transient allocation (mebibytes) on the calling thread before
+    /// simulating — a memory-budget test hook, not a model feature.
+    /// The buffer is freed before simulation starts, so only allocator
+    /// high-water marks see it.
+    pub alloc_spike_mb: u32,
     /// Maximum wall-clock jitter (nanoseconds) a parallel lane worker
     /// sleeps before handing each subtile trace to the serial replay.
     /// Seeded per `(tile, lane)` from [`FaultPlan::seed`], this
@@ -74,6 +83,7 @@ impl FaultPlan {
         self.lane_stall.is_none()
             && self.dram_spike.is_none()
             && self.wall_stall_ms == 0
+            && self.alloc_spike_mb == 0
             && self.trace_send_jitter_ns == 0
     }
 
@@ -159,6 +169,16 @@ mod tests {
         let f = FaultPlan::default();
         assert!(f.is_noop());
         assert_eq!(f.validate(4), Ok(()));
+    }
+
+    #[test]
+    fn alloc_spike_makes_the_plan_non_noop() {
+        let f = FaultPlan {
+            alloc_spike_mb: 64,
+            ..FaultPlan::default()
+        };
+        assert!(!f.is_noop());
+        assert_eq!(f.validate(4), Ok(()), "spike size is unconstrained");
     }
 
     #[test]

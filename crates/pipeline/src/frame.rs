@@ -308,6 +308,15 @@ impl FrameSim {
             std::thread::sleep(std::time::Duration::from_millis(config.fault.wall_stall_ms));
         }
 
+        // Allocation-spike fault hook: hold a transient buffer on the
+        // calling thread — the one sweep memory budgets meter — again
+        // without touching any simulated metric (exercises the sweep
+        // allocator watchdog).
+        if config.fault.alloc_spike_mb > 0 {
+            let spike = vec![0u8; config.fault.alloc_spike_mb as usize * 1024 * 1024];
+            std::hint::black_box(&spike);
+        }
+
         // 1. Geometry phase.
         let mut geom = GeometryPipeline::new(config.vertex_cache);
         let gout = geom.run(scene, width, height);

@@ -1,0 +1,229 @@
+//! `cargo xtask bench-compare` — the warn-only CI perf gate.
+//!
+//! Compares two `BENCH_sweep.json` reports (written by
+//! `sweep_timing --quick --out …`): the step *fails* only when the
+//! current total wall-clock regresses more than
+//! [`FAIL_THRESHOLD`] over the baseline; per-job wall-time and
+//! allocator high-water regressions are emitted as GitHub
+//! `::warning::` annotations so drift is visible long before it trips
+//! the gate. Wall-clock noise is expected on shared CI runners — that
+//! is why only the total, with a generous threshold, can fail.
+
+use std::collections::BTreeMap;
+
+/// Total-wall-clock regression that fails the step: current > baseline
+/// × (1 + threshold).
+pub const FAIL_THRESHOLD: f64 = 0.25;
+
+/// Per-job regressions below this floor (ms / bytes) are ignored:
+/// timer granularity, not drift.
+const MIN_JOB_WALL_MS: u64 = 20;
+const MIN_PEAK_BYTES: u64 = 1 << 20;
+
+/// One job's numbers from a bench report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchJob {
+    /// Wall-clock milliseconds.
+    pub wall_ms: u64,
+    /// Allocator high-water mark in bytes.
+    pub peak_alloc_bytes: u64,
+}
+
+/// A parsed `BENCH_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Whole-sweep wall-clock milliseconds.
+    pub total_wall_ms: u64,
+    /// Per-job numbers, keyed by job key.
+    pub jobs: BTreeMap<String, BenchJob>,
+}
+
+/// Parse a bench report (the subset of JSON `sweep_timing` emits).
+///
+/// # Errors
+///
+/// Returns a message when the required fields are missing or
+/// malformed.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let total_wall_ms =
+        field_u64(text, "total_wall_ms").ok_or("missing total_wall_ms".to_string())?;
+    let mut jobs = BTreeMap::new();
+    for chunk in text.split("{\"key\":\"").skip(1) {
+        let key = chunk
+            .split('"')
+            .next()
+            .ok_or("unterminated job key".to_string())?
+            .to_string();
+        let wall_ms =
+            field_u64(chunk, "wall_ms").ok_or_else(|| format!("job `{key}`: missing wall_ms"))?;
+        let peak_alloc_bytes = field_u64(chunk, "peak_alloc_bytes")
+            .ok_or_else(|| format!("job `{key}`: missing peak_alloc_bytes"))?;
+        jobs.insert(
+            key,
+            BenchJob {
+                wall_ms,
+                peak_alloc_bytes,
+            },
+        );
+    }
+    Ok(BenchReport {
+        total_wall_ms,
+        jobs,
+    })
+}
+
+fn field_u64(text: &str, field: &str) -> Option<u64> {
+    let tag = format!("\"{field}\":");
+    let start = text.find(&tag)? + tag.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The verdict of one comparison.
+#[derive(Debug)]
+pub struct Comparison {
+    /// `true` when the total wall-clock regression exceeds
+    /// [`FAIL_THRESHOLD`].
+    pub fail: bool,
+    /// Annotation lines (`::warning::…`) plus the summary line, in
+    /// print order.
+    pub lines: Vec<String>,
+}
+
+fn regressed(current: u64, baseline: u64, floor: u64) -> bool {
+    current.max(baseline) >= floor && current as f64 > baseline as f64 * (1.0 + FAIL_THRESHOLD)
+}
+
+/// Compare a current report against a baseline.
+#[must_use]
+pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
+    let mut lines = Vec::new();
+    for (key, cur) in &current.jobs {
+        let Some(base) = baseline.jobs.get(key) else {
+            continue; // new job: nothing to compare against yet
+        };
+        if regressed(cur.wall_ms, base.wall_ms, MIN_JOB_WALL_MS) {
+            lines.push(format!(
+                "::warning::bench {key}: wall {} ms vs baseline {} ms",
+                cur.wall_ms, base.wall_ms
+            ));
+        }
+        if regressed(cur.peak_alloc_bytes, base.peak_alloc_bytes, MIN_PEAK_BYTES) {
+            lines.push(format!(
+                "::warning::bench {key}: peak alloc {} bytes vs baseline {} bytes",
+                cur.peak_alloc_bytes, base.peak_alloc_bytes
+            ));
+        }
+    }
+    let fail =
+        current.total_wall_ms as f64 > baseline.total_wall_ms as f64 * (1.0 + FAIL_THRESHOLD);
+    let pct = if baseline.total_wall_ms == 0 {
+        0.0
+    } else {
+        (current.total_wall_ms as f64 / baseline.total_wall_ms as f64 - 1.0) * 100.0
+    };
+    lines.push(format!(
+        "bench-compare: total {} ms vs baseline {} ms ({pct:+.1}%) — {}",
+        current.total_wall_ms,
+        baseline.total_wall_ms,
+        if fail {
+            "FAIL (> +25%)"
+        } else {
+            "ok (gate is total-only; per-job drift warns)"
+        }
+    ));
+    Comparison { fail, lines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"total_wall_ms":1000,"lane_threads":1,"jobs":[
+  {"key":"CCS|a|base|480x192#0","wall_ms":100,"peak_alloc_bytes":5000000},
+  {"key":"GTr|b|base|480x192#0","wall_ms":50,"peak_alloc_bytes":3000000}
+]}"#;
+
+    #[test]
+    fn parses_totals_and_jobs() {
+        let r = parse_report(SAMPLE).unwrap();
+        assert_eq!(r.total_wall_ms, 1000);
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(r.jobs["CCS|a|base|480x192#0"].wall_ms, 100);
+        assert_eq!(r.jobs["GTr|b|base|480x192#0"].peak_alloc_bytes, 3_000_000);
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"total_wall_ms\":5,\"jobs\":[{\"key\":\"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn within_threshold_passes_without_warnings() {
+        let base = parse_report(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.total_wall_ms = 1200; // +20%
+        let c = compare(&cur, &base);
+        assert!(!c.fail);
+        assert_eq!(c.lines.len(), 1, "summary only: {:?}", c.lines);
+        assert!(c.lines[0].contains("+20.0%"));
+    }
+
+    #[test]
+    fn total_regression_over_threshold_fails() {
+        let base = parse_report(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.total_wall_ms = 1300; // +30%
+        let c = compare(&cur, &base);
+        assert!(c.fail);
+        assert!(c.lines.last().unwrap().contains("FAIL"));
+    }
+
+    #[test]
+    fn per_job_regressions_warn_but_do_not_fail() {
+        let base = parse_report(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.jobs.get_mut("CCS|a|base|480x192#0").unwrap().wall_ms = 200;
+        cur.jobs
+            .get_mut("GTr|b|base|480x192#0")
+            .unwrap()
+            .peak_alloc_bytes = 9_000_000;
+        let c = compare(&cur, &base);
+        assert!(!c.fail, "per-job drift never fails the gate");
+        let warnings: Vec<&String> = c
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("::warning::"))
+            .collect();
+        assert_eq!(warnings.len(), 2, "{:?}", c.lines);
+        assert!(warnings[0].contains("wall 200 ms"));
+        assert!(warnings[1].contains("peak alloc 9000000"));
+    }
+
+    #[test]
+    fn tiny_absolute_numbers_are_not_noise_flagged() {
+        let base = parse_report(
+            "{\"total_wall_ms\":10,\"jobs\":[{\"key\":\"a\",\"wall_ms\":2,\"peak_alloc_bytes\":100}]}",
+        )
+        .unwrap();
+        let cur = parse_report(
+            "{\"total_wall_ms\":10,\"jobs\":[{\"key\":\"a\",\"wall_ms\":9,\"peak_alloc_bytes\":900}]}",
+        )
+        .unwrap();
+        let c = compare(&cur, &base);
+        assert!(!c.fail);
+        assert_eq!(c.lines.len(), 1, "below the floors: {:?}", c.lines);
+    }
+
+    #[test]
+    fn new_and_removed_jobs_are_tolerated() {
+        let base = parse_report(SAMPLE).unwrap();
+        let cur = parse_report(
+            "{\"total_wall_ms\":900,\"jobs\":[{\"key\":\"fresh\",\"wall_ms\":999,\"peak_alloc_bytes\":1}]}",
+        )
+        .unwrap();
+        let c = compare(&cur, &base);
+        assert!(!c.fail);
+        assert_eq!(c.lines.len(), 1, "{:?}", c.lines);
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-crate allowlist budgets: the `lint: allow` ratchet.
+//!
+//! `lint-budgets.toml` at the workspace root records, per crate, how
+//! many allowed sites (annotations + built-in allowlist hits) the tree
+//! is permitted to carry. Counts can only shrink: exceeding a recorded
+//! budget is a `lint-budget` violation, and
+//! `cargo xtask lint --update-budgets` rewrites the file with
+//! `min(recorded, current)` per crate — so an accidental new escape
+//! hatch fails CI, while cleaning one up permanently lowers the bar.
+//!
+//! The file is a single-table TOML subset this module parses itself
+//! (the vendored registry has no `toml` crate):
+//!
+//! ```toml
+//! [allow-budgets]
+//! core = 18
+//! root = 6
+//! ```
+//!
+//! Buckets are crate directory names (`crates/<name>/…`); files under
+//! the workspace root's own `src/`/`tests/` count as `root`. Budgets
+//! are only enforced when the file exists, so fixture trees and fresh
+//! checkouts without one lint exactly as before.
+
+use crate::report::{Report, Violation};
+use std::collections::BTreeMap;
+
+/// Budget file name, resolved against the lint root.
+pub const BUDGET_FILE: &str = "lint-budgets.toml";
+
+/// The budget bucket a workspace-relative path belongs to: the crate
+/// directory name, or `root` for the workspace's own sources.
+#[must_use]
+pub fn bucket_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .map_or_else(|| "root".to_string(), ToString::to_string)
+}
+
+/// Count allowed sites per bucket.
+#[must_use]
+pub fn counts(report: &Report) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for a in &report.allowed {
+        *out.entry(bucket_of(&a.file)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Parse the budget file.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for anything outside
+/// the `[allow-budgets]` single-table subset.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut budgets = BTreeMap::new();
+    let mut in_table = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[allow-budgets]" {
+            in_table = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{BUDGET_FILE}:{}: unknown table `{line}` (only [allow-budgets])",
+                lineno + 1
+            ));
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{BUDGET_FILE}:{}: expected `crate = N`, got `{line}`",
+                lineno + 1
+            ));
+        };
+        if !in_table {
+            return Err(format!(
+                "{BUDGET_FILE}:{}: entry before [allow-budgets] header",
+                lineno + 1
+            ));
+        }
+        let value: usize = value.trim().parse().map_err(|_| {
+            format!(
+                "{BUDGET_FILE}:{}: budget for `{}` is not an unsigned integer",
+                lineno + 1,
+                name.trim()
+            )
+        })?;
+        budgets.insert(name.trim().to_string(), value);
+    }
+    Ok(budgets)
+}
+
+/// Render a budget map back to the checked-in file format.
+#[must_use]
+pub fn render(budgets: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Per-crate `lint: allow` budgets (annotations + built-in allowlist hits).\n\
+         # Enforced by `cargo xtask lint`; counts can only shrink. After removing\n\
+         # allowed sites, tighten with `cargo xtask lint --update-budgets`.\n\
+         \n\
+         [allow-budgets]\n",
+    );
+    for (name, value) in budgets {
+        out.push_str(&format!("{name} = {value}\n"));
+    }
+    out
+}
+
+/// Check a lint report against recorded budgets: one `lint-budget`
+/// violation per over-budget crate, plus one per crate that carries
+/// allowed sites but has no recorded budget (new escape hatches must
+/// be budgeted deliberately).
+#[must_use]
+pub fn check(report: &Report, budgets: &BTreeMap<String, usize>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (bucket, count) in counts(report) {
+        match budgets.get(&bucket) {
+            Some(&budget) if count > budget => violations.push(Violation {
+                file: BUDGET_FILE.to_string(),
+                line: 1,
+                rule: "lint-budget".into(),
+                snippet: format!("{bucket} = {budget}"),
+                hint: format!(
+                    "crate `{bucket}` carries {count} allowed site(s), over its budget of \
+                     {budget}: remove the new allow, or justify raising the budget in review"
+                ),
+            }),
+            Some(_) => {}
+            None => violations.push(Violation {
+                file: BUDGET_FILE.to_string(),
+                line: 1,
+                rule: "lint-budget".into(),
+                snippet: String::new(),
+                hint: format!(
+                    "crate `{bucket}` carries {count} allowed site(s) but has no recorded \
+                     budget: add it with `cargo xtask lint --update-budgets`"
+                ),
+            }),
+        }
+    }
+    violations
+}
+
+/// The ratchet: keep each recorded budget at `min(recorded, current)`,
+/// add entries for newly-budgeted crates at their current count, and
+/// drop entries for crates that no longer carry any allowed site.
+#[must_use]
+pub fn tighten(
+    recorded: &BTreeMap<String, usize>,
+    current: &BTreeMap<String, usize>,
+) -> BTreeMap<String, usize> {
+    current
+        .iter()
+        .map(|(bucket, &count)| {
+            let budget = recorded.get(bucket).map_or(count, |&b| b.min(count));
+            (bucket.clone(), budget)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Allowed;
+
+    fn report_with(files: &[&str]) -> Report {
+        let mut r = Report::default();
+        for f in files {
+            r.allowed.push(Allowed {
+                file: (*f).to_string(),
+                line: 1,
+                rule: "no-panic".into(),
+                justification: "test".into(),
+                builtin: false,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn buckets_are_crate_dirs_or_root() {
+        assert_eq!(bucket_of("crates/core/src/sweep.rs"), "core");
+        assert_eq!(bucket_of("crates/xtask/src/main.rs"), "xtask");
+        assert_eq!(bucket_of("tests/sweep_sharding.rs"), "root");
+        assert_eq!(bucket_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let text = "# comment\n[allow-budgets]\ncore = 3\nroot = 1 # trailing\n";
+        let budgets = parse(text).unwrap();
+        assert_eq!(budgets["core"], 3);
+        assert_eq!(budgets["root"], 1);
+        assert_eq!(parse(&render(&budgets)).unwrap(), budgets);
+    }
+
+    #[test]
+    fn malformed_budget_files_are_rejected_with_line_numbers() {
+        assert!(parse("[other-table]\n").unwrap_err().contains(":1:"));
+        assert!(parse("core = 3\n").unwrap_err().contains("before"));
+        assert!(parse("[allow-budgets]\ncore = x\n")
+            .unwrap_err()
+            .contains(":2:"));
+        assert!(parse("[allow-budgets]\nnonsense\n")
+            .unwrap_err()
+            .contains("crate = N"));
+    }
+
+    #[test]
+    fn over_budget_and_unbudgeted_crates_are_violations() {
+        let report = report_with(&["crates/core/src/a.rs", "crates/core/src/b.rs", "tests/t.rs"]);
+        let budgets = parse("[allow-budgets]\ncore = 1\nroot = 1\n").unwrap();
+        let v = check(&report, &budgets);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lint-budget");
+        assert!(v[0].hint.contains("`core` carries 2"), "{}", v[0].hint);
+
+        let budgets = parse("[allow-budgets]\ncore = 2\n").unwrap();
+        let v = check(&report, &budgets);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].hint.contains("`root`"), "{}", v[0].hint);
+        assert!(v[0].hint.contains("no recorded budget"), "{}", v[0].hint);
+    }
+
+    #[test]
+    fn within_budget_is_clean_and_slack_is_tolerated() {
+        let report = report_with(&["crates/core/src/a.rs"]);
+        let budgets = parse("[allow-budgets]\ncore = 5\n").unwrap();
+        assert!(check(&report, &budgets).is_empty());
+    }
+
+    #[test]
+    fn tighten_only_shrinks_and_prunes_empty_buckets() {
+        let recorded = parse("[allow-budgets]\ncore = 5\nmem = 2\ngone = 4\n").unwrap();
+        let current: BTreeMap<String, usize> =
+            [("core".into(), 3), ("mem".into(), 7), ("new".into(), 1)].into();
+        let tightened = tighten(&recorded, &current);
+        assert_eq!(tightened["core"], 3, "ratchets down to the current count");
+        assert_eq!(tightened["mem"], 2, "never raises a recorded budget");
+        assert_eq!(tightened["new"], 1, "new crates enter at their count");
+        assert!(!tightened.contains_key("gone"), "empty buckets are pruned");
+    }
+}

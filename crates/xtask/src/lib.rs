@@ -17,6 +17,8 @@
 //! on this workspace, and that is all `cargo xtask lint` needs to work
 //! against the offline vendored registry.
 
+pub mod bench;
+pub mod budgets;
 pub mod report;
 pub mod rules;
 pub mod sanitize;
@@ -27,13 +29,13 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Lint every workspace source under `root`, returning the aggregated
-/// report.
+/// Scan every workspace source under `root` (pattern + structural
+/// rules only — no budget enforcement).
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors (unreadable tree or file).
-pub fn lint_root(root: &Path) -> io::Result<Report> {
+pub fn scan_root(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
     for (rel, path) in walk::rust_sources(root)? {
         let source = fs::read_to_string(&path)
@@ -41,5 +43,50 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
         let outcome = rules::check_file(&rel, &source);
         report.absorb(&rel, outcome.findings, outcome.allowed);
     }
+    Ok(report)
+}
+
+/// Lint every workspace source under `root`, returning the aggregated
+/// report. When `root` carries a [`budgets::BUDGET_FILE`], per-crate
+/// allowlist budgets are enforced on top of the scan (trees without
+/// one — fixtures, fresh checkouts — lint exactly as before).
+///
+/// # Errors
+///
+/// Propagates filesystem errors and a malformed budget file.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let mut report = scan_root(root)?;
+    let budget_path = root.join(budgets::BUDGET_FILE);
+    if budget_path.exists() {
+        let text = fs::read_to_string(&budget_path)?;
+        let recorded = budgets::parse(&text).map_err(io::Error::other)?;
+        let mut budget_violations = budgets::check(&report, &recorded);
+        report.violations.append(&mut budget_violations);
+    }
+    Ok(report)
+}
+
+/// `--update-budgets`: scan, ratchet the budget file down to
+/// `min(recorded, current)` per crate (creating it from current counts
+/// if absent), and return the scan report — which, checked against the
+/// file just written, can still fail on *over*-recorded crates because
+/// the ratchet never raises a budget.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and a malformed existing budget file.
+pub fn update_budgets(root: &Path) -> io::Result<Report> {
+    let report = scan_root(root)?;
+    let budget_path = root.join(budgets::BUDGET_FILE);
+    let recorded = if budget_path.exists() {
+        budgets::parse(&fs::read_to_string(&budget_path)?).map_err(io::Error::other)?
+    } else {
+        Default::default()
+    };
+    let tightened = budgets::tighten(&recorded, &budgets::counts(&report));
+    fs::write(&budget_path, budgets::render(&tightened))?;
+    let mut report = report;
+    let mut budget_violations = budgets::check(&report, &tightened);
+    report.violations.append(&mut budget_violations);
     Ok(report)
 }

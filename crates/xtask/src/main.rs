@@ -1,15 +1,20 @@
 //! `cargo xtask` entry point.
 //!
 //! ```text
-//! cargo xtask lint [--format text|json] [--root <dir>]
+//! cargo xtask lint [--format text|json] [--root <dir>] [--update-budgets]
+//! cargo xtask bench-compare <current.json> <baseline.json>
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//! Exit codes: 0 clean, 1 violations / perf regression, 2 usage/IO
+//! error. `--update-budgets` ratchets `lint-budgets.toml` down to the
+//! current per-crate allow counts before checking.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--format text|json] [--root <dir>]";
+const USAGE: &str =
+    "usage: cargo xtask lint [--format text|json] [--root <dir>] [--update-budgets]\n\
+                     \u{20}      cargo xtask bench-compare <current.json> <baseline.json>";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -17,14 +22,22 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "lint" {
-        eprintln!("unknown command `{cmd}`\n{USAGE}");
-        return ExitCode::from(2);
+    match cmd.as_str() {
+        "lint" => cmd_lint(args),
+        "bench-compare" => cmd_bench_compare(args),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
     }
+}
+
+fn cmd_lint(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut format = String::from("text");
     // Default to the workspace this binary was built from, so
     // `cargo xtask lint` works from any subdirectory.
     let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut update_budgets = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--format" => match args.next() {
@@ -41,13 +54,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--update-budgets" => update_budgets = true,
             other => {
                 eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
-    let report = match xtask::lint_root(&root) {
+    let result = if update_budgets {
+        xtask::update_budgets(&root)
+    } else {
+        xtask::lint_root(&root)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -63,5 +82,34 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+fn cmd_bench_compare(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(current_path), Some(baseline_path), None) = (args.next(), args.next(), args.next())
+    else {
+        eprintln!("bench-compare takes exactly two report paths\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| xtask::bench::parse_report(&text).map_err(|e| format!("{path}: {e}")))
+    };
+    let (current, baseline) = match (read(&current_path), read(&baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let comparison = xtask::bench::compare(&current, &baseline);
+    for line in &comparison.lines {
+        println!("{line}");
+    }
+    if comparison.fail {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -24,7 +24,7 @@ use crate::sanitize::sanitize;
 /// (`core::{sim,metrics,experiments}`): all of `core` is scanned, with
 /// the sweep watchdog covered by the built-in allowlist below.
 pub const SIM_CRATES: &[&str] = &[
-    "gmath", "mem", "texture", "sched", "scene", "pipeline", "trace", "core",
+    "gmath", "mem", "texture", "sched", "scene", "pipeline", "trace", "core", "alloc",
 ];
 
 /// Where a rule applies.

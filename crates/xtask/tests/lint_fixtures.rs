@@ -117,3 +117,37 @@ fn the_workspace_is_lint_clean() {
         "expected the built-in wall-clock allowlist to be exercised"
     );
 }
+
+#[test]
+fn the_workspace_respects_lint_budgets() {
+    let root = workspace_root();
+    let budget_path = root.join(xtask::budgets::BUDGET_FILE);
+    assert!(
+        budget_path.exists(),
+        "lint-budgets.toml must be checked in at the workspace root"
+    );
+    let recorded = xtask::budgets::parse(&std::fs::read_to_string(&budget_path).unwrap())
+        .expect("budget file parses");
+    assert!(!recorded.is_empty(), "budgets cover at least one crate");
+
+    // `lint_root` already folds budget checks in when the file exists;
+    // this pins that the checked-in numbers really bound the tree.
+    let report = xtask::lint_root(&root).expect("lint workspace");
+    assert!(
+        !report.violations.iter().any(|v| v.rule == "lint-budget"),
+        "allowed-site counts exceed a recorded budget:\n{}",
+        report.render_text()
+    );
+    // And that the check is live: shrinking any budget below its
+    // current count must trip it.
+    let mut squeezed = recorded.clone();
+    let bucket = squeezed.keys().next().unwrap().clone();
+    squeezed.insert(bucket.clone(), 0);
+    let violations = xtask::budgets::check(&report, &squeezed);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.rule == "lint-budget" && v.hint.contains(&bucket)),
+        "a squeezed budget must violate: {violations:?}"
+    );
+}
