@@ -35,6 +35,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -106,22 +107,35 @@ thread_local! {
 
 /// Tags the current thread until dropped; created by
 /// [`meter_current_thread`].
+///
+/// Ownership model: the guard owns the strong reference keeping its
+/// meter alive; the TLS slot only *borrows* the pointer. The slot
+/// therefore always points at the meter of a still-live guard (or is
+/// null), and dropping any combination of guards in any order can
+/// never over-release a refcount.
 #[derive(Debug)]
 pub struct MeterGuard {
-    raw: *const AllocMeter,
+    /// The strong reference backing the pointer in the TLS slot.
+    meter: Arc<AllocMeter>,
+    /// Pins the guard to the tagging thread (`!Send`): the slot it
+    /// must clear lives in that thread's TLS.
+    _not_send: PhantomData<*const AllocMeter>,
 }
 
 impl Drop for MeterGuard {
     fn drop(&mut self) {
+        // Untag only while this guard still owns the slot; if a later
+        // `meter_current_thread` call displaced it, the slot belongs
+        // to the newer guard and must be left alone.
+        let raw = Arc::as_ptr(&self.meter);
         let _ = METER.try_with(|slot| {
-            if slot.get() == self.raw {
+            if slot.get() == raw {
                 slot.set(ptr::null());
             }
         });
-        // Release the refcount `meter_current_thread` leaked into the
-        // TLS slot. The slot itself was cleared above, so no further
-        // allocator call can observe the pointer.
-        unsafe { drop(Arc::from_raw(self.raw)) }
+        // `self.meter` drops after this body — strictly after the slot
+        // stopped referencing it, so no allocator call can observe a
+        // dangling pointer.
     }
 }
 
@@ -129,17 +143,19 @@ impl Drop for MeterGuard {
 /// allocation and free this thread performs is charged to `meter`.
 ///
 /// Tags do not nest — tagging an already-tagged thread replaces the
-/// previous meter for the guard's lifetime (the sweep engine tags each
-/// disposable job thread exactly once, at birth).
+/// previous meter, whose guard becomes inert: it stops charging
+/// immediately and does not resume when the replacing guard drops
+/// (the thread simply becomes untagged once the guard owning the slot
+/// drops). The sweep engine tags each disposable job thread exactly
+/// once, at birth.
 #[must_use]
 pub fn meter_current_thread(meter: &Arc<AllocMeter>) -> MeterGuard {
-    let raw = Arc::into_raw(Arc::clone(meter));
-    let previous = METER.with(|slot| slot.replace(raw));
-    if !previous.is_null() {
-        // Drop the displaced tag's refcount so replacement cannot leak.
-        unsafe { drop(Arc::from_raw(previous)) }
+    let owned = Arc::clone(meter);
+    METER.with(|slot| slot.set(Arc::as_ptr(&owned)));
+    MeterGuard {
+        meter: owned,
+        _not_send: PhantomData,
     }
-    MeterGuard { raw }
 }
 
 #[inline]
@@ -265,6 +281,48 @@ mod tests {
         drop(pre);
         assert_eq!(meter.current_bytes(), 0, "clamped, not underflowed");
         assert_eq!(meter.peak_bytes(), 0);
+    }
+
+    #[test]
+    fn retagging_replaces_the_meter_without_double_release() {
+        // Regression test: the displaced guard's Drop must not release
+        // a refcount it no longer owns (previously a double
+        // `Arc::from_raw` → use-after-free).
+        let first = AllocMeter::new();
+        let second = AllocMeter::new();
+        let outer = meter_current_thread(&first);
+        let inner = meter_current_thread(&second); // displaces `first`
+        let probe = vec![5u8; 1 << 20];
+        std::hint::black_box(&probe);
+        drop(probe);
+        assert_eq!(first.total_bytes(), 0, "displaced meter stops charging");
+        assert!(second.total_bytes() >= 1 << 20, "replacement meter charges");
+        drop(inner);
+        drop(outer);
+        // Both meters are still safely usable: the guards only ever
+        // released the references they owned.
+        assert_eq!(Arc::strong_count(&first), 1);
+        assert_eq!(Arc::strong_count(&second), 1);
+        let untagged = vec![4u8; 1 << 18];
+        std::hint::black_box(&untagged);
+        assert!(second.total_bytes() < (1 << 20) + (1 << 18));
+    }
+
+    #[test]
+    fn retagged_guards_tolerate_out_of_order_drops() {
+        let first = AllocMeter::new();
+        let second = AllocMeter::new();
+        let outer = meter_current_thread(&first);
+        let inner = meter_current_thread(&second);
+        // Drop the *displaced* guard first: it must leave the newer
+        // guard's tag in place.
+        drop(outer);
+        let probe = vec![6u8; 1 << 20];
+        std::hint::black_box(&probe);
+        assert!(second.total_bytes() >= 1 << 20, "newer tag still active");
+        drop(inner);
+        assert_eq!(Arc::strong_count(&first), 1);
+        assert_eq!(Arc::strong_count(&second), 1);
     }
 
     #[test]

@@ -358,8 +358,10 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
 }
 
 /// Union shard journals into one: `dtexl sweep merge <journals...>
-/// --out merged.jsonl`. Last-wins per key; two `ok` records with the
-/// same key and config hash but different metrics are a typed error.
+/// --out merged.jsonl`. Last-wins per key, except that an `ok` record
+/// beats a `failed` one for the same config hash regardless of input
+/// order; two `ok` records with the same key and config hash but
+/// different metrics are a typed error.
 fn cmd_sweep_merge(args: &mut Args) -> Result<(), String> {
     let out = args
         .value("--out")
@@ -378,6 +380,12 @@ fn cmd_sweep_merge(args: &mut Args) -> Result<(), String> {
         "merged {} journal(s): {} record(s), {} superseded, {} corrupt line(s) dropped -> {out}",
         stats.journals, stats.records, stats.superseded, stats.corrupt
     );
+    if stats.failed_ignored > 0 {
+        eprintln!(
+            "warning: {} failed record(s) ignored in favor of ok records for the same config hash",
+            stats.failed_ignored
+        );
+    }
     Ok(())
 }
 

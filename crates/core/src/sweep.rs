@@ -30,10 +30,11 @@
 //!   ([`shard_of`]), so several machines can split one canonical job
 //!   list without coordination and appending jobs never reshuffles
 //!   existing assignments. Shard journals are unioned back together by
-//!   [`merge_journals`] (last-wins per key, with a typed
-//!   [`MergeError::Divergent`] when two `ok` records for the same key
-//!   and config hash disagree on metrics); `--resume` works against
-//!   both per-shard and merged journals.
+//!   [`merge_journals`] (last-wins per key, except that an `ok` record
+//!   is never displaced by a `failed` one for the same config hash,
+//!   with a typed [`MergeError::Divergent`] when two `ok` records for
+//!   the same key and config hash disagree on metrics); `--resume`
+//!   works against both per-shard and merged journals.
 //! * **Memory budgets** — [`SweepOptions::job_mem_budget`] bounds each
 //!   job's allocator high-water mark. Every job thread is tagged with
 //!   a [`dtexl_alloc::AllocMeter`]; the dispatching worker polls the
@@ -649,12 +650,20 @@ fn run_attempt(
             }
         }
         let slice = match (timeout, mem_budget) {
-            (Some(t), _) => {
+            (Some(t), budget) => {
                 let elapsed = started.elapsed();
                 if elapsed >= t {
                     return (Err(JobError::TimedOut { after: t }), meter.peak_bytes());
                 }
-                (t - elapsed).min(WATCHDOG_POLL)
+                let remaining = t - elapsed;
+                // Poll the meter only when a budget is in force; a
+                // plain timeout blocks for its full remainder instead
+                // of waking every few milliseconds.
+                if budget.is_some() {
+                    remaining.min(WATCHDOG_POLL)
+                } else {
+                    remaining
+                }
             }
             (None, Some(_)) => WATCHDOG_POLL,
             (None, None) => match rx.recv() {
@@ -1125,15 +1134,29 @@ pub struct MergeStats {
     /// Records replaced by a later entry for the same key (duplicates
     /// across shards, or re-runs within one journal).
     pub superseded: usize,
+    /// `failed` records dropped because an `ok` record with the same
+    /// key *and* config hash was also present (ok-over-failed
+    /// preference; counted separately from `superseded` so losing a
+    /// completed result is never silent).
+    pub failed_ignored: usize,
 }
 
 /// Union journal texts (in argument order, lines in file order) with
-/// last-wins-per-key resolution. Two `ok` records sharing a key *and*
-/// a config hash must agree on metrics ([`MergeError::Divergent`]
-/// otherwise); a record with a *different* hash simply supersedes the
-/// earlier one — the configuration drifted and the later run is
-/// authoritative, exactly as in-journal resume semantics. Output lines
-/// are the winning verbatim input lines, sorted by key.
+/// last-wins-per-key resolution, with two carve-outs that make the
+/// result independent of operator-chosen argument order: (1) two `ok`
+/// records sharing a key *and* a config hash must agree on metrics
+/// ([`MergeError::Divergent`] otherwise) — checked against *every*
+/// `ok` record seen for that configuration, not just the current
+/// per-key winner, so interleaved records with other hashes cannot
+/// mask a divergence; (2) a `failed` record never displaces an `ok`
+/// record carrying the same config hash — merge inputs have no time
+/// order, and the deterministic `ok` metrics are strictly more
+/// informative than a transient failure (dropped records are counted
+/// in [`MergeStats::failed_ignored`]). A record with a *different*
+/// hash simply supersedes the earlier one — the configuration drifted
+/// and the later run is authoritative, exactly as in-journal resume
+/// semantics. Output lines are the winning verbatim input lines,
+/// sorted by key.
 ///
 /// # Errors
 ///
@@ -1144,6 +1167,10 @@ pub fn merge_journal_texts(texts: &[String]) -> Result<(String, MergeStats), Mer
         ..MergeStats::default()
     };
     let mut winners: BTreeMap<String, (JournalEntry, String)> = BTreeMap::new();
+    // First-seen `ok` metrics per (key, config hash) — the divergence
+    // guarantee is order-independent, so it must survive a record with
+    // a different hash being interleaved between two divergent ones.
+    let mut seen_ok: BTreeMap<(String, u64), JobMetrics> = BTreeMap::new();
     for text in texts {
         for line in text.lines() {
             let trimmed = line.trim();
@@ -1155,25 +1182,49 @@ pub fn merge_journal_texts(texts: &[String]) -> Result<(String, MergeStats), Mer
                 continue;
             };
             stats.lines += 1;
-            if let Some((prev, _)) = winners.get(&entry.key) {
-                if let (Some(h), Some(ph), Some(m), Some(pm)) = (
-                    entry.config_hash,
-                    prev.config_hash,
-                    entry.metrics,
-                    prev.metrics,
-                ) {
-                    if entry.status == "ok" && prev.status == "ok" && h == ph && m != pm {
-                        return Err(MergeError::Divergent {
-                            key: entry.key,
-                            config_hash: h,
-                            first: pm,
-                            second: m,
-                        });
+            if entry.status == "ok" {
+                if let (Some(h), Some(m)) = (entry.config_hash, entry.metrics) {
+                    match seen_ok.entry((entry.key.clone(), h)) {
+                        std::collections::btree_map::Entry::Occupied(first) => {
+                            if *first.get() != m {
+                                return Err(MergeError::Divergent {
+                                    key: entry.key,
+                                    config_hash: h,
+                                    first: *first.get(),
+                                    second: m,
+                                });
+                            }
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(m);
+                        }
                     }
                 }
-                stats.superseded += 1;
             }
-            winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
+            // `ok` beats a non-`ok` record for the same configuration
+            // regardless of encounter order.
+            let ok_over_failed = |ok: &JournalEntry, other: &JournalEntry| {
+                ok.status == "ok"
+                    && other.status != "ok"
+                    && ok.config_hash.is_some()
+                    && ok.config_hash == other.config_hash
+            };
+            match winners.get(&entry.key) {
+                Some((prev, _)) if ok_over_failed(prev, &entry) => {
+                    stats.failed_ignored += 1;
+                }
+                Some((prev, _)) => {
+                    if ok_over_failed(&entry, prev) {
+                        stats.failed_ignored += 1;
+                    } else {
+                        stats.superseded += 1;
+                    }
+                    winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
+                }
+                None => {
+                    winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
+                }
+            }
         }
     }
     stats.records = winners.len();
@@ -1383,6 +1434,54 @@ mod tests {
             }
             other => panic!("expected Divergent, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_divergence_survives_interleaved_hashes() {
+        // A record with a *different* hash between two divergent ones
+        // must not reset the check: divergence is per (key, hash),
+        // independent of record order.
+        let ok1 = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"00000000000000aa\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let drift = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"00000000000000bb\",\"coupled_cycles\":50,\"decoupled_cycles\":40,\"l2_accesses\":5}\n".to_string();
+        let twisted = ok1.replace("\"l2_accesses\":3", "\"l2_accesses\":4");
+        let err = merge_journal_texts(&[ok1, drift, twisted]).unwrap_err();
+        match err {
+            MergeError::Divergent {
+                key, config_hash, ..
+            } => {
+                assert_eq!(key, "a");
+                assert_eq!(config_hash, 0xaa);
+            }
+            other => panic!("expected Divergent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_prefers_ok_over_failed_for_equal_hashes_in_either_order() {
+        let ok = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"0000000000000001\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let failed = "{\"key\":\"a\",\"status\":\"failed\",\"config_hash\":\"0000000000000001\",\"error_kind\":\"timeout\",\"error\":\"x\"}\n".to_string();
+        for inputs in [[ok.clone(), failed.clone()], [failed.clone(), ok.clone()]] {
+            let (merged, stats) = merge_journal_texts(&inputs).unwrap();
+            let e = parse_journal_line(merged.trim()).unwrap();
+            assert_eq!(e.status, "ok", "completed result survives either order");
+            assert_eq!(stats.records, 1);
+            assert_eq!(stats.superseded, 0);
+            assert_eq!(stats.failed_ignored, 1, "the drop is visible in stats");
+        }
+    }
+
+    #[test]
+    fn merge_lets_a_failed_record_with_a_newer_hash_supersede_ok() {
+        // ok-over-failed applies only to the *same* configuration; a
+        // drifted config keeps last-wins (resume must re-run the job).
+        let ok = "{\"key\":\"a\",\"status\":\"ok\",\"config_hash\":\"0000000000000001\",\"coupled_cycles\":10,\"decoupled_cycles\":9,\"l2_accesses\":3}\n".to_string();
+        let failed = "{\"key\":\"a\",\"status\":\"failed\",\"config_hash\":\"0000000000000002\",\"error_kind\":\"timeout\",\"error\":\"x\"}\n".to_string();
+        let (merged, stats) = merge_journal_texts(&[ok, failed]).unwrap();
+        let e = parse_journal_line(merged.trim()).unwrap();
+        assert_eq!(e.status, "failed");
+        assert_eq!(e.config_hash, Some(2));
+        assert_eq!(stats.superseded, 1);
+        assert_eq!(stats.failed_ignored, 0);
     }
 
     #[test]

@@ -1,18 +1,21 @@
-//! `cargo xtask bench-compare` — the warn-only CI perf gate.
+//! `cargo xtask bench-compare` — the CI perf gate.
 //!
 //! Compares two `BENCH_sweep.json` reports (written by
-//! `sweep_timing --quick --out …`): the step *fails* only when the
-//! current total wall-clock regresses more than
-//! [`FAIL_THRESHOLD`] over the baseline; per-job wall-time and
-//! allocator high-water regressions are emitted as GitHub
-//! `::warning::` annotations so drift is visible long before it trips
-//! the gate. Wall-clock noise is expected on shared CI runners — that
-//! is why only the total, with a generous threshold, can fail.
+//! `sweep_timing --quick --out …`): the step *fails* only when a
+//! per-job allocator high-water mark regresses more than
+//! [`FAIL_THRESHOLD`] over the baseline — peak allocation is a
+//! deterministic property of the (serial) simulation, so exceeding
+//! the threshold is a real regression no matter which runner the job
+//! landed on. Wall-clock figures (per-job and total) are emitted as
+//! GitHub `::warning::` annotations only: the checked-in baseline was
+//! timed on one machine, and shared CI runners vary enough between
+//! runs that a hard wall-clock gate would fail (or silently slacken)
+//! on runner lottery rather than real regressions.
 
 use std::collections::BTreeMap;
 
-/// Total-wall-clock regression that fails the step: current > baseline
-/// × (1 + threshold).
+/// Regression that fails the step (peak-alloc) or warns (wall-clock):
+/// current > baseline × (1 + threshold).
 pub const FAIL_THRESHOLD: f64 = 0.25;
 
 /// Per-job regressions below this floor (ms / bytes) are ignored:
@@ -85,11 +88,11 @@ fn field_u64(text: &str, field: &str) -> Option<u64> {
 /// The verdict of one comparison.
 #[derive(Debug)]
 pub struct Comparison {
-    /// `true` when the total wall-clock regression exceeds
-    /// [`FAIL_THRESHOLD`].
+    /// `true` when any per-job allocator high-water mark regresses
+    /// more than [`FAIL_THRESHOLD`] over the baseline.
     pub fail: bool,
-    /// Annotation lines (`::warning::…`) plus the summary line, in
-    /// print order.
+    /// Annotation lines (`::warning::…` / `::error::…`) plus the
+    /// summary line, in print order.
     pub lines: Vec<String>,
 }
 
@@ -101,6 +104,7 @@ fn regressed(current: u64, baseline: u64, floor: u64) -> bool {
 #[must_use]
 pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
     let mut lines = Vec::new();
+    let mut fail = false;
     for (key, cur) in &current.jobs {
         let Some(base) = baseline.jobs.get(key) else {
             continue; // new job: nothing to compare against yet
@@ -112,27 +116,33 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
             ));
         }
         if regressed(cur.peak_alloc_bytes, base.peak_alloc_bytes, MIN_PEAK_BYTES) {
+            fail = true;
             lines.push(format!(
-                "::warning::bench {key}: peak alloc {} bytes vs baseline {} bytes",
+                "::error::bench {key}: peak alloc {} bytes vs baseline {} bytes (> +25%)",
                 cur.peak_alloc_bytes, base.peak_alloc_bytes
             ));
         }
     }
-    let fail =
-        current.total_wall_ms as f64 > baseline.total_wall_ms as f64 * (1.0 + FAIL_THRESHOLD);
     let pct = if baseline.total_wall_ms == 0 {
         0.0
     } else {
         (current.total_wall_ms as f64 / baseline.total_wall_ms as f64 - 1.0) * 100.0
     };
+    if current.total_wall_ms as f64 > baseline.total_wall_ms as f64 * (1.0 + FAIL_THRESHOLD) {
+        lines.push(format!(
+            "::warning::bench: total wall {} ms vs baseline {} ms ({pct:+.1}%) — \
+             wall-clock is runner-dependent, so this only warns",
+            current.total_wall_ms, baseline.total_wall_ms
+        ));
+    }
     lines.push(format!(
         "bench-compare: total {} ms vs baseline {} ms ({pct:+.1}%) — {}",
         current.total_wall_ms,
         baseline.total_wall_ms,
         if fail {
-            "FAIL (> +25%)"
+            "FAIL (peak alloc regression > +25%)"
         } else {
-            "ok (gate is total-only; per-job drift warns)"
+            "ok (gate is peak-alloc-only; wall-clock drift warns)"
         }
     ));
     Comparison { fail, lines }
@@ -170,34 +180,52 @@ mod tests {
     }
 
     #[test]
-    fn total_regression_over_threshold_fails() {
+    fn total_wall_regression_warns_but_does_not_fail() {
         let base = parse_report(SAMPLE).unwrap();
         let mut cur = base.clone();
         cur.total_wall_ms = 1300; // +30%
         let c = compare(&cur, &base);
-        assert!(c.fail);
-        assert!(c.lines.last().unwrap().contains("FAIL"));
+        assert!(!c.fail, "wall-clock is runner lottery, never a hard gate");
+        assert_eq!(c.lines.len(), 2, "{:?}", c.lines);
+        assert!(c.lines[0].starts_with("::warning::"));
+        assert!(c.lines[0].contains("total wall 1300 ms"));
+        assert!(c.lines.last().unwrap().contains("ok"));
     }
 
     #[test]
-    fn per_job_regressions_warn_but_do_not_fail() {
+    fn per_job_wall_regressions_warn_but_do_not_fail() {
         let base = parse_report(SAMPLE).unwrap();
         let mut cur = base.clone();
         cur.jobs.get_mut("CCS|a|base|480x192#0").unwrap().wall_ms = 200;
-        cur.jobs
-            .get_mut("GTr|b|base|480x192#0")
-            .unwrap()
-            .peak_alloc_bytes = 9_000_000;
         let c = compare(&cur, &base);
-        assert!(!c.fail, "per-job drift never fails the gate");
+        assert!(!c.fail, "per-job wall drift never fails the gate");
         let warnings: Vec<&String> = c
             .lines
             .iter()
             .filter(|l| l.starts_with("::warning::"))
             .collect();
-        assert_eq!(warnings.len(), 2, "{:?}", c.lines);
+        assert_eq!(warnings.len(), 1, "{:?}", c.lines);
         assert!(warnings[0].contains("wall 200 ms"));
-        assert!(warnings[1].contains("peak alloc 9000000"));
+    }
+
+    #[test]
+    fn peak_alloc_regression_fails_deterministically() {
+        let base = parse_report(SAMPLE).unwrap();
+        let mut cur = base.clone();
+        cur.jobs
+            .get_mut("GTr|b|base|480x192#0")
+            .unwrap()
+            .peak_alloc_bytes = 9_000_000;
+        let c = compare(&cur, &base);
+        assert!(c.fail, "peak alloc is deterministic: regression is real");
+        let errors: Vec<&String> = c
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("::error::"))
+            .collect();
+        assert_eq!(errors.len(), 1, "{:?}", c.lines);
+        assert!(errors[0].contains("peak alloc 9000000"));
+        assert!(c.lines.last().unwrap().contains("FAIL"));
     }
 
     #[test]
