@@ -9,8 +9,11 @@
 //!                   [--keep-going] [--job-timeout SECS] [--retries N]
 //!                   [--backoff-ms N] [--upper] [--threads N]
 //!                   [--shard i/N] [--job-mem-budget MB] [--table]
+//!                   [--progress] [--heartbeat-ms N]
 //! dtexl sweep merge <journals...> --out merged.jsonl
 //! dtexl sweep canon <journal>
+//! dtexl profile     --game CCS [--schedule dtexl] [--res 1960x768]
+//!                   [--threads N] [--trace-out frame.json] [--csv]
 //! dtexl render      --game SoD --out frame.ppm [--res 980x384]
 //! dtexl characterize [--res 1960x768]
 //! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
@@ -32,14 +35,26 @@
 //! canonical `key|config_hash|coupled|decoupled|l2` form for diffing.
 //! `sweep --job-mem-budget MB` bounds each job's allocator high-water
 //! mark (exceeding it is a journaled, non-retried `mem_budget` error).
+//! `sweep --progress` streams one JSON line per job lifecycle event
+//! (start/attempt/retry/heartbeat/done, with live `peak_alloc_bytes`)
+//! to stderr; `--heartbeat-ms` tunes the in-flight beat interval.
+//!
+//! `profile` simulates one frame with the observability probes of
+//! `dtexl-obs` attached and prints the stall-attribution tables (busy
+//! vs barrier-wait vs upstream-wait cycles per (SC, stage) unit, under
+//! both barrier modes); `--trace-out` additionally writes a
+//! Chrome-trace JSON viewable at <https://ui.perfetto.dev>, with one
+//! track per unit. Events carry simulated cycles, so the output is
+//! bit-identical across `--threads` values.
 //!
 //! Exit codes: `0` success; `1` error or aborted sweep; `2` sweep
 //! completed with failures (`--keep-going`).
 
 use dtexl::characterize::characterize_all;
+use dtexl::profile::FrameProfile;
 use dtexl::sweep::{
-    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, RetryPolicy,
-    Shard, SweepJob, SweepOptions,
+    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, Progress,
+    RetryPolicy, Shard, SweepJob, SweepOptions,
 };
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
@@ -78,6 +93,7 @@ fn main() -> ExitCode {
         "list" => cmd_list().map(|()| ExitCode::SUCCESS),
         "sim" => cmd_sim(&mut args).map(|()| ExitCode::SUCCESS),
         "sweep" => cmd_sweep(&mut args, format),
+        "profile" => cmd_profile(&mut args).map(|()| ExitCode::SUCCESS),
         "render" => cmd_render(&mut args).map(|()| ExitCode::SUCCESS),
         "characterize" => cmd_characterize(&mut args).map(|()| ExitCode::SUCCESS),
         "trace-save" => cmd_trace_save(&mut args).map(|()| ExitCode::SUCCESS),
@@ -102,7 +118,7 @@ fn report_error(format: Format, message: &str) {
 }
 
 fn usage() -> &'static str {
-    "usage: dtexl <list|sim|sweep|render|characterize|trace-save|trace-sim> [options]\n\
+    "usage: dtexl <list|sim|sweep|profile|render|characterize|trace-save|trace-sim> [options]\n\
      run `dtexl list` for games and schedules"
 }
 
@@ -284,7 +300,12 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         .parsed_value::<u64>("--job-mem-budget")?
         .map(|mb| mb.saturating_mul(1024 * 1024));
     let table = args.flag("--table");
+    let progress = args.flag("--progress");
+    let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
     args.finish()?;
+    if heartbeat_ms == 0 {
+        return Err("--heartbeat-ms must be >= 1".into());
+    }
 
     if resume && journal.is_none() {
         return Err("--resume requires --journal <file>".into());
@@ -319,6 +340,8 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         resume,
         shard,
         job_mem_budget,
+        progress: progress.then_some(print_progress as fn(&Progress)),
+        progress_heartbeat: std::time::Duration::from_millis(heartbeat_ms),
         ..SweepOptions::default()
     };
     let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})
@@ -355,6 +378,63 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         report_error(format, &report.summary());
         Ok(ExitCode::from(2))
     }
+}
+
+/// `sweep --progress` sink: one JSON line per lifecycle event on
+/// stderr, so progress streams live while stdout keeps the per-job
+/// records and tables.
+fn print_progress(p: &Progress) {
+    eprintln!("{}", p.to_json());
+}
+
+/// Profile one frame: print the stall-attribution tables and
+/// optionally export a Chrome-trace JSON (`--trace-out`).
+fn cmd_profile(args: &mut Args) -> Result<(), String> {
+    let game = parse_game(args)?;
+    let (w, h) = parse_res(args)?;
+    let schedule = parse_schedule(args)?;
+    let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
+    let pipeline = parse_pipeline(args)?;
+    let trace_out = args.value("--trace-out");
+    let csv = args.flag("--csv");
+    args.finish()?;
+
+    let config = SimConfig {
+        game,
+        width: w,
+        height: h,
+        frame,
+        schedule,
+        pipeline,
+        barrier: BarrierMode::Decoupled,
+    };
+    let profile = FrameProfile::capture(&config).map_err(|e| e.to_string())?;
+    println!(
+        "{} {}x{} {}: coupled {} / decoupled {} cycles ({:.1}% saved), {} mem samples, {} dropped",
+        game.alias(),
+        w,
+        h,
+        schedule.label(),
+        profile.coupled_cycles,
+        profile.decoupled_cycles,
+        100.0 * (1.0 - profile.decoupled_cycles as f64 / profile.coupled_cycles.max(1) as f64),
+        profile.mem.len(),
+        profile.dropped,
+    );
+    let stalls = profile.stall_table();
+    let waits = profile.wait_table(BarrierMode::Coupled);
+    if csv {
+        println!("{}", stalls.to_csv());
+        println!("{}", waits.to_csv());
+    } else {
+        println!("{}", stalls.render());
+        println!("{}", waits.render());
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, profile.chrome_trace()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} — open at https://ui.perfetto.dev");
+    }
+    Ok(())
 }
 
 /// Union shard journals into one: `dtexl sweep merge <journals...>

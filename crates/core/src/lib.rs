@@ -40,6 +40,7 @@ mod sim;
 
 pub mod characterize;
 pub mod experiments;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 
@@ -50,6 +51,7 @@ pub use sim::{SequenceReport, SimConfig, SimReport, Simulator, CLOCK_HZ};
 pub use dtexl_alloc as alloc;
 pub use dtexl_gmath as gmath;
 pub use dtexl_mem as mem;
+pub use dtexl_obs as obs;
 pub use dtexl_pipeline as pipeline;
 pub use dtexl_scene as scene;
 pub use dtexl_sched as sched;

@@ -217,8 +217,13 @@ pub struct Distribution {
 }
 
 impl Distribution {
-    /// Summarize `samples` (unsorted). Returns the default for empty
-    /// input.
+    /// Summarize `samples` (unsorted).
+    ///
+    /// An empty slice yields the all-zero [`Distribution::default`] —
+    /// it never panics and never produces NaN. Callers that summarize
+    /// possibly-empty populations (e.g. a stage with no barrier waits
+    /// in the stall-attribution report) rely on this and must not need
+    /// an emptiness guard of their own.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -348,6 +353,21 @@ mod tests {
         assert_eq!(d.p25, 2.0);
         assert_eq!(d.p75, 4.0);
         assert_eq!(Distribution::from_samples(&[]), Distribution::default());
+    }
+
+    #[test]
+    fn distribution_of_empty_slice_is_all_zero_and_nan_free() {
+        let d = Distribution::from_samples(&[]);
+        for v in [d.min, d.p25, d.mean, d.p75, d.max] {
+            assert_eq!(v, 0.0, "empty input must summarize to zeros, not NaN");
+        }
+        // A single sample degenerates to that sample everywhere — the
+        // other boundary the stall report leans on.
+        let one = Distribution::from_samples(&[7.5]);
+        assert_eq!(
+            (one.min, one.p25, one.mean, one.p75, one.max),
+            (7.5, 7.5, 7.5, 7.5, 7.5)
+        );
     }
 
     #[test]

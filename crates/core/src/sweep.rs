@@ -414,6 +414,16 @@ pub struct SweepOptions {
     /// [`std::thread::sleep`]; tests inject a recording stub so retry
     /// schedules are pinned without wall-clock coupling.
     pub sleeper: fn(Duration),
+    /// Structured progress hook: invoked (from worker threads) with
+    /// every [`Progress`] event of every job this process dispatches.
+    /// `None` (the default) emits nothing and adds no overhead. A fn
+    /// pointer, like [`SweepOptions::sleeper`], so the options stay
+    /// `Clone` + `Debug`; sinks that need state go through globals
+    /// (the CLI writes straight to stderr).
+    pub progress: Option<fn(&Progress)>,
+    /// Minimum interval between [`ProgressKind::Heartbeat`] events for
+    /// an in-flight attempt. Only consulted when `progress` is set.
+    pub progress_heartbeat: Duration,
 }
 
 impl Default for SweepOptions {
@@ -428,7 +438,86 @@ impl Default for SweepOptions {
             shard: None,
             job_mem_budget: None,
             sleeper: std::thread::sleep,
+            progress: None,
+            progress_heartbeat: Duration::from_secs(1),
         }
+    }
+}
+
+/// What a [`Progress`] event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressKind {
+    /// The job was picked up by a worker (emitted even when resume
+    /// then skips it, so a consumer sees every in-shard job exactly
+    /// once).
+    Start,
+    /// An attempt is about to run (`attempt` is 1-based).
+    Attempt,
+    /// The attempt failed retryably; the worker is about to back off
+    /// and try again.
+    Retry,
+    /// The attempt is still running; `peak_alloc_bytes` is the live
+    /// allocator high-water mark.
+    Heartbeat,
+    /// The job reached a terminal [`JobStatus`] (carried in `status`).
+    Done,
+}
+
+impl ProgressKind {
+    /// Stable wire name of the event (the JSONL `"event"` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Start => "start",
+            Self::Attempt => "attempt",
+            Self::Retry => "retry",
+            Self::Heartbeat => "heartbeat",
+            Self::Done => "done",
+        }
+    }
+}
+
+/// One structured sweep-progress event, streamed live while a sweep
+/// runs (unlike the journal, which records only terminal outcomes).
+/// [`Progress::to_json`] renders the stable one-line JSON form the CLI
+/// emits under `dtexl sweep --progress`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Progress {
+    /// What happened.
+    pub kind: ProgressKind,
+    /// The job's stable identity ([`SweepJob::key`]).
+    pub key: String,
+    /// Index into the job slice passed to [`run_sweep`].
+    pub index: usize,
+    /// 1-based attempt number (0 before the first attempt starts).
+    pub attempt: u32,
+    /// Wall time spent on the job so far.
+    pub elapsed: Duration,
+    /// Allocator high-water mark observed so far (bytes; live for
+    /// heartbeats, final for done events, 0 before the job allocates).
+    pub peak_alloc_bytes: u64,
+    /// Terminal status; only present on [`ProgressKind::Done`].
+    pub status: Option<JobStatus>,
+}
+
+impl Progress {
+    /// Render the event as one line of JSON (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"event\":\"{}\",\"key\":\"{}\",\"index\":{},\"attempt\":{},\"elapsed_ms\":{},\"peak_alloc_bytes\":{}",
+            self.kind.name(),
+            json_escape(&self.key),
+            self.index,
+            self.attempt,
+            self.elapsed.as_millis(),
+            self.peak_alloc_bytes
+        );
+        if let Some(status) = self.status {
+            s.push_str(&format!(",\"status\":\"{}\"", status.name()));
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -467,6 +556,19 @@ pub enum JobStatus {
     Skipped,
     /// Never dispatched: the sweep aborted on an earlier failure.
     NotRun,
+}
+
+impl JobStatus {
+    /// Stable wire name (used by both the journal and progress JSONL).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Failed => "failed",
+            Self::Skipped => "skipped",
+            Self::NotRun => "not_run",
+        }
+    }
 }
 
 /// Outcome of one job.
@@ -577,12 +679,7 @@ impl SweepReport {
             let _ = write!(s, "  (shard {shard})");
         }
         for r in &self.records {
-            let status = match r.status {
-                JobStatus::Ok => "ok",
-                JobStatus::Failed => "failed",
-                JobStatus::Skipped => "skipped",
-                JobStatus::NotRun => "not_run",
-            };
+            let status = r.status.name();
             let peak = r
                 .peak_alloc
                 .map_or_else(|| "-".into(), |p| format!("{:.1} MiB", p as f64 / MIB));
@@ -618,10 +715,17 @@ const WATCHDOG_POLL: Duration = Duration::from_millis(5);
 /// and a final high-water check after completion catches spikes that
 /// came and went between polls — making the verdict deterministic for
 /// a given job and budget, independent of scheduler timing.
+///
+/// `heartbeat` is an optional `(interval, emit)` pair: while the
+/// attempt is in flight, `emit` is called with the live allocator
+/// high-water mark at least `interval` apart. It also turns the
+/// no-watchdog `(None, None)` wait from a blocking `recv` into a
+/// polled one so beats keep flowing.
 fn run_attempt(
     job: SweepJob,
     timeout: Option<Duration>,
     mem_budget: Option<u64>,
+    heartbeat: Option<(Duration, &dyn Fn(u64))>,
 ) -> (Result<FrameResult, JobError>, u64) {
     let meter = AllocMeter::new();
     let (tx, rx) = std::sync::mpsc::channel();
@@ -642,13 +746,27 @@ fn run_attempt(
     });
 
     let started = Instant::now();
+    let mut last_beat = Instant::now();
     let outcome = loop {
+        if let Some((every, emit)) = heartbeat {
+            if last_beat.elapsed() >= every {
+                emit(meter.peak_bytes());
+                last_beat = Instant::now();
+            }
+        }
         if let Some(budget) = mem_budget {
             let used = meter.peak_bytes();
             if used > budget {
                 return (Err(JobError::MemBudget { used, budget }), used);
             }
         }
+        // Wait until the next beat is due; the floor keeps a
+        // pathologically small interval from busy-spinning the loop.
+        let beat_slice = heartbeat.map(|(every, _)| {
+            every
+                .saturating_sub(last_beat.elapsed())
+                .max(Duration::from_millis(1))
+        });
         let slice = match (timeout, mem_budget) {
             (Some(t), budget) => {
                 let elapsed = started.elapsed();
@@ -660,18 +778,27 @@ fn run_attempt(
                 // plain timeout blocks for its full remainder instead
                 // of waking every few milliseconds.
                 if budget.is_some() {
-                    remaining.min(WATCHDOG_POLL)
+                    Some(remaining.min(WATCHDOG_POLL))
                 } else {
-                    remaining
+                    Some(remaining)
                 }
             }
-            (None, Some(_)) => WATCHDOG_POLL,
-            (None, None) => match rx.recv() {
+            (None, Some(_)) => Some(WATCHDOG_POLL),
+            // No watchdog: block on the channel — unless beats must
+            // keep flowing, in which case wake for each one.
+            (None, None) => None,
+        };
+        let slice = match (slice, beat_slice) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let Some(slice) = slice else {
+            match rx.recv() {
                 Ok(v) => break v,
                 Err(_) => {
                     break Err("job thread died without reporting".into());
                 }
-            },
+            }
         };
         match rx.recv_timeout(slice) {
             Ok(v) => break v,
@@ -754,12 +881,33 @@ where
                     continue;
                 }
                 let config_hash = job.config_hash();
+                let emit = |kind, attempt, elapsed, peak, status| {
+                    if let Some(f) = opts.progress {
+                        f(&Progress {
+                            kind,
+                            key: key.clone(),
+                            index,
+                            attempt,
+                            elapsed,
+                            peak_alloc_bytes: peak,
+                            status,
+                        });
+                    }
+                };
+                emit(ProgressKind::Start, 0, Duration::ZERO, 0, None);
                 // Resume refuses to skip when the journaled config
                 // hash differs from the job's: the old result was
                 // produced by a different simulator configuration.
                 // Pre-v2 lines carry no hash and stay skippable.
                 let hash_matches = |h: &Option<u64>| h.is_none_or(|h| h == config_hash);
                 if done_keys.get(&key).is_some_and(hash_matches) {
+                    emit(
+                        ProgressKind::Done,
+                        0,
+                        Duration::ZERO,
+                        0,
+                        Some(JobStatus::Skipped),
+                    );
                     let record = JobRecord {
                         index,
                         key,
@@ -781,7 +929,27 @@ where
                 let mut peak_alloc = 0u64;
                 let outcome = loop {
                     attempts += 1;
-                    let (attempt, peak) = run_attempt(job, opts.job_timeout, opts.job_mem_budget);
+                    emit(
+                        ProgressKind::Attempt,
+                        attempts,
+                        started.elapsed(),
+                        peak_alloc,
+                        None,
+                    );
+                    let beat = |peak: u64| {
+                        emit(
+                            ProgressKind::Heartbeat,
+                            attempts,
+                            started.elapsed(),
+                            peak,
+                            None,
+                        )
+                    };
+                    let heartbeat = opts
+                        .progress
+                        .map(|_| (opts.progress_heartbeat, &beat as &dyn Fn(u64)));
+                    let (attempt, peak) =
+                        run_attempt(job, opts.job_timeout, opts.job_mem_budget, heartbeat);
                     peak_alloc = peak_alloc.max(peak);
                     match attempt {
                         Ok(result) => break Ok(result),
@@ -789,11 +957,30 @@ where
                             if !e.retryable() || attempts > opts.retry.max_retries {
                                 break Err(e);
                             }
+                            emit(
+                                ProgressKind::Retry,
+                                attempts,
+                                started.elapsed(),
+                                peak_alloc,
+                                None,
+                            );
                             (opts.sleeper)(opts.retry.delay(attempts, fnv1a(key.as_bytes())));
                         }
                     }
                 };
                 let elapsed = started.elapsed();
+                let terminal = if outcome.is_ok() {
+                    JobStatus::Ok
+                } else {
+                    JobStatus::Failed
+                };
+                emit(
+                    ProgressKind::Done,
+                    attempts,
+                    elapsed,
+                    peak_alloc,
+                    Some(terminal),
+                );
 
                 let record = match outcome {
                     Ok(result) => {
@@ -902,12 +1089,7 @@ pub fn journal_line(r: &JobRecord) -> String {
     let mut s = format!(
         "{{\"key\":\"{}\",\"status\":\"{}\",\"attempts\":{},\"elapsed_ms\":{},\"config_hash\":\"{:016x}\"",
         json_escape(&r.key),
-        match r.status {
-            JobStatus::Ok => "ok",
-            JobStatus::Failed => "failed",
-            JobStatus::Skipped => "skipped",
-            JobStatus::NotRun => "not_run",
-        },
+        r.status.name(),
         r.attempts,
         r.elapsed.as_millis(),
         r.config_hash
@@ -1858,5 +2040,134 @@ mod tests {
         let salt = fnv1a(wedged.key().as_bytes());
         let expected = opts.retry.delay(1, salt) + opts.retry.delay(2, salt);
         assert_eq!(TOTAL_NS.load(Ordering::Relaxed), expected.as_nanos() as u64);
+    }
+
+    #[test]
+    fn progress_json_is_one_stable_line() {
+        let p = Progress {
+            kind: ProgressKind::Heartbeat,
+            key: "CCS|x|base|96x64#0".into(),
+            index: 3,
+            attempt: 2,
+            elapsed: Duration::from_millis(12),
+            peak_alloc_bytes: 4096,
+            status: None,
+        };
+        assert_eq!(
+            p.to_json(),
+            "{\"event\":\"heartbeat\",\"key\":\"CCS|x|base|96x64#0\",\"index\":3,\
+             \"attempt\":2,\"elapsed_ms\":12,\"peak_alloc_bytes\":4096}"
+        );
+        let done = Progress {
+            kind: ProgressKind::Done,
+            status: Some(JobStatus::Ok),
+            ..p
+        };
+        assert!(done.to_json().ends_with(",\"status\":\"ok\"}"));
+        assert!(!done.to_json().contains('\n'));
+    }
+
+    /// One test owns the static collector: progress events are pinned
+    /// for the whole job lifecycle — wedged job (attempt, heartbeats,
+    /// retry, failed), healthy job (ok with a real peak), and a
+    /// resume-skipped job.
+    #[test]
+    fn progress_stream_covers_the_job_lifecycle() {
+        static EVENTS: std::sync::LazyLock<Mutex<Vec<Progress>>> =
+            std::sync::LazyLock::new(|| Mutex::new(Vec::new()));
+        fn capture(p: &Progress) {
+            EVENTS.lock().push(p.clone());
+        }
+        let kinds = |key: &str| -> Vec<ProgressKind> {
+            EVENTS
+                .lock()
+                .iter()
+                .filter(|p| p.key == key)
+                .map(|p| p.kind)
+                .collect()
+        };
+
+        let mut wedged = tiny_job(Game::CandyCrush);
+        wedged.pipeline.fault.wall_stall_ms = 60_000;
+        let healthy = tiny_job(Game::TempleRun);
+        let opts = SweepOptions {
+            workers: 1,
+            keep_going: true,
+            job_timeout: Some(Duration::from_millis(60)),
+            retry: RetryPolicy {
+                max_retries: 1,
+                backoff: Duration::from_millis(1),
+            },
+            progress: Some(capture),
+            progress_heartbeat: Duration::from_millis(5),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(&[wedged, healthy], &opts, |_, _| {}).unwrap();
+        assert_eq!(report.records[0].status, JobStatus::Failed);
+        assert_eq!(report.records[1].status, JobStatus::Ok);
+
+        let w = kinds(&wedged.key());
+        assert_eq!(w.first(), Some(&ProgressKind::Start));
+        assert_eq!(w.last(), Some(&ProgressKind::Done));
+        assert_eq!(
+            w.iter().filter(|k| **k == ProgressKind::Attempt).count(),
+            2,
+            "timeout is retryable: two attempts announced"
+        );
+        assert_eq!(w.iter().filter(|k| **k == ProgressKind::Retry).count(), 1);
+        assert!(
+            w.contains(&ProgressKind::Heartbeat),
+            "a 60ms attempt with a 5ms heartbeat must beat at least once"
+        );
+        let w_done = EVENTS
+            .lock()
+            .iter()
+            .find(|p| p.key == wedged.key() && p.kind == ProgressKind::Done)
+            .cloned()
+            .unwrap();
+        assert_eq!(w_done.status, Some(JobStatus::Failed));
+        assert_eq!(w_done.attempt, 2);
+
+        let h = kinds(&healthy.key());
+        assert_eq!(h.first(), Some(&ProgressKind::Start));
+        assert_eq!(h.last(), Some(&ProgressKind::Done));
+        assert!(!h.contains(&ProgressKind::Retry));
+        let h_done = EVENTS
+            .lock()
+            .iter()
+            .find(|p| p.key == healthy.key() && p.kind == ProgressKind::Done)
+            .cloned()
+            .unwrap();
+        assert_eq!(h_done.status, Some(JobStatus::Ok));
+        assert!(
+            h_done.peak_alloc_bytes > 0,
+            "done events carry the allocator high-water mark"
+        );
+
+        // Resume-skipped jobs still announce themselves: start, then
+        // done(skipped), with no attempts in between.
+        let dir = std::env::temp_dir().join(format!("dtexl-progress-{}", std::process::id()));
+        let journal = dir.join("sweep.jsonl");
+        let journal_opts = SweepOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        };
+        run_sweep(&[healthy], &journal_opts, |_, _| {}).unwrap();
+        EVENTS.lock().clear();
+        let resumed = SweepOptions {
+            progress: Some(capture),
+            ..journal_opts
+        };
+        let report = run_sweep(&[healthy], &resumed, |_, _| {}).unwrap();
+        assert_eq!(report.records[0].status, JobStatus::Skipped);
+        assert_eq!(
+            kinds(&healthy.key()),
+            vec![ProgressKind::Start, ProgressKind::Done]
+        );
+        let skip_done = EVENTS.lock().last().cloned().unwrap();
+        assert_eq!(skip_done.status, Some(JobStatus::Skipped));
+        assert_eq!(skip_done.attempt, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

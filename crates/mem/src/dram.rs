@@ -54,6 +54,7 @@ impl Default for DramConfig {
 pub struct DramModel {
     config: DramConfig,
     requests: u64,
+    spikes: u64,
     total_latency: u64,
 }
 
@@ -69,6 +70,7 @@ impl DramModel {
         Self {
             config,
             requests: 0,
+            spikes: 0,
             total_latency: 0,
         }
     }
@@ -87,6 +89,7 @@ impl DramModel {
         let mut lat = self.config.min_latency + (z % span) as u32;
         if self.config.spike_period > 0 && self.requests.is_multiple_of(self.config.spike_period) {
             lat += self.config.spike_extra;
+            self.spikes += 1;
         }
         self.total_latency += u64::from(lat);
         lat
@@ -96,6 +99,13 @@ impl DramModel {
     #[must_use]
     pub fn requests(&self) -> u64 {
         self.requests
+    }
+
+    /// Number of requests that landed on an injected latency spike
+    /// (always 0 with `spike_period == 0`).
+    #[must_use]
+    pub fn spikes(&self) -> u64 {
+        self.spikes
     }
 
     /// Mean latency over all requests (0 when idle).
@@ -181,6 +191,7 @@ mod tests {
         let lats: Vec<u32> = (0..9).map(|line| d.request(line)).collect();
         // Requests are 1-based: the 3rd, 6th and 9th spike.
         assert_eq!(lats, [70, 70, 570, 70, 70, 570, 70, 70, 570]);
+        assert_eq!(d.spikes(), 3);
     }
 
     #[test]
@@ -192,5 +203,6 @@ mod tests {
         for line in 0..100 {
             assert!((50..=100).contains(&d.request(line)));
         }
+        assert_eq!(d.spikes(), 0);
     }
 }

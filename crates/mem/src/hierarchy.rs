@@ -235,6 +235,13 @@ impl TextureHierarchy {
         }
     }
 
+    /// Cumulative shared-level counters (constant-time; see
+    /// [`SharedL2::counters`]).
+    #[must_use]
+    pub fn shared_counters(&self) -> crate::stats::MemCounters {
+        self.shared.counters()
+    }
+
     /// Snapshot of all statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {

@@ -17,6 +17,7 @@
 
 use crate::cache::SetAssocCache;
 use crate::dram::DramModel;
+use crate::stats::MemCounters;
 use crate::LineAddr;
 use std::collections::BTreeSet;
 
@@ -156,6 +157,20 @@ impl SharedL2 {
                 (!req.prefetch).then_some(out.latency)
             })
             .collect()
+    }
+
+    /// Cumulative shared-level counters (see [`MemCounters`]): a
+    /// constant-time snapshot meant to bracket replay windows.
+    #[must_use]
+    pub fn counters(&self) -> MemCounters {
+        let l2 = self.l2.stats();
+        MemCounters {
+            l2_accesses: l2.accesses,
+            l2_hits: l2.hits,
+            l2_misses: l2.misses,
+            dram_requests: self.dram.requests(),
+            dram_spikes: self.dram.spikes(),
+        }
     }
 
     pub(crate) fn l2(&self) -> &SetAssocCache {

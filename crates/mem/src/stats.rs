@@ -47,6 +47,40 @@ impl AddAssign for CacheStats {
     }
 }
 
+/// Cheap monotone snapshot of the shared levels (L2 + DRAM), taken
+/// before/after a replay window so observability probes can attribute
+/// the delta to one fragment subtile without walking full
+/// [`HierarchyStats`]. All counters are cumulative since construction;
+/// subtract two snapshots to get a window's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCounters {
+    /// Shared-L2 lookups.
+    pub l2_accesses: u64,
+    /// Shared-L2 hits.
+    pub l2_hits: u64,
+    /// Shared-L2 misses (each becomes a DRAM request).
+    pub l2_misses: u64,
+    /// DRAM fill requests.
+    pub dram_requests: u64,
+    /// DRAM requests that landed on an injected latency spike.
+    pub dram_spikes: u64,
+}
+
+impl MemCounters {
+    /// Counter-wise difference `self - earlier` (saturating, so a
+    /// mismatched pair degrades to zeros instead of wrapping).
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            l2_accesses: self.l2_accesses.saturating_sub(earlier.l2_accesses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            dram_requests: self.dram_requests.saturating_sub(earlier.dram_requests),
+            dram_spikes: self.dram_spikes.saturating_sub(earlier.dram_spikes),
+        }
+    }
+}
+
 /// Aggregated statistics for the texture memory hierarchy.
 ///
 /// `l2.accesses` is the headline metric of the paper (Figs. 2, 11, 16):

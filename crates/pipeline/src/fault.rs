@@ -7,13 +7,17 @@
 //! lane stalls, while coupled barriers collapse to the slowest lane
 //! (see `tests/fault_injection.rs` and `docs/ROBUSTNESS.md`).
 //!
-//! Four independent knobs:
+//! Independent knobs:
 //!
 //! * **Lane stall** — one shader-core lane loses [`LaneStall::cycles`]
 //!   fragment-stage cycles on a single tile chosen deterministically
 //!   from [`FaultPlan::seed`]. Applied to the recorded stage durations,
 //!   so both barrier modes see the *same* perturbed workload and the
 //!   cache statistics are untouched.
+//! * **Early-Z stall** — the same, but on one early-Z unit, landing on
+//!   an independently seeded tile. Exists so the observability layer
+//!   can prove trace wait-attribution localizes a stall to the right
+//!   (SC, stage), not just the right lane.
 //! * **DRAM spike** — every [`DramSpike::period`]-th memory fill pays
 //!   [`DramSpike::extra_cycles`] extra latency (bus contention).
 //! * **Wall stall** — the simulation sleeps for
@@ -55,6 +59,14 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Optional single-lane fragment-stage stall.
     pub lane_stall: Option<LaneStall>,
+    /// Optional single-unit early-Z-stage stall. Lands on a tile chosen
+    /// from an *uncorrelated* seed stream (see
+    /// [`early_z_stall_tile`](Self::early_z_stall_tile)), so a plan that
+    /// also carries a fragment [`lane_stall`](Self::lane_stall) can hit
+    /// two different tiles. Trace wait-attribution must localize this
+    /// stall to the injected (SC, stage) — pinned by
+    /// `tests/fault_injection.rs`.
+    pub early_z_stall: Option<LaneStall>,
     /// Optional periodic DRAM latency spikes.
     pub dram_spike: Option<DramSpike>,
     /// Wall-clock sleep (milliseconds) before simulating — a watchdog
@@ -81,6 +93,7 @@ impl FaultPlan {
     #[must_use]
     pub fn is_noop(&self) -> bool {
         self.lane_stall.is_none()
+            && self.early_z_stall.is_none()
             && self.dram_spike.is_none()
             && self.wall_stall_ms == 0
             && self.alloc_spike_mb == 0
@@ -98,6 +111,14 @@ impl FaultPlan {
             if s.lane >= num_sc {
                 return Err(format!(
                     "lane stall targets lane {}, but only {num_sc} lane(s) exist",
+                    s.lane
+                ));
+            }
+        }
+        if let Some(s) = self.early_z_stall {
+            if s.lane >= num_sc {
+                return Err(format!(
+                    "early-Z stall targets unit {}, but only {num_sc} unit(s) exist",
                     s.lane
                 ));
             }
@@ -120,6 +141,18 @@ impl FaultPlan {
         (splitmix64(self.seed) % num_tiles as u64) as usize
     }
 
+    /// The tile index an early-Z stall lands on, for a frame of
+    /// `num_tiles` tiles. Seeded from a stream decorrelated from
+    /// [`stall_tile`](Self::stall_tile) so the two stalls spread over
+    /// different tiles under the same seed.
+    #[must_use]
+    pub fn early_z_stall_tile(&self, num_tiles: usize) -> usize {
+        if num_tiles == 0 {
+            return 0;
+        }
+        (splitmix64(self.seed ^ 0xE2) % num_tiles as u64) as usize
+    }
+
     /// Seeded wall-clock delay (if any) a lane worker inserts before
     /// sending the trace for `(tile, lane)`: uniform in
     /// `[0, trace_send_jitter_ns)` from an uncorrelated splitmix64
@@ -140,14 +173,17 @@ impl FaultPlan {
     /// so the perturbation is identical for the coupled/decoupled
     /// comparison.
     pub(crate) fn apply_to_durations(&self, d: &mut StageDurations) {
-        let Some(stall) = self.lane_stall else {
-            return;
-        };
         if d.is_empty() {
             return;
         }
-        let tile = self.stall_tile(d.len());
-        d.fragment[tile][stall.lane] += stall.cycles;
+        if let Some(stall) = self.lane_stall {
+            let tile = self.stall_tile(d.len());
+            d.fragment[tile][stall.lane] += stall.cycles;
+        }
+        if let Some(stall) = self.early_z_stall {
+            let tile = self.early_z_stall_tile(d.len());
+            d.early_z[tile][stall.lane] += stall.cycles;
+        }
     }
 }
 
@@ -275,5 +311,47 @@ mod tests {
         assert_eq!(total, 5 * 4 * 10 + 1000);
         let hit = f.stall_tile(5);
         assert_eq!(d.fragment[hit][2], 1010);
+    }
+
+    #[test]
+    fn early_z_stall_hits_its_own_stage_on_a_decorrelated_tile() {
+        let mut d = StageDurations {
+            fetch: vec![1; 5],
+            raster: vec![1; 5],
+            early_z: vec![[2; 4]; 5],
+            fragment: vec![[10; 4]; 5],
+            blend: vec![[1; 4]; 5],
+        };
+        let f = FaultPlan {
+            seed: 3,
+            early_z_stall: Some(LaneStall {
+                lane: 1,
+                cycles: 500,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(!f.is_noop());
+        assert_eq!(f.validate(4), Ok(()));
+        assert!(f
+            .validate(1)
+            .unwrap_err()
+            .contains("early-Z stall targets unit 1"));
+        f.apply_to_durations(&mut d);
+        let hit = f.early_z_stall_tile(5);
+        assert_eq!(d.early_z[hit][1], 502);
+        // Fragment durations untouched.
+        assert!(d.fragment.iter().flatten().all(|&c| c == 10));
+        // The two stall streams decorrelate: over many seeds they must
+        // disagree on the tile at least once.
+        assert!(
+            (0..16).any(|seed| {
+                let f = FaultPlan {
+                    seed,
+                    ..FaultPlan::default()
+                };
+                f.stall_tile(64) != f.early_z_stall_tile(64)
+            }),
+            "seed streams must not be identical"
+        );
     }
 }

@@ -12,7 +12,8 @@ use crate::zbuffer::ZBuffer;
 use crossbeam::channel::bounded;
 use dtexl_gmath::Rect;
 use dtexl_mem::energy::EnergyEvents;
-use dtexl_mem::{HierarchyStats, L1Lane, TextureHierarchy, LINE_BYTES};
+use dtexl_mem::{HierarchyStats, L1Lane, MemCounters, TextureHierarchy, LINE_BYTES};
+use dtexl_obs::{Event, MemSample, NullProbe, Probe, RasterSample};
 use dtexl_scene::Scene;
 use dtexl_sched::{ScheduleConfig, TileSchedule};
 use dtexl_texture::TextureDesc;
@@ -261,7 +262,7 @@ impl FrameSim {
         schedule: &ScheduleConfig,
         config: &PipelineConfig,
     ) -> Result<FrameResult, SimError> {
-        Self::try_run_sized(scene, schedule, config, None)
+        Self::try_run_sized(scene, schedule, config, None, &mut NullProbe)
     }
 
     /// Fallible variant of
@@ -278,14 +279,48 @@ impl FrameSim {
         width: u32,
         height: u32,
     ) -> Result<FrameResult, SimError> {
-        Self::try_run_sized(scene, schedule, config, Some((width, height)))
+        Self::try_run_sized(
+            scene,
+            schedule,
+            config,
+            Some((width, height)),
+            &mut NullProbe,
+        )
     }
 
-    fn try_run_sized(
+    /// Like [`try_run_with_resolution`](Self::try_run_with_resolution),
+    /// but threading an observability probe through the functional
+    /// pass: the serial front half records one
+    /// [`Event::Raster`] per tile and the fragment stage one
+    /// [`Event::Mem`] per (tile, SC) subtile, always in tile-major /
+    /// SC-ascending order — the same order the shared memory levels
+    /// replay in — so the event stream is bit-identical across
+    /// `config.threads` settings. Busy/wait [`Event::Span`]s are *not*
+    /// emitted here; they come from frame-time composition
+    /// ([`compose_frame_probed`](crate::timing::compose_frame_probed))
+    /// over the returned [`StageDurations`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the configuration, fault plan or
+    /// scene is invalid. Never panics on malformed input.
+    pub fn try_run_probed<P: Probe>(
+        scene: &Scene,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        width: u32,
+        height: u32,
+        probe: &mut P,
+    ) -> Result<FrameResult, SimError> {
+        Self::try_run_sized(scene, schedule, config, Some((width, height)), probe)
+    }
+
+    fn try_run_sized<P: Probe>(
         scene: &Scene,
         schedule: &ScheduleConfig,
         config: &PipelineConfig,
         resolution: Option<(u32, u32)>,
+        probe: &mut P,
     ) -> Result<FrameResult, SimError> {
         config.validate()?;
         scene.validate().map_err(SimError::Scene)?;
@@ -347,14 +382,20 @@ impl FrameSim {
 
             // Rasterize the tile's primitives in program order.
             tile_quads.clear();
-            for &pi in list {
-                raster.rasterize_into(
-                    &gout.prims[pi as usize],
-                    tile_px,
-                    tile_py,
-                    screen,
-                    &mut tile_quads,
-                );
+            let rstats = raster.rasterize_tile_into(
+                &gout.prims,
+                list,
+                tile_px,
+                tile_py,
+                screen,
+                &mut tile_quads,
+            );
+            if probe.enabled() {
+                probe.record(Event::Raster(RasterSample {
+                    tile: ti as u32,
+                    prims: list.len() as u32,
+                    quads: rstats.quads,
+                }));
             }
             let raster_cycles =
                 (tile_quads.len() as u64).div_ceil(u64::from(config.raster_quads_per_cycle));
@@ -404,7 +445,7 @@ impl FrameSim {
 
         if workers <= 1 {
             let mut merged: Vec<Quad> = Vec::new();
-            for prep in &preps {
+            for (ti, prep) in preps.iter().enumerate() {
                 durations.fetch.push(prep.fetch);
                 durations.raster.push(prep.raster);
                 let mut rec = prep.rec;
@@ -414,7 +455,8 @@ impl FrameSim {
                 if config.upper_bound {
                     merged.clear();
                     merged.extend(prep.shaded.iter().flat_map(|v| v.iter().cloned()));
-                    let (cycles, stats) = core.run_subtile(0, &merged, &textures, &mut hierarchy);
+                    let (cycles, stats) =
+                        run_subtile_probed(&core, 0, ti, &merged, &textures, &mut hierarchy, probe);
                     rec.quads_shaded[0] = merged.len() as u32;
                     rec.frag_cycles[0] = cycles;
                     shader_total += stats;
@@ -423,8 +465,15 @@ impl FrameSim {
                     blend[0] = merged.len() as u64 + u64::from(config.flush_cycles_per_bank);
                 } else {
                     for sc in 0..config.num_sc {
-                        let (cycles, stats) =
-                            core.run_subtile(sc, &prep.shaded[sc], &textures, &mut hierarchy);
+                        let (cycles, stats) = run_subtile_probed(
+                            &core,
+                            sc,
+                            ti,
+                            &prep.shaded[sc],
+                            &textures,
+                            &mut hierarchy,
+                            probe,
+                        );
                         rec.quads_shaded[sc] = prep.shaded[sc].len() as u32;
                         rec.frag_cycles[sc] = cycles;
                         shader_total += stats;
@@ -450,6 +499,7 @@ impl FrameSim {
                 &mut tiles,
                 &mut durations,
                 &mut shader_total,
+                probe,
             );
         }
 
@@ -479,7 +529,7 @@ impl FrameSim {
     /// the serial path issues them, so every latency and statistic is
     /// bit-identical.
     #[allow(clippy::too_many_arguments)]
-    fn fragment_parallel(
+    fn fragment_parallel<P: Probe>(
         config: &PipelineConfig,
         core: ShaderCore,
         hierarchy: TextureHierarchy,
@@ -489,6 +539,7 @@ impl FrameSim {
         tiles: &mut Vec<TileRecord>,
         durations: &mut StageDurations,
         shader_total: &mut ShaderCoreStats,
+        probe: &mut P,
     ) -> TextureHierarchy {
         /// Bounded per-lane pipeline depth: how many tiles a lane may
         /// trace ahead of the serial replay (backpressure bound).
@@ -578,7 +629,12 @@ impl FrameSim {
                          expected tile {ti}",
                         trace.origin.0,
                     );
+                    let before = probe.enabled().then(|| shared.counters());
                     let latencies = shared.replay_demand(&trace.requests);
+                    if let Some(before) = before {
+                        let delta = shared.counters().since(&before);
+                        probe.record(Event::Mem(mem_sample(ti, sc, &trace, delta)));
+                    }
                     let (cycles, stats) = core.time_subtile(&trace, l1_latency, &latencies);
                     let shaded = if upper {
                         prep.shaded.iter().map(Vec::len).sum::<usize>()
@@ -619,6 +675,54 @@ impl FrameSim {
                 .collect(),
             shared,
         )
+    }
+}
+
+/// Serial-path subtile execution with optional memory probing.
+///
+/// With a disabled probe this is exactly [`ShaderCore::run_subtile`].
+/// When enabled it runs the identical trace → replay → time split the
+/// parallel path uses (pinned bit-identical to the fused path by the
+/// shade-stage tests), bracketing the shared-level replay with
+/// [`TextureHierarchy::shared_counters`] snapshots so L2/DRAM traffic is
+/// attributed to this (tile, SC) subtile.
+#[allow(clippy::too_many_arguments)]
+fn run_subtile_probed<P: Probe>(
+    core: &ShaderCore,
+    sc: usize,
+    tile: usize,
+    quads: &[Quad],
+    textures: &[TextureDesc],
+    hierarchy: &mut TextureHierarchy,
+    probe: &mut P,
+) -> (u64, ShaderCoreStats) {
+    if !probe.enabled() {
+        return core.run_subtile(sc, quads, textures, hierarchy);
+    }
+    let before = hierarchy.shared_counters();
+    let lane = hierarchy.lane_mut(sc);
+    let l1_latency = lane.l1_latency();
+    let trace = core.trace_subtile(quads, textures, lane);
+    let latencies = hierarchy.replay_demand(&trace.requests);
+    let delta = hierarchy.shared_counters().since(&before);
+    probe.record(Event::Mem(mem_sample(tile, sc, &trace, delta)));
+    core.time_subtile(&trace, l1_latency, &latencies)
+}
+
+/// Build one fragment-subtile memory sample: L1 counts from the lane
+/// trace, shared-level counts from the replay-window counter delta
+/// (which includes the trace's prefetch requests — they replay in the
+/// same window).
+fn mem_sample(tile: usize, sc: usize, trace: &SubtileTrace, delta: MemCounters) -> MemSample {
+    MemSample {
+        tile: tile as u32,
+        sc: sc as u8,
+        l1_hits: trace.l1_hits(),
+        l1_misses: trace.l1_misses(),
+        l2_hits: delta.l2_hits,
+        l2_misses: delta.l2_misses,
+        dram_requests: delta.dram_requests,
+        dram_spikes: delta.dram_spikes,
     }
 }
 
@@ -809,6 +913,76 @@ mod tests {
         assert!(
             morton < linear,
             "Morton tiling exposes more schedulable locality: {morton:.3} vs {linear:.3}"
+        );
+    }
+
+    #[test]
+    fn probed_run_is_bit_identical_and_samples_cover_every_subtile() {
+        use dtexl_obs::EventSink;
+        let scene = Game::GravityTetris.scene(&SceneSpec::new(256, 128, 0));
+        let sched = ScheduleConfig::dtexl();
+        let cfg = PipelineConfig::default();
+        let plain = FrameSim::run_with_resolution(&scene, &sched, &cfg, 256, 128);
+        let mut sink = EventSink::new();
+        let probed = FrameSim::try_run_probed(&scene, &sched, &cfg, 256, 128, &mut sink)
+            .expect("valid inputs");
+
+        // Probing must not perturb the simulation.
+        assert_eq!(plain.durations, probed.durations);
+        assert_eq!(plain.hierarchy, probed.hierarchy);
+        assert_eq!(plain.tiles, probed.tiles);
+        assert_eq!(sink.dropped(), 0);
+
+        // One raster sample per tile, one mem sample per (tile, SC),
+        // in tile-major / SC-ascending order.
+        let tiles = probed.tiles.len();
+        let raster: Vec<_> = sink
+            .iter()
+            .filter_map(|e| match e {
+                Event::Raster(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raster.len(), tiles);
+        let mem: Vec<_> = sink.mem_samples();
+        assert_eq!(mem.len(), tiles * cfg.num_sc);
+        let keys: Vec<_> = mem.iter().map(|m| (m.tile, m.sc)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "mem samples in replay order");
+
+        // The samples partition the frame's shared-level traffic.
+        let l2: u64 = mem.iter().map(|m| m.l2_hits + m.l2_misses).sum();
+        assert_eq!(l2, probed.hierarchy.l2.accesses);
+        let dram: u64 = mem.iter().map(|m| m.dram_requests).sum();
+        assert_eq!(dram, probed.hierarchy.dram_accesses);
+        // L1 samples count demand accesses only; prefetch fills also
+        // bump the cache's own access stat, so the sum is a lower bound.
+        let l1: u64 = mem.iter().map(|m| m.l1_hits + m.l1_misses).sum();
+        assert!(l1 > 0 && l1 <= probed.hierarchy.l1_accesses());
+    }
+
+    #[test]
+    fn probed_event_stream_is_thread_invariant() {
+        use dtexl_obs::EventSink;
+        let scene = Game::CandyCrush.scene(&SceneSpec::new(100, 50, 0));
+        let sched = ScheduleConfig::dtexl();
+        let streams: Vec<Vec<Event>> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let cfg = PipelineConfig {
+                    threads,
+                    ..PipelineConfig::default()
+                };
+                let mut sink = EventSink::new();
+                FrameSim::try_run_probed(&scene, &sched, &cfg, 100, 50, &mut sink)
+                    .expect("valid inputs");
+                sink.to_vec()
+            })
+            .collect();
+        assert_eq!(
+            streams[0], streams[1],
+            "events bit-identical across threads"
         );
     }
 

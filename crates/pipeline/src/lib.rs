@@ -67,9 +67,14 @@ pub use fault::{DramSpike, FaultPlan, LaneStall};
 pub use frame::{FrameResult, FrameSim, TileRecord};
 pub use geometry::{GeometryOutput, GeometryPipeline, GeometryStats};
 pub use prim::{Quad, RasterPrim};
-pub use raster::Rasterizer;
+pub use raster::{Rasterizer, TileRasterStats};
 pub use render::{Image, Renderer};
 pub use shade::{ShaderCore, ShaderCoreStats, SubtileTrace};
 pub use tiling::{TileBins, TilingEngine, TilingStats};
-pub use timing::{compose_frame, StageDurations};
+pub use timing::{compose_frame, compose_frame_probed, StageDurations};
 pub use zbuffer::ZBuffer;
+
+/// Re-export of the observability crate, so downstream callers can
+/// build probes ([`dtexl_obs::EventSink`]) without naming the crate as
+/// a direct dependency.
+pub use dtexl_obs as obs;

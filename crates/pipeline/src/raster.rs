@@ -5,6 +5,16 @@ use crate::prim::{Quad, RasterPrim};
 use dtexl_gmath::{interp::AttrPlane, Rect, Vec2};
 use dtexl_scene::DepthMode;
 
+/// Summary of rasterizing one tile's binned primitive list (the
+/// per-tile counts the observability probes record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileRasterStats {
+    /// Primitives from the bin list that emitted at least one quad.
+    pub covering_prims: u32,
+    /// Total quads emitted into the tile's quad list.
+    pub quads: u32,
+}
+
 /// The rasterizer of Fig. 3: walks a primitive's coverage inside one
 /// tile and emits [`Quad`]s with perspective-correct UVs and
 /// screen-affine depth.
@@ -76,6 +86,30 @@ impl Rasterizer {
             qy += 2;
         }
         emitted
+    }
+
+    /// Rasterize every primitive of a tile's bin `list` (indices into
+    /// `prims`) in program order, appending quads to `out`. This is the
+    /// whole-tile front-half step [`FrameSim`](crate::FrameSim) runs;
+    /// the returned summary feeds the observability probes.
+    pub fn rasterize_tile_into(
+        &self,
+        prims: &[RasterPrim],
+        list: &[u32],
+        tile_px: i32,
+        tile_py: i32,
+        screen: Rect,
+        out: &mut Vec<Quad>,
+    ) -> TileRasterStats {
+        let mut stats = TileRasterStats::default();
+        for &pi in list {
+            let emitted = self.rasterize_into(&prims[pi as usize], tile_px, tile_py, screen, out);
+            if emitted > 0 {
+                stats.covering_prims += 1;
+            }
+            stats.quads += emitted as u32;
+        }
+        stats
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -246,6 +280,39 @@ mod tests {
             .uv
             .iter()
             .all(|u| u.x.is_finite() && u.y.is_finite()));
+    }
+
+    #[test]
+    fn tile_rasterize_matches_per_prim_loop() {
+        let r = Rasterizer::new(32);
+        let prims = vec![
+            full_tile_prim(),
+            prim(Triangle2::new(
+                Vec2::new(4.0, 4.0),
+                Vec2::new(8.0, 4.0),
+                Vec2::new(4.0, 8.0),
+            )),
+        ];
+        let list = [0u32, 1];
+        let mut by_tile = Vec::new();
+        let stats = r.rasterize_tile_into(&prims, &list, 0, 0, SCREEN, &mut by_tile);
+        let mut by_prim = Vec::new();
+        for &pi in &list {
+            r.rasterize_into(&prims[pi as usize], 0, 0, SCREEN, &mut by_prim);
+        }
+        assert_eq!(by_tile, by_prim, "same quads in the same program order");
+        assert_eq!(stats.quads as usize, by_tile.len());
+        assert_eq!(stats.covering_prims, 2);
+        // A bin list whose prims miss the tile contributes nothing.
+        let empty = r.rasterize_tile_into(
+            &prims,
+            &[0],
+            96,
+            96,
+            Rect::new(0, 0, 128, 128),
+            &mut by_tile,
+        );
+        assert_eq!(empty, TileRasterStats::default());
     }
 
     #[test]

@@ -96,6 +96,21 @@ pub struct SubtileTrace {
     stats: ShaderCoreStats,
 }
 
+impl SubtileTrace {
+    /// Number of line accesses that hit the private L1 while tracing.
+    #[must_use]
+    pub fn l1_hits(&self) -> u64 {
+        self.hits.iter().filter(|&&h| h).count() as u64
+    }
+
+    /// Number of line accesses that missed the private L1 (each one
+    /// emitted a demand request into [`requests`](Self::requests)).
+    #[must_use]
+    pub fn l1_misses(&self) -> u64 {
+        self.hits.len() as u64 - self.l1_hits()
+    }
+}
+
 /// Warp-level shader-core model.
 ///
 /// Each quad is a warp occupying one of `warp_slots` scheduler slots.

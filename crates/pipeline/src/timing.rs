@@ -1,6 +1,7 @@
 //! Frame-time composition under coupled and decoupled barriers.
 
 use crate::config::BarrierMode;
+use dtexl_obs::{Event, NullProbe, Probe, Span, SpanKind, Stage};
 
 /// Per-tile durations of every raster-pipeline stage, in traversal
 /// order. Index `[t][u]` is tile `t`, parallel unit `u`.
@@ -63,38 +64,145 @@ impl StageDurations {
 /// Panics if the duration vectors have inconsistent lengths.
 #[must_use]
 pub fn compose_frame(d: &StageDurations, mode: BarrierMode) -> u64 {
+    compose_frame_probed(d, mode, &mut NullProbe)
+}
+
+/// [`compose_frame`] with an observability probe: the same composition
+/// walk, additionally attributing every cycle of every unit to a
+/// [`Span`] — busy, waiting on the producer stage (`WaitUpstream`), or
+/// held by a barrier (`WaitBarrier`: sibling units under a coupled
+/// barrier, the credit floor under a bounded decoupled one).
+///
+/// The returned frame time is identical to [`compose_frame`]'s — the
+/// probe observes the walk, it never changes it — and with
+/// [`NullProbe`] this *is* [`compose_frame`] (the span plumbing
+/// monomorphizes away). Spans are emitted tile-major, stage-major,
+/// unit-ascending, carry only simulated cycle stamps, and zero-length
+/// intervals are skipped.
+///
+/// # Panics
+///
+/// Panics if the duration vectors have inconsistent lengths.
+pub fn compose_frame_probed<P: Probe>(d: &StageDurations, mode: BarrierMode, probe: &mut P) -> u64 {
     d.assert_consistent();
     if d.is_empty() {
         return 0;
     }
-
-    let mut fetch_done = 0u64;
-    let mut raster_done = 0u64;
     match mode {
-        BarrierMode::Coupled => {
-            let mut ez_done = 0u64;
-            let mut fr_done = 0u64;
-            let mut bl_done = 0u64;
-            for t in 0..d.len() {
-                fetch_done += d.fetch[t];
-                raster_done = raster_done.max(fetch_done) + d.raster[t];
-                // lint: allow(no-panic) -- per-unit arrays are fixed [u64; 4], never empty
-                let ez = *d.early_z[t].iter().max().expect("4 units");
-                ez_done = ez_done.max(raster_done) + ez;
-                // lint: allow(no-panic) -- per-unit arrays are fixed [u64; 4], never empty
-                let fr = *d.fragment[t].iter().max().expect("4 units");
-                fr_done = fr_done.max(ez_done) + fr;
-                // lint: allow(no-panic) -- per-unit arrays are fixed [u64; 4], never empty
-                let bl = *d.blend[t].iter().max().expect("4 units");
-                bl_done = bl_done.max(fr_done) + bl;
-            }
-            bl_done
-        }
-        BarrierMode::Decoupled => compose_decoupled(d, None),
+        BarrierMode::Coupled => compose_coupled(d, probe),
+        BarrierMode::Decoupled => compose_decoupled(d, None, probe),
         BarrierMode::DecoupledBounded { tiles_ahead } => {
-            compose_decoupled(d, Some(tiles_ahead as usize))
+            compose_decoupled(d, Some(tiles_ahead as usize), probe)
         }
     }
+}
+
+/// Emit one attributed interval; empty intervals are dropped.
+fn span<P: Probe>(
+    probe: &mut P,
+    stage: Stage,
+    sc: usize,
+    tile: usize,
+    kind: SpanKind,
+    start: u64,
+    end: u64,
+) {
+    if end > start {
+        probe.record(Event::Span(Span {
+            stage,
+            sc: sc as u8,
+            tile: tile as u32,
+            kind,
+            start,
+            end,
+        }));
+    }
+}
+
+/// Advance the serial front half (tile fetcher + rasterizer) by one
+/// tile — shared verbatim between the two compositions, which is why
+/// the front-end spans are identical across barrier modes.
+fn front_half<P: Probe>(
+    d: &StageDurations,
+    t: usize,
+    fetch_done: &mut u64,
+    raster_done: &mut u64,
+    probe: &mut P,
+) {
+    let f_start = *fetch_done;
+    *fetch_done += d.fetch[t];
+    span(
+        probe,
+        Stage::Fetch,
+        0,
+        t,
+        SpanKind::Busy,
+        f_start,
+        *fetch_done,
+    );
+    let r_start = (*raster_done).max(*fetch_done);
+    span(
+        probe,
+        Stage::Raster,
+        0,
+        t,
+        SpanKind::WaitUpstream,
+        *raster_done,
+        r_start,
+    );
+    *raster_done = r_start + d.raster[t];
+    span(
+        probe,
+        Stage::Raster,
+        0,
+        t,
+        SpanKind::Busy,
+        r_start,
+        *raster_done,
+    );
+}
+
+/// The per-SC back half, in dataflow order.
+const BACK_STAGES: [Stage; 3] = [Stage::EarlyZ, Stage::Fragment, Stage::Blend];
+
+fn compose_coupled<P: Probe>(d: &StageDurations, probe: &mut P) -> u64 {
+    let mut fetch_done = 0u64;
+    let mut raster_done = 0u64;
+    // Stage-done times for early-Z / fragment / blend: under a coupled
+    // barrier each stage advances as one unit, so a scalar per stage.
+    let mut done = [0u64; 3];
+    for t in 0..d.len() {
+        front_half(d, t, &mut fetch_done, &mut raster_done, probe);
+        let mut producer = raster_done;
+        for (si, stage) in BACK_STAGES.into_iter().enumerate() {
+            let durs = match stage {
+                Stage::EarlyZ => d.early_z[t],
+                Stage::Fragment => d.fragment[t],
+                _ => d.blend[t],
+            };
+            let tile_max = durs.iter().copied().max().unwrap_or(0);
+            // All units released tile t-1 together (the barrier), so
+            // each is ready at done[si]; the stage starts tile t when
+            // the producer has delivered it.
+            let start = done[si].max(producer);
+            for (u, &dur) in durs.iter().enumerate() {
+                span(probe, stage, u, t, SpanKind::WaitUpstream, done[si], start);
+                span(probe, stage, u, t, SpanKind::Busy, start, start + dur);
+                span(
+                    probe,
+                    stage,
+                    u,
+                    t,
+                    SpanKind::WaitBarrier,
+                    start + dur,
+                    start + tile_max,
+                );
+            }
+            done[si] = start + tile_max;
+            producer = done[si];
+        }
+    }
+    done[2]
 }
 
 /// Decoupled composition; with `credit = Some(k)`, a unit of a stage
@@ -104,7 +212,11 @@ pub fn compose_frame(d: &StageDurations, mode: BarrierMode) -> u64 {
 /// buffering). Stages still hand subtiles to each other per unit, so
 /// even `k = 0` decouples *within* a tile; `k = ∞` (`None`) is the
 /// paper's fully decoupled pipeline.
-fn compose_decoupled(d: &StageDurations, credit: Option<usize>) -> u64 {
+///
+/// Wait attribution: a unit's idle gap before starting tile `t` is
+/// `WaitBarrier` when the credit floor is the binding constraint and
+/// `WaitUpstream` (producer not done) otherwise.
+fn compose_decoupled<P: Probe>(d: &StageDurations, credit: Option<usize>, probe: &mut P) -> u64 {
     let mut fetch_done = 0u64;
     let mut raster_done = 0u64;
     let mut ez_done = [0u64; 4];
@@ -116,8 +228,7 @@ fn compose_decoupled(d: &StageDurations, credit: Option<usize>) -> u64 {
     let mut fr_hist: Vec<u64> = Vec::new();
     let mut bl_hist: Vec<u64> = Vec::new();
     for t in 0..d.len() {
-        fetch_done += d.fetch[t];
-        raster_done = raster_done.max(fetch_done) + d.raster[t];
+        front_half(d, t, &mut fetch_done, &mut raster_done, probe);
         let (mut ez_floor, mut fr_floor, mut bl_floor) = (0u64, 0u64, 0u64);
         if let Some(k) = credit {
             if t > k {
@@ -128,9 +239,50 @@ fn compose_decoupled(d: &StageDurations, credit: Option<usize>) -> u64 {
         }
         let (mut ez_max, mut fr_max, mut bl_max) = (0u64, 0u64, 0u64);
         for u in 0..4 {
-            ez_done[u] = ez_done[u].max(raster_done).max(ez_floor) + d.early_z[t][u];
-            fr_done[u] = fr_done[u].max(ez_done[u]).max(fr_floor) + d.fragment[t][u];
-            bl_done[u] = bl_done[u].max(fr_done[u]).max(bl_floor) + d.blend[t][u];
+            let start = step_unit(
+                probe,
+                Stage::EarlyZ,
+                u,
+                t,
+                ez_done[u],
+                raster_done,
+                ez_floor,
+            );
+            ez_done[u] = start + d.early_z[t][u];
+            span(
+                probe,
+                Stage::EarlyZ,
+                u,
+                t,
+                SpanKind::Busy,
+                start,
+                ez_done[u],
+            );
+
+            let start = step_unit(
+                probe,
+                Stage::Fragment,
+                u,
+                t,
+                fr_done[u],
+                ez_done[u],
+                fr_floor,
+            );
+            fr_done[u] = start + d.fragment[t][u];
+            span(
+                probe,
+                Stage::Fragment,
+                u,
+                t,
+                SpanKind::Busy,
+                start,
+                fr_done[u],
+            );
+
+            let start = step_unit(probe, Stage::Blend, u, t, bl_done[u], fr_done[u], bl_floor);
+            bl_done[u] = start + d.blend[t][u];
+            span(probe, Stage::Blend, u, t, SpanKind::Busy, start, bl_done[u]);
+
             ez_max = ez_max.max(ez_done[u]);
             fr_max = fr_max.max(fr_done[u]);
             bl_max = bl_max.max(bl_done[u]);
@@ -141,8 +293,31 @@ fn compose_decoupled(d: &StageDurations, credit: Option<usize>) -> u64 {
             bl_hist.push(bl_max);
         }
     }
-    // lint: allow(no-panic) -- per-unit arrays are fixed [u64; 4], never empty
-    *bl_done.iter().max().expect("4 units")
+    bl_done.iter().copied().max().unwrap_or(0)
+}
+
+/// One decoupled unit taking up tile `t`: returns its start time
+/// `max(ready, producer, floor)` and attributes any idle gap since
+/// `ready` to the binding constraint.
+fn step_unit<P: Probe>(
+    probe: &mut P,
+    stage: Stage,
+    u: usize,
+    t: usize,
+    ready: u64,
+    producer: u64,
+    floor: u64,
+) -> u64 {
+    let start = ready.max(producer).max(floor);
+    if start > ready {
+        let kind = if floor > producer {
+            SpanKind::WaitBarrier
+        } else {
+            SpanKind::WaitUpstream
+        };
+        span(probe, stage, u, t, kind, ready, start);
+    }
+    start
 }
 
 #[cfg(test)]
@@ -291,5 +466,157 @@ mod tests {
         let mut d = uniform(3, [1; 4]);
         d.fetch.pop();
         let _ = compose_frame(&d, BarrierMode::Coupled);
+    }
+
+    use dtexl_obs::EventSink;
+
+    fn rotating_hot(tiles: usize) -> StageDurations {
+        let mut d = uniform(tiles, [0; 4]);
+        for t in 0..tiles {
+            let mut fr = [10u64; 4];
+            fr[t % 4] = 70;
+            d.fragment[t] = fr;
+        }
+        d
+    }
+
+    const ALL_MODES: [BarrierMode; 3] = [
+        BarrierMode::Coupled,
+        BarrierMode::Decoupled,
+        BarrierMode::DecoupledBounded { tiles_ahead: 1 },
+    ];
+
+    #[test]
+    fn probed_composition_matches_unprobed() {
+        let d = rotating_hot(40);
+        for mode in ALL_MODES {
+            let mut sink = EventSink::new();
+            let probed = compose_frame_probed(&d, mode, &mut sink);
+            assert_eq!(probed, compose_frame(&d, mode), "{mode:?}");
+            assert!(!sink.is_empty());
+            assert_eq!(sink.dropped(), 0);
+        }
+    }
+
+    #[test]
+    fn busy_spans_account_for_every_duration_cycle() {
+        let d = rotating_hot(25);
+        let per_stage_expected = |stage: Stage| -> u64 {
+            match stage {
+                Stage::Fetch => d.fetch.iter().sum(),
+                Stage::Raster => d.raster.iter().sum(),
+                Stage::EarlyZ => d.early_z.iter().flatten().sum(),
+                Stage::Fragment => d.fragment.iter().flatten().sum(),
+                Stage::Blend => d.blend.iter().flatten().sum(),
+            }
+        };
+        for mode in ALL_MODES {
+            let mut sink = EventSink::new();
+            compose_frame_probed(&d, mode, &mut sink);
+            for stage in Stage::ALL {
+                let busy: u64 = sink
+                    .spans()
+                    .iter()
+                    .filter(|s| s.stage == stage && s.kind == SpanKind::Busy)
+                    .map(Span::cycles)
+                    .sum();
+                assert_eq!(busy, per_stage_expected(stage), "{mode:?} {stage:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_unit_spans_never_overlap() {
+        let d = rotating_hot(30);
+        for mode in ALL_MODES {
+            let mut sink = EventSink::new();
+            compose_frame_probed(&d, mode, &mut sink);
+            for stage in Stage::ALL {
+                for sc in 0..4u8 {
+                    let mut cursor = 0u64;
+                    for s in sink
+                        .spans()
+                        .iter()
+                        .filter(|s| s.stage == stage && s.sc == sc)
+                    {
+                        assert!(
+                            s.start >= cursor,
+                            "{mode:?} {stage:?}/SC{sc}: span {s:?} overlaps previous end {cursor}"
+                        );
+                        cursor = s.end;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_barrier_aligns_units_and_decoupled_has_no_barrier_waits() {
+        let d = rotating_hot(20);
+        // Coupled: per (stage, tile), every unit's timeline ends on the
+        // same cycle — that is what the barrier *is*.
+        let mut sink = EventSink::new();
+        compose_frame_probed(&d, BarrierMode::Coupled, &mut sink);
+        let spans = sink.spans();
+        for stage in [Stage::EarlyZ, Stage::Fragment, Stage::Blend] {
+            for t in 0..d.len() as u32 {
+                let ends: Vec<u64> = (0..4u8)
+                    .map(|sc| {
+                        spans
+                            .iter()
+                            .filter(|s| s.stage == stage && s.tile == t && s.sc == sc)
+                            .map(|s| s.end)
+                            .max()
+                            .unwrap()
+                    })
+                    .collect();
+                assert!(
+                    ends.iter().all(|&e| e == ends[0]),
+                    "{stage:?} t{t}: units release together, got {ends:?}"
+                );
+            }
+        }
+        // The rotating hot subtile makes sibling waits substantial.
+        assert!(spans.iter().any(|s| s.kind == SpanKind::WaitBarrier));
+
+        // Unbounded decoupled: nothing to wait on but producers.
+        let mut sink = EventSink::new();
+        compose_frame_probed(&d, BarrierMode::Decoupled, &mut sink);
+        assert!(
+            sink.spans().iter().all(|s| s.kind != SpanKind::WaitBarrier),
+            "unbounded decoupling has no barrier waits"
+        );
+
+        // A tight credit bound reintroduces barrier waits.
+        let mut sink = EventSink::new();
+        compose_frame_probed(
+            &d,
+            BarrierMode::DecoupledBounded { tiles_ahead: 0 },
+            &mut sink,
+        );
+        assert!(
+            sink.spans().iter().any(|s| s.kind == SpanKind::WaitBarrier),
+            "credit floor must surface as barrier waits"
+        );
+    }
+
+    #[test]
+    fn front_end_spans_are_mode_invariant() {
+        let d = rotating_hot(15);
+        let front = |mode: BarrierMode| -> Vec<Span> {
+            let mut sink = EventSink::new();
+            compose_frame_probed(&d, mode, &mut sink);
+            sink.spans()
+                .into_iter()
+                .filter(|s| !s.stage.is_per_sc())
+                .collect()
+        };
+        let coupled = front(BarrierMode::Coupled);
+        for mode in [
+            BarrierMode::Decoupled,
+            BarrierMode::DecoupledBounded { tiles_ahead: 2 },
+        ] {
+            assert_eq!(coupled, front(mode), "{mode:?}");
+        }
     }
 }

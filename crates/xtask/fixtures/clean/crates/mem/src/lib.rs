@@ -10,3 +10,11 @@ pub fn first(v: &[u32]) -> u32 {
     let x = v.first().copied().unwrap();
     x + seen.len() as u32
 }
+
+/// Order-insensitive reduction: both the set and the sum carry
+/// justifications the linter must accept.
+// lint: allow(determinism-hash) -- membership-style set; the reduction below is justified separately
+pub fn total(set: &HashSet<u32>) -> f64 {
+    // lint: allow(determinism-iter) -- u32-as-f64 sums are exact below 2^53: order cannot matter
+    set.iter().map(|&x| f64::from(x)).sum::<f64>()
+}

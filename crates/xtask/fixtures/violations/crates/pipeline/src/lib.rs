@@ -10,3 +10,7 @@ pub fn seeded() -> u64 {
     let v = std::env::var("SEED"); // line 10: determinism-env
     m.len() as u64
 }
+
+pub fn unordered_sum(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum::<f64>() // line 15: determinism-iter
+}

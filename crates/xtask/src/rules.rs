@@ -10,6 +10,15 @@
 //! * **no-panic** (`no-panic`) — non-test library code must surface
 //!   typed errors instead of panicking, unless a site carries a
 //!   `// lint: allow(no-panic) -- <why>` justification.
+//! * **determinism-iter** (`determinism-iter`) — a structural check
+//!   (in [`check_file`], not the pattern table): a float reduction
+//!   (`.sum::<f64>()`, `.fold(0.0, ..)`, …) within three lines of an
+//!   unordered container (`HashMap`, `HashSet`, `BinaryHeap`) is
+//!   flagged even where the container itself carries a membership-only
+//!   `allow(determinism-hash)`: float addition is not associative, so
+//!   reducing over unspecified iteration order yields run-dependent
+//!   sums. Reductions over slices/`Vec`s/`BTreeMap`s are ordered and
+//!   never flagged.
 //! * **typed-error parity** (`typed-error-parity`) — every
 //!   `#[should_panic]` test names a sibling test pinning the typed
 //!   error variant via `// lint: typed-sibling(<test_fn>)`.
@@ -24,7 +33,7 @@ use crate::sanitize::sanitize;
 /// (`core::{sim,metrics,experiments}`): all of `core` is scanned, with
 /// the sweep watchdog covered by the built-in allowlist below.
 pub const SIM_CRATES: &[&str] = &[
-    "gmath", "mem", "texture", "sched", "scene", "pipeline", "trace", "core", "alloc",
+    "gmath", "mem", "texture", "sched", "scene", "pipeline", "trace", "core", "alloc", "obs",
 ];
 
 /// Where a rule applies.
@@ -349,6 +358,61 @@ pub fn check_file(rel: &str, source: &str) -> FileOutcome {
         }
     }
 
+    // determinism-iter: a float reduction fed (within a three-line
+    // window) by an unordered container. The pattern rules ban the
+    // containers themselves, but a membership-only allow(determinism-
+    // hash) must not quietly license *iterating* one into a sum.
+    if class == FileClass::SimLib {
+        const REDUCTIONS: &[&str] = &[
+            ".sum::<f64>",
+            ".sum::<f32>",
+            ".product::<f64>",
+            ".product::<f32>",
+            ".fold(0.0",
+            ".fold(0f64",
+            ".fold(0f32",
+        ];
+        const UNORDERED: &[Pattern] = &[word("HashMap"), word("HashSet"), word("BinaryHeap")];
+        for (idx, code) in s.code_lines.iter().enumerate() {
+            if s.test_lines.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            if !REDUCTIONS.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            let window = &s.code_lines[idx.saturating_sub(3)..=idx];
+            if !window
+                .iter()
+                .any(|l| UNORDERED.iter().any(|p| line_matches(l, p)))
+            {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(pos) = s.allows.iter().position(|a| {
+                a.rule == "determinism-iter" && (a.line == lineno || a.line + 1 == lineno)
+            }) {
+                used_allows[pos] = true;
+                out.allowed.push(AllowedSite {
+                    line: lineno,
+                    rule: "determinism-iter".into(),
+                    justification: s.allows[pos].justification.clone(),
+                    builtin: false,
+                });
+            } else {
+                out.findings.push(Finding {
+                    line: lineno,
+                    rule: "determinism-iter".into(),
+                    snippet: snippet(lineno),
+                    hint: "float reductions over unordered iteration are run-dependent \
+                           (float addition is not associative): collect into a sorted Vec \
+                           or BTreeMap first, or justify with \
+                           `// lint: allow(determinism-iter) -- <why>`"
+                        .into(),
+                });
+            }
+        }
+    }
+
     // typed-error-parity: every `#[should_panic` attribute (test code
     // included — that is where they live) needs a typed-sibling
     // annotation within the three lines above, naming a function that
@@ -515,6 +579,59 @@ mod tests {
         let out = check_file("crates/mem/src/lib.rs", src);
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].rule, "determinism-rng");
+    }
+
+    #[test]
+    fn float_reduction_over_unordered_iteration_is_flagged() {
+        // A membership-allowed HashMap iterated into a float sum: the
+        // hash allow is honored, but the reduction is its own finding.
+        let src = "// lint: allow(determinism-hash) -- membership only\n\
+                   let m: HashMap<u32, f64> = HashMap::new();\n\
+                   let total = m.values()\n\
+                   .sum::<f64>();\n";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "determinism-iter");
+        assert_eq!(out.findings[0].line, 4);
+
+        // An explicit allow silences it (and is not stale).
+        let src = "// lint: allow(determinism-hash) -- membership only\n\
+                   let m: HashMap<u32, f64> = HashMap::new();\n\
+                   // lint: allow(determinism-iter) -- sum of non-negative is order-checked\n\
+                   let total = m.values().sum::<f64>();\n";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allowed.len(), 2);
+    }
+
+    #[test]
+    fn float_reduction_over_ordered_iteration_is_fine() {
+        // Slices and BTreeMaps iterate in a specified order.
+        let src = "let total = samples.iter().copied().sum::<f64>();\n\
+                   let t2: BTreeMap<u32, f64> = BTreeMap::new();\n\
+                   let s2 = t2.values().sum::<f64>();\n";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        // Beyond the three-line window the reduction is not tied to
+        // the container (and test code is never scanned).
+        let src = "// lint: allow(determinism-hash) -- membership only\n\
+                   let m: HashSet<u32> = HashSet::new();\n\
+                   let a = 1;\nlet b = 2;\nlet c = 3;\n\
+                   let total = xs.iter().sum::<f64>();\n";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let m: HashMap<u32, f64> = HashMap::new();\n        let s = m.values().sum::<f64>();\n    }\n}\n";
+        let out = check_file("crates/core/src/x.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn obs_crate_is_a_sim_crate() {
+        assert_eq!(classify("crates/obs/src/lib.rs"), FileClass::SimLib);
+        let src = "let t = Instant::now();\n";
+        let out = check_file("crates/obs/src/lib.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "determinism-clock");
     }
 
     #[test]

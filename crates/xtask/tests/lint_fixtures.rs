@@ -33,6 +33,7 @@ fn seeded_fixture_trips_every_rule_with_file_line() {
     assert!(hit("crates/pipeline/src/lib.rs", 10, "determinism-env"));
     assert!(hit("crates/gmath/src/lib.rs", 4, "no-panic"));
     assert!(hit("crates/gmath/src/lib.rs", 5, "lint-annotation"));
+    assert!(hit("crates/pipeline/src/lib.rs", 15, "determinism-iter"));
     assert!(hit("tests/parity.rs", 4, "typed-error-parity"));
     assert!(!report.ok());
     // Every violation carries a non-empty hint.
@@ -48,7 +49,7 @@ fn clean_fixture_passes_and_counts_allows() {
         report.render_text()
     );
     let annotated = report.allowed.iter().filter(|a| !a.builtin).count();
-    assert_eq!(annotated, 3, "both allows parsed and counted");
+    assert_eq!(annotated, 5, "every allow parsed and counted");
     assert!(report.allowed.iter().all(|a| !a.justification.is_empty()));
 }
 

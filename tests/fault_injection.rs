@@ -360,6 +360,81 @@ fn dram_spikes_cost_cycles_but_not_accesses() {
     assert_eq!(clean.total_quads_shaded(), spiked.total_quads_shaded());
 }
 
+/// An injected early-Z stall shows up in the observability trace
+/// exactly where it was injected: the wait/busy attribution localizes
+/// the fault to the stalled (SC, stage) unit without being told where
+/// it is. This is the probes' reason to exist — a timing anomaly in
+/// any unit is findable from the trace alone.
+#[test]
+fn trace_wait_attribution_localizes_an_injected_early_z_stall() {
+    use dtexl::obs::{Span, SpanKind, Stage};
+    use dtexl::profile::FrameProfile;
+    use dtexl::SimConfig;
+    use std::collections::BTreeMap;
+
+    let lane = 2usize;
+    let stall = 40_000u64;
+    let clean_cfg = SimConfig::dtexl(Game::GravityTetris).with_resolution(480, 192);
+    let mut faulted_cfg = clean_cfg;
+    faulted_cfg.pipeline.fault = FaultPlan {
+        seed: 11,
+        early_z_stall: Some(LaneStall {
+            lane,
+            cycles: stall,
+        }),
+        ..FaultPlan::default()
+    };
+    let clean = FrameProfile::capture(&clean_cfg).expect("valid config");
+    let faulted = FrameProfile::capture(&faulted_cfg).expect("valid config");
+
+    // Busy totals per (stage, SC) unit from the span stream. Busy time
+    // is barrier-mode-invariant; use the decoupled composition.
+    let busy_totals = |spans: &[Span]| -> BTreeMap<(Stage, u8), u64> {
+        let mut m = BTreeMap::new();
+        for s in spans.iter().filter(|s| s.kind == SpanKind::Busy) {
+            *m.entry((s.stage, s.sc)).or_insert(0) += s.cycles();
+        }
+        m
+    };
+    let before = busy_totals(&clean.decoupled);
+    let after = busy_totals(&faulted.decoupled);
+
+    // Without being told where the fault is, the largest busy delta
+    // names the injected unit — and carries the full injected cost.
+    let (culprit, delta) = after
+        .iter()
+        .map(|(unit, &b)| (*unit, b - before.get(unit).copied().unwrap_or(0)))
+        .max_by_key(|&(_, d)| d)
+        .unwrap();
+    assert_eq!(
+        culprit,
+        (Stage::EarlyZ, lane as u8),
+        "stall must localize to the injected (stage, SC) unit"
+    );
+    assert_eq!(delta, stall, "the whole injected cost lands in one unit");
+    for (unit, b) in &after {
+        if *unit != culprit {
+            assert_eq!(*b, before[unit], "{unit:?}: untouched units must not move");
+        }
+    }
+
+    // Coupled barriers turn the stall into sibling waits: the other
+    // early-Z units now stand at the tile barrier longer.
+    let ez_barrier_wait = |spans: &[Span]| -> u64 {
+        spans
+            .iter()
+            .filter(|s| {
+                s.stage == Stage::EarlyZ && s.kind == SpanKind::WaitBarrier && s.sc != lane as u8
+            })
+            .map(Span::cycles)
+            .sum()
+    };
+    assert!(
+        ez_barrier_wait(&faulted.coupled) > ez_barrier_wait(&clean.coupled),
+        "coupled siblings must absorb the stall as barrier waits"
+    );
+}
+
 /// The same fault plan is bit-identical across runs and across the
 /// serial/parallel simulator paths.
 #[test]
