@@ -14,15 +14,18 @@
 //!   DTEXL_THREADS=4 cargo run --release -p dtexl-bench --bin sweep_timing
 //!   ```
 //!
-//! * **`--quick [--out BENCH_sweep.json]`** — runs the canonical 20-job
-//!   quick sweep (all ten games × baseline,dtexl at 480x192) through
-//!   the sweep engine with one worker, and writes a JSON benchmark
-//!   report with the total wall-clock plus per-job wall time and
-//!   allocator high-water marks. `cargo xtask bench-compare` diffs two
-//!   of these reports for the CI perf gate.
+//! * **`--quick [--out BENCH_sweep.json] [--no-memoize]`** — runs the
+//!   canonical 20-job quick sweep (all ten games × baseline,dtexl at
+//!   480x192) through the sweep engine with one worker, and writes a
+//!   JSON benchmark report with the total wall-clock plus per-job wall
+//!   time and allocator high-water marks. `cargo xtask bench-compare`
+//!   diffs two of these reports for the CI perf gate. Prefix
+//!   memoization is on by default — it is what the perf gate measures —
+//!   and `--no-memoize` runs every job from scratch (metrics are
+//!   bit-identical either way; CI diffs `sweep canon` over both).
 
 use dtexl::experiments::{Lab, Setup};
-use dtexl::sweep::{json_escape, run_sweep, SweepJob, SweepOptions};
+use dtexl::sweep::{json_escape, run_sweep, PrefixCache, SweepJob, SweepOptions};
 use dtexl_pipeline::PipelineConfig;
 use dtexl_scene::Game;
 use dtexl_sched::ScheduleConfig;
@@ -33,12 +36,13 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = take_flag(&mut args, "--quick");
     let out = take_value(&mut args, "--out");
+    let no_memoize = take_flag(&mut args, "--no-memoize");
     if !args.is_empty() {
         eprintln!("unrecognized arguments: {args:?}");
         std::process::exit(1);
     }
     if quick {
-        bench_quick_sweep(out.as_deref());
+        bench_quick_sweep(out.as_deref(), !no_memoize);
     } else {
         bench_all_figures();
     }
@@ -85,7 +89,7 @@ fn bench_all_figures() {
 /// sweep engine. One worker so the per-job wall times are not fighting
 /// each other for cores; the journal-visible metrics are bit-identical
 /// regardless.
-fn bench_quick_sweep(out: Option<&str>) {
+fn bench_quick_sweep(out: Option<&str>, memoize: bool) {
     let lane_threads = PipelineConfig::default().threads;
     let jobs: Vec<SweepJob> = Game::ALL
         .into_iter()
@@ -98,6 +102,10 @@ fn bench_quick_sweep(out: Option<&str>) {
     let opts = SweepOptions {
         workers: 1,
         keep_going: true,
+        // The job list interleaves each game's two legs back to back,
+        // so one live entry at a time suffices; unbounded keeps the
+        // bench independent of list order.
+        prefix_cache: memoize.then(|| PrefixCache::new(None)),
         ..SweepOptions::default()
     };
     let start = Instant::now();

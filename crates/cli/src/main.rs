@@ -10,6 +10,7 @@
 //!                   [--backoff-ms N] [--upper] [--threads N]
 //!                   [--shard i/N] [--job-mem-budget MB] [--table]
 //!                   [--progress] [--heartbeat-ms N]
+//!                   [--memoize [--memoize-budget MB]]
 //! dtexl sweep merge <journals...> --out merged.jsonl
 //! dtexl sweep canon <journal>
 //! dtexl profile     --game CCS [--schedule dtexl] [--res 1960x768]
@@ -37,7 +38,13 @@
 //! mark (exceeding it is a journaled, non-retried `mem_budget` error).
 //! `sweep --progress` streams one JSON line per job lifecycle event
 //! (start/attempt/retry/heartbeat/done, with live `peak_alloc_bytes`)
-//! to stderr; `--heartbeat-ms` tunes the in-flight beat interval.
+//! to stderr; `--heartbeat-ms` tunes the in-flight beat interval and
+//! `--heartbeat-ms 0` disables heartbeats (other events still flow).
+//! `sweep --memoize` shares the schedule-independent frame prefix
+//! (geometry, binning, raster, early-Z, texture footprints) across the
+//! jobs that differ only in schedule — metrics are bit-identical with
+//! or without it; `--memoize-budget MB` bounds the cache's retained
+//! bytes (default: the `--job-mem-budget` value, else unbounded).
 //!
 //! `profile` simulates one frame with the observability probes of
 //! `dtexl-obs` attached and prints the stall-attribution tables (busy
@@ -53,8 +60,8 @@
 use dtexl::characterize::characterize_all;
 use dtexl::profile::FrameProfile;
 use dtexl::sweep::{
-    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, Progress,
-    RetryPolicy, Shard, SweepJob, SweepOptions,
+    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, PrefixCache,
+    Progress, RetryPolicy, Shard, SweepJob, SweepOptions,
 };
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
@@ -301,10 +308,16 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         .map(|mb| mb.saturating_mul(1024 * 1024));
     let table = args.flag("--table");
     let progress = args.flag("--progress");
+    // 0 disables heartbeats (run_sweep treats a zero interval as "no
+    // beats", not "beat as fast as possible").
     let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
+    let memoize = args.flag("--memoize");
+    let memoize_budget = args
+        .parsed_value::<u64>("--memoize-budget")?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
     args.finish()?;
-    if heartbeat_ms == 0 {
-        return Err("--heartbeat-ms must be >= 1".into());
+    if memoize_budget.is_some() && !memoize {
+        return Err("--memoize-budget requires --memoize".into());
     }
 
     if resume && journal.is_none() {
@@ -342,6 +355,10 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         job_mem_budget,
         progress: progress.then_some(print_progress as fn(&Progress)),
         progress_heartbeat: std::time::Duration::from_millis(heartbeat_ms),
+        // The cache budget defaults to the per-job budget: if one job
+        // may not allocate more than that, retaining more than that
+        // across jobs is not a saving either.
+        prefix_cache: memoize.then(|| PrefixCache::new(memoize_budget.or(job_mem_budget))),
         ..SweepOptions::default()
     };
     let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})

@@ -44,13 +44,19 @@
 //!   budget allocates the same bytes). Peak usage is recorded on every
 //!   attempted job ([`JobRecord::peak_alloc`]) whether or not a budget
 //!   is set, so fleet runs are memory-debuggable from journals alone.
+//! * **Prefix memoization** — [`SweepOptions::prefix_cache`] shares
+//!   the schedule-independent half of each frame simulation (geometry,
+//!   binning, raster, early-Z, texture footprints) across the jobs
+//!   that only differ in schedule, keyed by [`SweepJob::prefix_key`]
+//!   and bounded by a retained-bytes budget. Metrics are bit-identical
+//!   with the cache on or off.
 //!
 //! The journal is hand-rolled JSON (the vendored `serde` stand-in does
 //! not serialize); the format is pinned in `docs/ROBUSTNESS.md` and by
 //! the tests in this module.
 
 use dtexl_alloc::{meter_current_thread, AllocMeter};
-use dtexl_pipeline::{BarrierMode, FrameResult, FrameSim, PipelineConfig, SimError};
+use dtexl_pipeline::{BarrierMode, FramePrefix, FrameResult, FrameSim, PipelineConfig, SimError};
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::ScheduleConfig;
 use parking_lot::Mutex;
@@ -159,6 +165,200 @@ impl SweepJob {
             self.width,
             self.height,
         )
+    }
+
+    /// Hash of everything that determines this job's *shared frame
+    /// prefix* — the scene identity plus the full pipeline
+    /// configuration (fault plan included, `threads` normalized out,
+    /// same canonical form as [`config_hash`](Self::config_hash)).
+    /// Unlike `config_hash` it deliberately **excludes the schedule**:
+    /// the prefix is schedule-independent, so the FG and CG legs of one
+    /// (game, resolution, config) triple share a single cache entry.
+    #[must_use]
+    pub fn prefix_key(&self) -> u64 {
+        let mut normalized = self.pipeline;
+        normalized.threads = 1;
+        fnv1a(
+            format!(
+                "{}|{}x{}#{}|{:?}",
+                self.game.alias(),
+                self.width,
+                self.height,
+                self.frame,
+                normalized
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Like [`simulate`](Self::simulate), but reuse (or populate) a
+    /// shared [`PrefixCache`] of schedule-independent frame prefixes.
+    /// With `None` this is exactly `simulate()`. The memoized path is
+    /// bit-identical to the fresh one by construction — both run the
+    /// same schedule-dependent leg over the same prefix data (pinned by
+    /// tests/memoize_equivalence.rs).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`SimError`] for invalid specs, configurations
+    /// or scenes.
+    pub fn simulate_with(&self, cache: Option<&PrefixCache>) -> Result<FrameResult, SimError> {
+        let Some(cache) = cache else {
+            return self.simulate();
+        };
+        let key = self.prefix_key();
+        if let Some(prefix) = cache.lookup(key) {
+            return FrameSim::try_run_prefixed(&prefix, &self.schedule, &self.pipeline);
+        }
+        let spec =
+            SceneSpec::try_new(self.width, self.height, self.frame).map_err(SimError::Scene)?;
+        let scene = self.game.scene(&spec);
+        let prefix = Arc::new(FramePrefix::build(
+            &scene,
+            &self.pipeline,
+            self.width,
+            self.height,
+        )?);
+        let result = FrameSim::try_run_prefixed(&prefix, &self.schedule, &self.pipeline)?;
+        // Insert only after the leg succeeded, so a prefix that trips a
+        // downstream validation error is never cached.
+        cache.insert(key, prefix);
+        Ok(result)
+    }
+}
+
+/// Counter snapshot from [`PrefixCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Prefixes currently resident.
+    pub entries: usize,
+    /// Approximate retained bytes across resident prefixes.
+    pub bytes: u64,
+    /// Lookups that found their prefix.
+    pub hits: u64,
+    /// Lookups that missed (each miss costs one prefix build).
+    pub misses: u64,
+    /// Entries displaced to make room under the budget.
+    pub evictions: u64,
+    /// Inserts refused because the prefix alone exceeds the budget.
+    pub rejected: u64,
+}
+
+/// Bounded, shared cache of schedule-independent [`FramePrefix`]es,
+/// keyed by [`SweepJob::prefix_key`] (an FNV-1a hash, the same family
+/// journal v2 uses for config hashes).
+///
+/// The canonical sweep runs every (game, resolution) pair once per
+/// schedule leg; the prefix — geometry, binning, raster, early-Z,
+/// texture footprints — is identical across those legs, so caching it
+/// halves the functional work. Prefixes are built on the job's
+/// metered thread (so `--job-mem-budget` sees the build), and the
+/// cache's *retained* footprint is bounded separately by `budget`:
+/// once `approx_bytes` of the resident prefixes would exceed it, the
+/// oldest entries are evicted first (FIFO — sweep job lists group a
+/// game's legs together, so insertion order approximates recency), and
+/// a prefix too large to ever fit is simply not retained — the job
+/// still completes, it just forfeits reuse. Either way an overrun
+/// degrades to a cache miss, never to a failure.
+///
+/// Determinism: the cache only changes *when* a prefix is computed,
+/// never *what* it contains, so metrics are bit-identical with the
+/// cache on, off, or thrashing (pinned by tests/memoize_equivalence.rs
+/// and the CI canon diff).
+#[derive(Debug)]
+pub struct PrefixCache {
+    /// Retained-bytes bound; `None` is unbounded.
+    budget: Option<u64>,
+    inner: Mutex<PrefixCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PrefixCacheInner {
+    /// Resident prefixes. `BTreeMap` (not `HashMap`): iteration order
+    /// feeds nothing observable today, but the determinism lint bans
+    /// `HashMap` wholesale in sim crates and this map is no exception.
+    entries: BTreeMap<u64, Arc<FramePrefix>>,
+    /// Insertion order of live keys, oldest first (FIFO eviction).
+    order: Vec<u64>,
+    /// Approximate retained bytes across `entries`.
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+impl PrefixCache {
+    /// A cache retaining at most `budget` bytes of prefixes (`None` is
+    /// unbounded), shareable across sweep workers.
+    #[must_use]
+    pub fn new(budget: Option<u64>) -> Arc<Self> {
+        Arc::new(Self {
+            budget,
+            inner: Mutex::new(PrefixCacheInner::default()),
+        })
+    }
+
+    /// Fetch the prefix cached under `key`, if resident.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Arc<FramePrefix>> {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(&key) {
+            Some(prefix) => {
+                let prefix = Arc::clone(prefix);
+                inner.hits += 1;
+                Some(prefix)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Retain `prefix` under `key`, evicting oldest-first to fit the
+    /// budget. A prefix that alone exceeds the budget is rejected
+    /// (counted, not an error); a key already resident is left as-is
+    /// (two workers can race to build the same prefix — the copies are
+    /// identical, so whichever insert lands first wins).
+    pub fn insert(&self, key: u64, prefix: Arc<FramePrefix>) {
+        let size = prefix.approx_bytes();
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(&key) {
+            return;
+        }
+        if let Some(budget) = self.budget {
+            if size > budget {
+                inner.rejected += 1;
+                return;
+            }
+            while inner.bytes + size > budget {
+                // `order` tracks exactly the live keys, so the front is
+                // always removable while we are over budget.
+                let oldest = inner.order.remove(0);
+                if let Some(evicted) = inner.entries.remove(&oldest) {
+                    inner.bytes -= evicted.approx_bytes();
+                    inner.evictions += 1;
+                }
+            }
+        }
+        inner.bytes += size;
+        inner.order.push(key);
+        inner.entries.insert(key, prefix);
+    }
+
+    /// Snapshot of the cache's counters.
+    #[must_use]
+    pub fn stats(&self) -> PrefixCacheStats {
+        let inner = self.inner.lock();
+        PrefixCacheStats {
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            rejected: inner.rejected,
+        }
     }
 }
 
@@ -422,8 +622,14 @@ pub struct SweepOptions {
     /// (the CLI writes straight to stderr).
     pub progress: Option<fn(&Progress)>,
     /// Minimum interval between [`ProgressKind::Heartbeat`] events for
-    /// an in-flight attempt. Only consulted when `progress` is set.
+    /// an in-flight attempt. Only consulted when `progress` is set; a
+    /// **zero** interval disables heartbeats entirely (the other event
+    /// kinds still flow) rather than emitting as fast as possible.
     pub progress_heartbeat: Duration,
+    /// Shared [`PrefixCache`] of schedule-independent frame prefixes;
+    /// jobs run through [`SweepJob::simulate_with`] when set. `None`
+    /// (the default) simulates every job from scratch.
+    pub prefix_cache: Option<Arc<PrefixCache>>,
 }
 
 impl Default for SweepOptions {
@@ -440,6 +646,7 @@ impl Default for SweepOptions {
             sleeper: std::thread::sleep,
             progress: None,
             progress_heartbeat: Duration::from_secs(1),
+            prefix_cache: None,
         }
     }
 }
@@ -726,15 +933,23 @@ fn run_attempt(
     timeout: Option<Duration>,
     mem_budget: Option<u64>,
     heartbeat: Option<(Duration, &dyn Fn(u64))>,
+    cache: Option<Arc<PrefixCache>>,
 ) -> (Result<FrameResult, JobError>, u64) {
+    // Belt and braces: callers already translate a zero interval into
+    // `None`, but a zero that slipped through would min-merge into the
+    // watchdog slice below and busy-loop it.
+    let heartbeat = heartbeat.filter(|(every, _)| !every.is_zero());
     let meter = AllocMeter::new();
     let (tx, rx) = std::sync::mpsc::channel();
     let job_meter = Arc::clone(&meter);
     std::thread::spawn(move || {
         // Tag before any simulation work so every allocation of this
-        // disposable thread is charged to the job's meter.
+        // disposable thread is charged to the job's meter (including a
+        // prefix build on a cache miss).
         let _tag = meter_current_thread(&job_meter);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.simulate()));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.simulate_with(cache.as_deref())
+        }));
         // The receiver may be gone (watchdog fired): ignore the send error.
         let _ = tx.send(outcome.map_err(|payload| {
             payload
@@ -945,11 +1160,20 @@ where
                             None,
                         )
                     };
+                    // A zero interval means "no heartbeats", not "as
+                    // fast as possible": leave the pair unset so the
+                    // watchdog below blocks instead of busy-looping.
                     let heartbeat = opts
                         .progress
+                        .filter(|_| !opts.progress_heartbeat.is_zero())
                         .map(|_| (opts.progress_heartbeat, &beat as &dyn Fn(u64)));
-                    let (attempt, peak) =
-                        run_attempt(job, opts.job_timeout, opts.job_mem_budget, heartbeat);
+                    let (attempt, peak) = run_attempt(
+                        job,
+                        opts.job_timeout,
+                        opts.job_mem_budget,
+                        heartbeat,
+                        opts.prefix_cache.clone(),
+                    );
                     peak_alloc = peak_alloc.max(peak);
                     match attempt {
                         Ok(result) => break Ok(result),

@@ -34,6 +34,7 @@ mod interp_impl;
 mod mat;
 mod rect;
 mod tri;
+pub mod trig;
 mod vec;
 
 pub use mat::Mat4;

@@ -89,7 +89,7 @@ impl Mat4 {
     /// Rotation of `angle` radians around the X axis.
     #[must_use]
     pub fn rotation_x(angle: f32) -> Self {
-        let (s, c) = angle.sin_cos();
+        let (s, c) = crate::trig::sin_cos(angle);
         Self::from_cols(
             Vec4::new(1.0, 0.0, 0.0, 0.0),
             Vec4::new(0.0, c, s, 0.0),
@@ -101,7 +101,7 @@ impl Mat4 {
     /// Rotation of `angle` radians around the Y axis.
     #[must_use]
     pub fn rotation_y(angle: f32) -> Self {
-        let (s, c) = angle.sin_cos();
+        let (s, c) = crate::trig::sin_cos(angle);
         Self::from_cols(
             Vec4::new(c, 0.0, -s, 0.0),
             Vec4::new(0.0, 1.0, 0.0, 0.0),
@@ -113,7 +113,7 @@ impl Mat4 {
     /// Rotation of `angle` radians around the Z axis.
     #[must_use]
     pub fn rotation_z(angle: f32) -> Self {
-        let (s, c) = angle.sin_cos();
+        let (s, c) = crate::trig::sin_cos(angle);
         Self::from_cols(
             Vec4::new(c, s, 0.0, 0.0),
             Vec4::new(-s, c, 0.0, 0.0),
@@ -134,7 +134,7 @@ impl Mat4 {
     #[must_use]
     pub fn perspective(fovy: f32, aspect: f32, near: f32, far: f32) -> Self {
         debug_assert!(near > 0.0 && far > near && aspect > 0.0);
-        let f = 1.0 / (fovy / 2.0).tan();
+        let f = crate::trig::cot(fovy / 2.0);
         Self::from_cols(
             Vec4::new(f / aspect, 0.0, 0.0, 0.0),
             Vec4::new(0.0, f, 0.0, 0.0),

@@ -1,0 +1,118 @@
+//! Bit-deterministic sine/cosine for transforms and scene generation.
+//!
+//! `f32::sin`/`cos`/`tan` lower to libm calls. When inlining makes an
+//! argument a compile-time constant, LLVM folds the call using the
+//! *compiler's* math library, which can disagree with the runtime
+//! libm by an ulp — so the same source produced different rotation
+//! matrices (and thus different simulation metrics) depending on how
+//! aggressively the build inlined (plain release vs. thin-LTO). The
+//! functions here use only +, −, ×, ÷ and exactly-specified intrinsics
+//! (`round`), all of which constant-fold to the exact runtime result,
+//! making every build profile bit-identical.
+//!
+//! Accuracy is a few ulps over the ranges the generators use (|angle|
+//! up to a few multiples of τ) — far below anything the simulation
+//! can observe, and determinism, not last-ulp fidelity, is the
+//! contract here.
+
+use std::f32::consts::FRAC_PI_2;
+
+/// Odd polynomial for `sin r`, `r ∈ [-π/4, π/4]` (Taylor to `r⁷`,
+/// max error ≈ 2⁻²⁷ at the interval edge — below half an ulp of the
+/// result there).
+#[inline]
+fn sin_kernel(r: f32) -> f32 {
+    let r2 = r * r;
+    r + r * r2 * (-1.0 / 6.0 + r2 * (1.0 / 120.0 + r2 * (-1.0 / 5040.0)))
+}
+
+/// Even polynomial for `cos r`, `r ∈ [-π/4, π/4]` (Taylor to `r⁸`).
+#[inline]
+fn cos_kernel(r: f32) -> f32 {
+    let r2 = r * r;
+    1.0 + r2 * (-1.0 / 2.0 + r2 * (1.0 / 24.0 + r2 * (-1.0 / 720.0 + r2 * (1.0 / 40320.0))))
+}
+
+/// Deterministic `(sin angle, cos angle)`; drop-in for
+/// [`f32::sin_cos`]. `angle` is in radians.
+#[must_use]
+pub fn sin_cos(angle: f32) -> (f32, f32) {
+    // Quadrant reduction: angle = k·(π/2) + r with r ∈ [-π/4, π/4].
+    // π/2 is not exactly representable, so the reduction itself loses
+    // accuracy for huge angles; generators only pass a few radians.
+    let k = (angle * std::f32::consts::FRAC_2_PI).round();
+    let r = angle - k * FRAC_PI_2;
+    let (s, c) = (sin_kernel(r), cos_kernel(r));
+    match (k as i64).rem_euclid(4) {
+        0 => (s, c),
+        1 => (c, -s),
+        2 => (-s, -c),
+        _ => (-c, s),
+    }
+}
+
+/// Deterministic `sin angle` (radians).
+#[must_use]
+pub fn sin(angle: f32) -> f32 {
+    sin_cos(angle).0
+}
+
+/// Deterministic `cos angle` (radians).
+#[must_use]
+pub fn cos(angle: f32) -> f32 {
+    sin_cos(angle).1
+}
+
+/// Deterministic `1 / tan angle` (radians), the cotangent form
+/// perspective projections need.
+#[must_use]
+pub fn cot(angle: f32) -> f32 {
+    let (s, c) = sin_cos(angle);
+    c / s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, FRAC_PI_4, PI, TAU};
+
+    #[test]
+    fn matches_libm_closely() {
+        // Sweep the range the generators use; a few ulps of slack.
+        let mut worst = 0f32;
+        for i in -2000..=2000 {
+            let a = i as f32 * (TAU / 1000.0);
+            let (s, c) = sin_cos(a);
+            worst = worst.max((s - a.sin()).abs()).max((c - a.cos()).abs());
+        }
+        assert!(worst < 1e-6, "max deviation from libm: {worst}");
+    }
+
+    #[test]
+    fn exact_at_quadrant_multiples() {
+        // k·π/2 reduces to r = 0 where the kernels are exact.
+        assert_eq!(sin_cos(0.0), (0.0, 1.0));
+        let (s, c) = sin_cos(FRAC_PI_2);
+        assert_eq!(s, 1.0);
+        assert!(c.abs() < 1e-7);
+        let (s, c) = sin_cos(PI);
+        assert!(s.abs() < 1e-7);
+        assert_eq!(c, -1.0);
+    }
+
+    #[test]
+    fn pythagorean_identity_holds() {
+        for i in 0..100 {
+            let a = i as f32 * 0.1 - 5.0;
+            let (s, c) = sin_cos(a);
+            assert!((s * s + c * c - 1.0).abs() < 1e-6, "at {a}");
+        }
+    }
+
+    #[test]
+    fn cot_matches_reciprocal_tan() {
+        for a in [0.3f32, FRAC_PI_4, 1.0, 1.4] {
+            assert!((cot(a) - 1.0 / a.tan()).abs() < 1e-5, "at {a}");
+        }
+    }
+}

@@ -112,6 +112,48 @@ pub struct AccessOutcome {
     pub evicted: Option<LineAddr>,
 }
 
+/// Statically-dispatched replacement selector.
+///
+/// Every cache access calls [`ReplacementPolicy::on_access`]; going
+/// through a `Box<dyn …>` put a virtual call on the hottest loop of
+/// the simulator. The stock policies are a closed set, so they are
+/// dispatched by `match` (which inlines); arbitrary external policies
+/// still work through the boxed [`Custom`](PolicyImpl::Custom) arm.
+#[derive(Debug)]
+pub(crate) enum PolicyImpl {
+    Lru(Lru),
+    Fifo(crate::replacement::Fifo),
+    Random(crate::replacement::PseudoRandom),
+    Custom(Box<dyn ReplacementPolicy + Send>),
+}
+
+impl PolicyImpl {
+    #[inline]
+    fn on_access(&mut self, set: usize, way: usize, tick: u64) {
+        match self {
+            Self::Lru(p) => p.on_access(set, way, tick),
+            Self::Fifo(p) => p.on_access(set, way, tick),
+            Self::Random(p) => p.on_access(set, way, tick),
+            Self::Custom(p) => p.on_access(set, way, tick),
+        }
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize, tick: u64) -> usize {
+        match self {
+            Self::Lru(p) => p.victim(set, tick),
+            Self::Fifo(p) => p.victim(set, tick),
+            Self::Random(p) => p.victim(set, tick),
+            Self::Custom(p) => p.victim(set, tick),
+        }
+    }
+}
+
+/// Tag value marking an invalid (never filled) way. No real line can
+/// take this value: line addresses are byte addresses divided by the
+/// 64-byte line size, so they are bounded well below `u64::MAX`.
+const INVALID_TAG: LineAddr = LineAddr::MAX;
+
 /// A set-associative cache with pluggable replacement.
 ///
 /// The model is *functional plus latency*: it tracks residency and
@@ -132,9 +174,16 @@ pub struct AccessOutcome {
 pub struct SetAssocCache {
     config: CacheConfig,
     sets: usize,
-    /// `tags[set * ways + way]`; `None` = invalid.
-    tags: Vec<Option<LineAddr>>,
-    policy: Box<dyn ReplacementPolicy + Send>,
+    /// `sets - 1` when the set count is a power of two: `line % sets`
+    /// is then a mask instead of a per-access 64-bit division (every
+    /// standard geometry is power-of-two; the modulo fallback keeps
+    /// arbitrary configs working, bit-identically).
+    set_mask: Option<u64>,
+    /// `tags[set * ways + way]`; [`INVALID_TAG`] = invalid. A bare
+    /// sentinel keeps the hit scan to one 8-byte compare per way
+    /// (an `Option<LineAddr>` doubles the tag array and the compare).
+    tags: Vec<LineAddr>,
+    policy: PolicyImpl,
     tick: u64,
     stats: CacheStats,
 }
@@ -148,7 +197,7 @@ impl SetAssocCache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        Self::with_policy(config, Box::new(Lru::new(sets, config.ways)))
+        Self::with_policy_impl(config, PolicyImpl::Lru(Lru::new(sets, config.ways)))
     }
 
     /// Create a cache with a custom replacement policy.
@@ -158,11 +207,16 @@ impl SetAssocCache {
     /// Panics if `config` is degenerate (see [`CacheConfig::sets`]).
     #[must_use]
     pub fn with_policy(config: CacheConfig, policy: Box<dyn ReplacementPolicy + Send>) -> Self {
+        Self::with_policy_impl(config, PolicyImpl::Custom(policy))
+    }
+
+    pub(crate) fn with_policy_impl(config: CacheConfig, policy: PolicyImpl) -> Self {
         let sets = config.sets();
         Self {
             config,
             sets,
-            tags: vec![None; sets * config.ways],
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            tags: vec![INVALID_TAG; sets * config.ways],
             policy,
             tick: 0,
             stats: CacheStats::default(),
@@ -181,13 +235,22 @@ impl SetAssocCache {
         &self.stats
     }
 
+    #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line % self.sets as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.sets as u64) as usize,
+        }
     }
 
     /// Look up `line`, filling it on a miss. Returns hit/miss and any
     /// eviction.
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> AccessOutcome {
+        debug_assert!(
+            line != INVALID_TAG,
+            "line address is the invalid-tag sentinel"
+        );
         self.tick += 1;
         self.stats.accesses += 1;
         let set = self.set_of(line);
@@ -195,7 +258,7 @@ impl SetAssocCache {
 
         // Hit?
         for way in 0..self.config.ways {
-            if self.tags[base + way] == Some(line) {
+            if self.tags[base + way] == line {
                 self.policy.on_access(set, way, self.tick);
                 self.stats.hits += 1;
                 return AccessOutcome {
@@ -208,8 +271,8 @@ impl SetAssocCache {
         // Miss: fill an invalid way if there is one.
         self.stats.misses += 1;
         for way in 0..self.config.ways {
-            if self.tags[base + way].is_none() {
-                self.tags[base + way] = Some(line);
+            if self.tags[base + way] == INVALID_TAG {
+                self.tags[base + way] = line;
                 self.policy.on_access(set, way, self.tick);
                 return AccessOutcome {
                     hit: false,
@@ -221,8 +284,8 @@ impl SetAssocCache {
         // Evict.
         let way = self.policy.victim(set, self.tick);
         debug_assert!(way < self.config.ways);
-        let evicted = self.tags[base + way];
-        self.tags[base + way] = Some(line);
+        let evicted = Some(self.tags[base + way]).filter(|&t| t != INVALID_TAG);
+        self.tags[base + way] = line;
         self.policy.on_access(set, way, self.tick);
         self.stats.evictions += 1;
         AccessOutcome {
@@ -233,27 +296,29 @@ impl SetAssocCache {
 
     /// Whether `line` is currently resident (no state change).
     #[must_use]
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
         let set = self.set_of(line);
         let base = set * self.config.ways;
-        (0..self.config.ways).any(|w| self.tags[base + w] == Some(line))
+        (0..self.config.ways).any(|w| self.tags[base + w] == line)
     }
 
     /// Invalidate all contents, keeping statistics.
     pub fn flush(&mut self) {
-        self.tags.fill(None);
+        self.tags.fill(INVALID_TAG);
     }
 
     /// Number of resident lines.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.tags.iter().filter(|t| t.is_some()).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use crate::replacement::Fifo;
 
     fn tiny() -> CacheConfig {

@@ -1,9 +1,9 @@
 //! The private-L1s → shared-L2 → DRAM texture hierarchy.
 
-use crate::cache::{CacheConfig, SetAssocCache};
+use crate::cache::{CacheConfig, PolicyImpl, SetAssocCache};
 use crate::dram::{DramConfig, DramModel};
 use crate::lane::{L1Lane, L2Request, SharedL2};
-use crate::replacement::{Fifo, Lru, PseudoRandom, ReplacementPolicy};
+use crate::replacement::{Fifo, Lru, PseudoRandom};
 use crate::stats::HierarchyStats;
 use crate::LineAddr;
 use serde::{Deserialize, Serialize};
@@ -24,12 +24,15 @@ pub enum ReplacementKind {
 }
 
 impl ReplacementKind {
-    fn build(self, config: &CacheConfig) -> Box<dyn ReplacementPolicy + Send> {
+    /// Build the policy as a statically-dispatched [`PolicyImpl`]: the
+    /// selector is a closed enum, so the per-access policy hook avoids
+    /// a virtual call on the simulator's hottest path.
+    fn build(self, config: &CacheConfig) -> PolicyImpl {
         let sets = config.sets();
         match self {
-            ReplacementKind::Lru => Box::new(Lru::new(sets, config.ways)),
-            ReplacementKind::Fifo => Box::new(Fifo::new(sets, config.ways)),
-            ReplacementKind::Random => Box::new(PseudoRandom::new(config.ways, 0x5eed)),
+            ReplacementKind::Lru => PolicyImpl::Lru(Lru::new(sets, config.ways)),
+            ReplacementKind::Fifo => PolicyImpl::Fifo(Fifo::new(sets, config.ways)),
+            ReplacementKind::Random => PolicyImpl::Random(PseudoRandom::new(config.ways, 0x5eed)),
         }
     }
 }
@@ -135,13 +138,16 @@ impl TextureHierarchy {
             lanes: (0..config.num_l1)
                 .map(|_| {
                     L1Lane::new(
-                        SetAssocCache::with_policy(config.l1, config.replacement.build(&config.l1)),
+                        SetAssocCache::with_policy_impl(
+                            config.l1,
+                            config.replacement.build(&config.l1),
+                        ),
                         config.prefetch_next_line,
                     )
                 })
                 .collect(),
             shared: SharedL2::new(
-                SetAssocCache::with_policy(config.l2, config.replacement.build(&config.l2)),
+                SetAssocCache::with_policy_impl(config.l2, config.replacement.build(&config.l2)),
                 DramModel::new(config.dram),
             ),
             sink: Vec::with_capacity(2),
@@ -164,6 +170,7 @@ impl TextureHierarchy {
     /// # Panics
     ///
     /// Panics if `sc >= num_l1`.
+    #[inline]
     pub fn access(&mut self, sc: usize, line: LineAddr) -> AccessResult {
         self.sink.clear();
         let l1_latency = self.lanes[sc].l1_latency();
@@ -259,13 +266,10 @@ impl TextureHierarchy {
     #[must_use]
     pub fn distinct_lines(&self) -> u64 {
         if self.lanes.len() == 1 {
-            return self.lanes[0].seen().len() as u64;
+            return self.lanes[0].seen().len();
         }
-        let mut all = std::collections::BTreeSet::new();
-        for lane in &self.lanes {
-            all.extend(lane.seen().iter().copied());
-        }
-        all.len() as u64
+        let sets: Vec<_> = self.lanes.iter().map(|l| l.seen()).collect();
+        crate::lane::LineSet::union_len(&sets)
     }
 
     /// How many private L1s currently hold `line` — the replication

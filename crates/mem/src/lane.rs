@@ -21,6 +21,72 @@ use crate::stats::MemCounters;
 use crate::LineAddr;
 use std::collections::BTreeSet;
 
+/// Lines that would not fit the dense bitmap (1 bit per line up to
+/// this address) spill to a `BTreeSet`. Texture heaps are packed from
+/// address zero, so in practice everything is dense; the limit only
+/// guards against a pathological scene putting the bitmap allocation
+/// itself out of budget (2²⁶ lines = 4 GiB of texture = an 8 MiB map).
+const DENSE_LINE_LIMIT: LineAddr = 1 << 26;
+
+/// A set of line addresses, tuned for the L1 miss path: inserts into a
+/// growable bitmap (one test-and-set) instead of a search tree. Only
+/// membership and cardinality are needed — [`TextureHierarchy::stats`]
+/// consumes it via [`len`](Self::len) and a cross-lane union count.
+///
+/// [`TextureHierarchy::stats`]: crate::TextureHierarchy::stats
+#[derive(Debug, Default)]
+pub(crate) struct LineSet {
+    /// Bit `line` of the map ⇔ `line` is present (lines below
+    /// [`DENSE_LINE_LIMIT`] only).
+    bits: Vec<u64>,
+    dense_len: u64,
+    /// Lines at or above [`DENSE_LINE_LIMIT`].
+    sparse: BTreeSet<LineAddr>,
+}
+
+impl LineSet {
+    #[inline]
+    pub(crate) fn insert(&mut self, line: LineAddr) {
+        if line < DENSE_LINE_LIMIT {
+            let word = (line / 64) as usize;
+            if word >= self.bits.len() {
+                // Doubling growth keeps repeated inserts amortized O(1).
+                self.bits.resize((word + 1).max(self.bits.len() * 2), 0);
+            }
+            let mask = 1u64 << (line % 64);
+            if self.bits[word] & mask == 0 {
+                self.bits[word] |= mask;
+                self.dense_len += 1;
+            }
+        } else {
+            self.sparse.insert(line);
+        }
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.dense_len + self.sparse.len() as u64
+    }
+
+    /// Cardinality of the union of `sets` (distinct lines across all
+    /// lanes).
+    pub(crate) fn union_len(sets: &[&Self]) -> u64 {
+        let words = sets.iter().map(|s| s.bits.len()).max().unwrap_or(0);
+        let mut dense = 0u64;
+        for w in 0..words {
+            let mut or = 0u64;
+            for s in sets {
+                or |= s.bits.get(w).copied().unwrap_or(0);
+            }
+            dense += u64::from(or.count_ones());
+        }
+        let mut sparse = BTreeSet::new();
+        for s in sets {
+            sparse.extend(s.sparse.iter().copied());
+        }
+        dense + sparse.len() as u64
+    }
+}
+
 /// One request bound for the shared L2, recorded while tracing a lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Request {
@@ -37,7 +103,7 @@ pub struct L2Request {
 pub struct L1Lane {
     l1: SetAssocCache,
     prefetch_next_line: bool,
-    seen: BTreeSet<LineAddr>,
+    seen: LineSet,
 }
 
 impl L1Lane {
@@ -45,7 +111,7 @@ impl L1Lane {
         Self {
             l1,
             prefetch_next_line,
-            seen: BTreeSet::new(),
+            seen: LineSet::default(),
         }
     }
 
@@ -62,11 +128,16 @@ impl L1Lane {
     /// The L1 state transition is identical to the serial hierarchy's:
     /// prefetch decisions probe only this lane's cache, so they can be
     /// made without consulting the L2.
+    #[inline]
     pub fn access(&mut self, line: LineAddr, sink: &mut Vec<L2Request>) -> bool {
-        self.seen.insert(line);
         if self.l1.access(line).hit {
+            // A hit means the line is resident, and every resident line
+            // was recorded in `seen` when it was filled (demand or
+            // prefetch below) — skipping the set insert here keeps the
+            // hot path cheap without changing the set.
             return true;
         }
+        self.seen.insert(line);
         sink.push(L2Request {
             line,
             prefetch: false,
@@ -99,7 +170,7 @@ impl L1Lane {
         &mut self.l1
     }
 
-    pub(crate) fn seen(&self) -> &BTreeSet<LineAddr> {
+    pub(crate) fn seen(&self) -> &LineSet {
         &self.seen
     }
 }
@@ -129,6 +200,7 @@ impl SharedL2 {
     }
 
     /// Replay one request: an L2 lookup, plus a DRAM fill on a miss.
+    #[inline]
     pub fn replay(&mut self, req: L2Request) -> ReplayOutcome {
         let l2_latency = self.l2.config().latency;
         if self.l2.access(req.line).hit {

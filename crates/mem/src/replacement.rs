@@ -37,6 +37,7 @@ impl Lru {
 }
 
 impl ReplacementPolicy for Lru {
+    #[inline]
     fn on_access(&mut self, set: usize, way: usize, tick: u64) {
         self.last_used[set * self.ways + way] = tick;
     }

@@ -2,21 +2,17 @@
 
 use crate::config::{BarrierMode, PipelineConfig};
 use crate::error::SimError;
-use crate::geometry::{GeometryPipeline, GeometryStats};
-use crate::prim::Quad;
-use crate::raster::Rasterizer;
+use crate::geometry::GeometryStats;
+use crate::prefix::FramePrefix;
 use crate::shade::{ShaderCore, ShaderCoreStats, SubtileTrace};
-use crate::tiling::{TilingEngine, TilingStats};
+use crate::tiling::TilingStats;
 use crate::timing::{compose_frame, StageDurations};
-use crate::zbuffer::ZBuffer;
 use crossbeam::channel::bounded;
-use dtexl_gmath::Rect;
 use dtexl_mem::energy::EnergyEvents;
 use dtexl_mem::{HierarchyStats, L1Lane, MemCounters, TextureHierarchy, LINE_BYTES};
 use dtexl_obs::{Event, MemSample, NullProbe, Probe, RasterSample};
 use dtexl_scene::Scene;
 use dtexl_sched::{ScheduleConfig, TileSchedule};
-use dtexl_texture::TextureDesc;
 
 /// Per-tile outcome of the functional pass, indexed `[u]` by shader
 /// core.
@@ -325,113 +321,119 @@ impl FrameSim {
         config.validate()?;
         scene.validate().map_err(SimError::Scene)?;
         let (width, height) = resolution.unwrap_or((1960, 768));
+        fault_hooks(config);
+        let prefix = FramePrefix::build(scene, config, width, height)?;
+        Ok(Self::run_leg(&prefix, schedule, config, probe))
+    }
 
-        // Texture table indexed by id.
-        let textures: Vec<TextureDesc> = scene.textures.clone();
-        for (i, t) in textures.iter().enumerate() {
-            if t.id() as usize != i {
-                return Err(SimError::SparseTextureIds {
-                    index: i,
-                    id: t.id(),
-                });
-            }
+    /// Run one schedule leg over a prebuilt [`FramePrefix`] —
+    /// bit-identical to a fresh
+    /// [`try_run_with_resolution`](Self::try_run_with_resolution) of
+    /// the same scene, because the fresh path is implemented as
+    /// `FramePrefix::build` followed by this exact leg.
+    ///
+    /// `config` may differ from the prefix's build configuration only
+    /// in `threads` (thread count is metric-invariant); the wall-clock
+    /// and allocation fault hooks still fire per leg, so sweep
+    /// watchdogs see every job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when `config` is invalid or does
+    /// not match the configuration the prefix was built under.
+    pub fn try_run_prefixed(
+        prefix: &FramePrefix,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+    ) -> Result<FrameResult, SimError> {
+        Self::try_run_prefixed_probed(prefix, schedule, config, &mut NullProbe)
+    }
+
+    /// [`try_run_prefixed`](Self::try_run_prefixed) with an
+    /// observability probe: the same per-leg [`Event::Raster`] /
+    /// [`Event::Mem`] stream as
+    /// [`try_run_probed`](Self::try_run_probed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] when `config` is invalid or does
+    /// not match the configuration the prefix was built under.
+    pub fn try_run_prefixed_probed<P: Probe>(
+        prefix: &FramePrefix,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        probe: &mut P,
+    ) -> Result<FrameResult, SimError> {
+        config.validate()?;
+        let mut normalized = *config;
+        normalized.threads = 1;
+        if normalized != prefix.config {
+            return Err(SimError::Config(
+                "frame prefix was built under a different pipeline configuration".into(),
+            ));
         }
+        fault_hooks(config);
+        Ok(Self::run_leg(prefix, schedule, config, probe))
+    }
 
-        // Wall-clock fault hook: wedge the job without touching any
-        // simulated metric (exercises sweep timeout watchdogs).
-        if config.fault.wall_stall_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(config.fault.wall_stall_ms));
-        }
-
-        // Allocation-spike fault hook: hold a transient buffer on the
-        // calling thread — the one sweep memory budgets meter — again
-        // without touching any simulated metric (exercises the sweep
-        // allocator watchdog).
-        if config.fault.alloc_spike_mb > 0 {
-            let spike = vec![0u8; config.fault.alloc_spike_mb as usize * 1024 * 1024];
-            std::hint::black_box(&spike);
-        }
-
-        // 1. Geometry phase.
-        let mut geom = GeometryPipeline::new(config.vertex_cache);
-        let gout = geom.run(scene, width, height);
-
-        // 2. Tiling engine.
-        let mut tiling = TilingEngine::new(config.tile_cache, config.tile_size);
-        let bins = tiling.bin(&gout.prims, width, height);
-
-        // 3. Schedule, then the serial front half of the raster phase:
-        // tile fetch, rasterization and early-Z partitioning for every
-        // tile in schedule order. This is cheap next to the fragment
-        // stage and is shared by the serial and parallel back halves.
-        let tsched = TileSchedule::build(schedule, bins.tiles_w(), bins.tiles_h());
-        let raster = Rasterizer::new(config.tile_size);
-        let mut zbuf = ZBuffer::new(config.tile_size);
-        let screen = Rect::new(0, 0, width as i32, height as i32);
+    /// The schedule-dependent remainder of the simulation: partition
+    /// the prefix arenas under `schedule`, then run the fragment stage
+    /// (L1 lane walks, shared-L2 replay, warp timing) per subtile.
+    fn run_leg<P: Probe>(
+        prefix: &FramePrefix,
+        schedule: &ScheduleConfig,
+        config: &PipelineConfig,
+        probe: &mut P,
+    ) -> FrameResult {
+        let tsched = TileSchedule::build(schedule, prefix.tiles_w, prefix.tiles_h);
         let qps = config.quads_per_side();
 
-        let mut preps: Vec<TilePrep> = Vec::with_capacity(tsched.len());
-        let mut tile_quads: Vec<Quad> = Vec::new();
+        // Partition pass, in schedule order: per-SC rasterized-quad
+        // counts and, per (tile, SC), the survivor indices — one flat
+        // index arena with per-subtile ranges instead of four
+        // `Vec<Quad>` re-merge buffers per tile.
+        let mut legs: Vec<LegTile> = Vec::with_capacity(tsched.len());
+        let mut sc_idx: Vec<u32> = Vec::with_capacity(prefix.quads.len());
+        let mut buckets: [Vec<u32>; 4] = Default::default();
         for (ti, (tx, ty), _assign) in tsched.iter() {
-            let list = bins.list(tx, ty);
-            let tile_px = (tx * config.tile_size) as i32;
-            let tile_py = (ty * config.tile_size) as i32;
-
-            // Tile fetcher cost.
-            let fetch = 4 + list.len() as u64 * u64::from(config.fetch_cycles_per_prim);
-
-            // Rasterize the tile's primitives in program order.
-            tile_quads.clear();
-            let rstats = raster.rasterize_tile_into(
-                &gout.prims,
-                list,
-                tile_px,
-                tile_py,
-                screen,
-                &mut tile_quads,
-            );
+            let tp = &prefix.tiles[(ty * prefix.tiles_w + tx) as usize];
             if probe.enabled() {
                 probe.record(Event::Raster(RasterSample {
                     tile: ti as u32,
-                    prims: list.len() as u32,
-                    quads: rstats.quads,
+                    prims: tp.prims,
+                    quads: tp.raster_quads,
                 }));
             }
-            let raster_cycles =
-                (tile_quads.len() as u64).div_ceil(u64::from(config.raster_quads_per_cycle));
-
-            // Early-Z in submission order, then partition per SC.
-            zbuf.clear();
             let mut rec = TileRecord {
                 tile: (tx, ty),
                 ..TileRecord::default()
             };
-            let mut shaded: [Vec<Quad>; 4] = Default::default();
-            for q in &tile_quads {
-                let sc = tsched.sc_of_quad(ti, q.qx, q.qy, qps, qps);
-                rec.quads_rasterized[sc] += 1;
-                // The depth buffer is updated in submission order either
-                // way; late-Z quads are shaded *unconditionally* (their
-                // shader may change depth, so early culling is illegal —
-                // §II-A) and only resolved afterwards.
-                let surviving = zbuf.test_and_update(q);
-                let shade_mask = if q.late_z { q.mask } else { surviving };
-                if shade_mask != 0 {
-                    let mut alive = q.clone();
-                    alive.mask = shade_mask;
-                    shaded[sc].push(alive);
-                }
+            for &(qx, qy) in &prefix.rast_pos[span(tp.rast)] {
+                rec.quads_rasterized[tsched.sc_of_quad(ti, qx, qy, qps, qps)] += 1;
             }
-            preps.push(TilePrep {
+            for b in &mut buckets {
+                b.clear();
+            }
+            for qi in tp.surv.0..tp.surv.1 {
+                let q = &prefix.quads[qi as usize];
+                buckets[tsched.sc_of_quad(ti, q.qx, q.qy, qps, qps)].push(qi);
+            }
+            let mut sc = [(0u32, 0u32); 4];
+            for (r, b) in sc.iter_mut().zip(&buckets) {
+                let start = sc_idx.len() as u32;
+                sc_idx.extend_from_slice(b);
+                *r = (start, sc_idx.len() as u32);
+            }
+            legs.push(LegTile {
                 rec,
-                shaded,
-                fetch,
-                raster: raster_cycles,
+                sc,
+                fetch: tp.fetch,
+                raster: tp.raster_cycles,
             });
         }
 
-        // 4. Fragment stage: run each SC's subtile on the warp model.
-        // In upper-bound mode all quads execute on the single core, in
+        // Fragment stage: run each SC's subtile on the warp model. In
+        // upper-bound mode all quads execute on the single core, in
         // slot order (cache metric only). With `threads > 1` the SC
         // lanes are simulated on worker threads and their L1-miss
         // streams replayed serially — bit-identical to the serial path.
@@ -439,24 +441,29 @@ impl FrameSim {
         let core = ShaderCore::new(config.warp_slots, config.l1_miss_fill_cycles);
         let workers = config.threads.min(config.effective_num_sc());
 
-        let mut tiles = Vec::with_capacity(preps.len());
+        let mut tiles = Vec::with_capacity(legs.len());
         let mut durations = StageDurations::default();
         let mut shader_total = ShaderCoreStats::default();
 
         if workers <= 1 {
-            let mut merged: Vec<Quad> = Vec::new();
-            for (ti, prep) in preps.iter().enumerate() {
-                durations.fetch.push(prep.fetch);
-                durations.raster.push(prep.raster);
-                let mut rec = prep.rec;
+            let mut merged: Vec<u32> = Vec::new();
+            for (ti, leg) in legs.iter().enumerate() {
+                durations.fetch.push(leg.fetch);
+                durations.raster.push(leg.raster);
+                let mut rec = leg.rec;
                 let mut ez = [0u64; 4];
                 let mut frag = [0u64; 4];
                 let mut blend = [0u64; 4];
                 if config.upper_bound {
+                    // All quads on the single core: the per-SC lists
+                    // concatenated in SC order — the order the serial
+                    // reference has always shaded them in.
                     merged.clear();
-                    merged.extend(prep.shaded.iter().flat_map(|v| v.iter().cloned()));
+                    for r in leg.sc {
+                        merged.extend_from_slice(&sc_idx[span(r)]);
+                    }
                     let (cycles, stats) =
-                        run_subtile_probed(&core, 0, ti, &merged, &textures, &mut hierarchy, probe);
+                        run_subtile_cached(prefix, &core, 0, ti, &merged, &mut hierarchy, probe);
                     rec.quads_shaded[0] = merged.len() as u32;
                     rec.frag_cycles[0] = cycles;
                     shader_total += stats;
@@ -464,23 +471,23 @@ impl FrameSim {
                     frag[0] = cycles;
                     blend[0] = merged.len() as u64 + u64::from(config.flush_cycles_per_bank);
                 } else {
-                    for sc in 0..config.num_sc {
-                        let (cycles, stats) = run_subtile_probed(
+                    for (sc, &r) in leg.sc.iter().enumerate().take(config.num_sc) {
+                        let indices = &sc_idx[span(r)];
+                        let (cycles, stats) = run_subtile_cached(
+                            prefix,
                             &core,
                             sc,
                             ti,
-                            &prep.shaded[sc],
-                            &textures,
+                            indices,
                             &mut hierarchy,
                             probe,
                         );
-                        rec.quads_shaded[sc] = prep.shaded[sc].len() as u32;
+                        rec.quads_shaded[sc] = indices.len() as u32;
                         rec.frag_cycles[sc] = cycles;
                         shader_total += stats;
                         ez[sc] = u64::from(rec.quads_rasterized[sc]);
                         frag[sc] = cycles;
-                        blend[sc] =
-                            prep.shaded[sc].len() as u64 + u64::from(config.flush_cycles_per_bank);
+                        blend[sc] = indices.len() as u64 + u64::from(config.flush_cycles_per_bank);
                     }
                 }
                 durations.early_z.push(ez);
@@ -493,8 +500,9 @@ impl FrameSim {
                 config,
                 core,
                 hierarchy,
-                &preps,
-                &textures,
+                prefix,
+                &legs,
+                &sc_idx,
                 workers,
                 &mut tiles,
                 &mut durations,
@@ -508,18 +516,18 @@ impl FrameSim {
         // so coupled and decoupled see the identical perturbation.
         config.fault.apply_to_durations(&mut durations);
 
-        Ok(FrameResult {
+        FrameResult {
             config: *config,
             schedule: *schedule,
-            width,
-            height,
-            geometry: gout.stats,
-            tiling: bins.stats,
+            width: prefix.width,
+            height: prefix.height,
+            geometry: prefix.geometry.clone(),
+            tiling: prefix.tiling.clone(),
             tiles,
             durations,
             hierarchy: hierarchy.stats(),
             shader: shader_total,
-        })
+        }
     }
 
     /// The parallel fragment stage: one worker thread per SC lane
@@ -528,13 +536,17 @@ impl FrameSim {
     /// into the shared levels **tile-major, SC 0..3** — the exact order
     /// the serial path issues them, so every latency and statistic is
     /// bit-identical.
+    ///
+    /// Upper-bound mode has a single effective lane, so it always takes
+    /// the serial path and never reaches here.
     #[allow(clippy::too_many_arguments)]
     fn fragment_parallel<P: Probe>(
         config: &PipelineConfig,
         core: ShaderCore,
         hierarchy: TextureHierarchy,
-        preps: &[TilePrep],
-        textures: &[TextureDesc],
+        prefix: &FramePrefix,
+        legs: &[LegTile],
+        sc_idx: &[u32],
         workers: usize,
         tiles: &mut Vec<TileRecord>,
         durations: &mut StageDurations,
@@ -545,9 +557,9 @@ impl FrameSim {
         /// trace ahead of the serial replay (backpressure bound).
         const REPLAY_DEPTH: usize = 32;
 
+        debug_assert!(!config.upper_bound, "upper bound is single-lane (serial)");
         let lanes = config.effective_num_sc();
         let l1_latency = config.effective_hierarchy().l1.latency;
-        let upper = config.upper_bound;
         let (hcfg, lane_states, mut shared) = hierarchy.split();
         debug_assert_eq!(lane_states.len(), lanes);
 
@@ -577,17 +589,10 @@ impl FrameSim {
                     .collect();
                 let fault = config.fault;
                 handles.push(scope.spawn(move || {
-                    let mut scratch: Vec<Quad> = Vec::new();
-                    'tiles: for (ti, prep) in preps.iter().enumerate() {
+                    'tiles: for (ti, leg) in legs.iter().enumerate() {
                         for ((sc, lane), tx) in owned.iter_mut().zip(&txs) {
-                            let quads: &[Quad] = if upper {
-                                scratch.clear();
-                                scratch.extend(prep.shaded.iter().flat_map(|v| v.iter().cloned()));
-                                &scratch
-                            } else {
-                                &prep.shaded[*sc]
-                            };
-                            let mut trace = core.trace_subtile(quads, textures, lane);
+                            let indices = &sc_idx[span(leg.sc[*sc])];
+                            let mut trace = core.trace_prepared(prefix.prepared(indices), lane);
                             trace.origin = (ti, *sc);
                             // Race-harness hook: a seeded wall-clock
                             // delay perturbs lane *completion* order
@@ -608,10 +613,10 @@ impl FrameSim {
 
             // Serial replay, tile-major, SC ascending: identical L2 /
             // DRAM request order to the serial reference path.
-            for (ti, prep) in preps.iter().enumerate() {
-                durations.fetch.push(prep.fetch);
-                durations.raster.push(prep.raster);
-                let mut rec = prep.rec;
+            for (ti, leg) in legs.iter().enumerate() {
+                durations.fetch.push(leg.fetch);
+                durations.raster.push(leg.raster);
+                let mut rec = leg.rec;
                 let mut ez = [0u64; 4];
                 let mut frag = [0u64; 4];
                 let mut blend = [0u64; 4];
@@ -636,19 +641,11 @@ impl FrameSim {
                         probe.record(Event::Mem(mem_sample(ti, sc, &trace, delta)));
                     }
                     let (cycles, stats) = core.time_subtile(&trace, l1_latency, &latencies);
-                    let shaded = if upper {
-                        prep.shaded.iter().map(Vec::len).sum::<usize>()
-                    } else {
-                        prep.shaded[sc].len()
-                    };
+                    let shaded = (leg.sc[sc].1 - leg.sc[sc].0) as usize;
                     rec.quads_shaded[sc] = shaded as u32;
                     rec.frag_cycles[sc] = cycles;
                     *shader_total += stats;
-                    ez[sc] = if upper {
-                        u64::from(rec.quads_rasterized.iter().sum::<u32>())
-                    } else {
-                        u64::from(rec.quads_rasterized[sc])
-                    };
+                    ez[sc] = u64::from(rec.quads_rasterized[sc]);
                     frag[sc] = cycles;
                     blend[sc] = shaded as u64 + u64::from(config.flush_cycles_per_bank);
                 }
@@ -678,31 +675,54 @@ impl FrameSim {
     }
 }
 
-/// Serial-path subtile execution with optional memory probing.
+/// Deterministic wall-clock and allocation fault hooks, fired once per
+/// leg (per sweep job) on the calling thread — the one sweep timeout
+/// and memory-budget watchdogs observe — without touching any simulated
+/// metric.
+fn fault_hooks(config: &PipelineConfig) {
+    // Wall-clock hook: wedge the job (exercises timeout watchdogs).
+    if config.fault.wall_stall_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(config.fault.wall_stall_ms));
+    }
+    // Allocation spike: hold a transient buffer (exercises the sweep
+    // allocator watchdog).
+    if config.fault.alloc_spike_mb > 0 {
+        let spike = vec![0u8; config.fault.alloc_spike_mb as usize * 1024 * 1024];
+        std::hint::black_box(&spike);
+    }
+}
+
+/// `(start, end)` arena range → `usize` slice range.
+fn span(r: (u32, u32)) -> std::ops::Range<usize> {
+    r.0 as usize..r.1 as usize
+}
+
+/// Subtile execution over prefix indices with optional memory probing.
 ///
-/// With a disabled probe this is exactly [`ShaderCore::run_subtile`].
-/// When enabled it runs the identical trace → replay → time split the
-/// parallel path uses (pinned bit-identical to the fused path by the
-/// shade-stage tests), bracketing the shared-level replay with
-/// [`TextureHierarchy::shared_counters`] snapshots so L2/DRAM traffic is
-/// attributed to this (tile, SC) subtile.
-#[allow(clippy::too_many_arguments)]
-fn run_subtile_probed<P: Probe>(
+/// With a disabled probe this is the trace → replay → time split of
+/// [`ShaderCore::run_subtile`] (pinned bit-identical to the fused path
+/// by the shade-stage tests) fed from the cached footprints. When
+/// probing, the shared-level replay is bracketed with
+/// [`TextureHierarchy::shared_counters`] snapshots so L2/DRAM traffic
+/// is attributed to this (tile, SC) subtile.
+fn run_subtile_cached<P: Probe>(
+    prefix: &FramePrefix,
     core: &ShaderCore,
     sc: usize,
     tile: usize,
-    quads: &[Quad],
-    textures: &[TextureDesc],
+    indices: &[u32],
     hierarchy: &mut TextureHierarchy,
     probe: &mut P,
 ) -> (u64, ShaderCoreStats) {
     if !probe.enabled() {
-        return core.run_subtile(sc, quads, textures, hierarchy);
+        // No per-subtile memory sample to assemble: take the fused
+        // access-by-access walk (same request order, no trace buffers).
+        return core.run_subtile_fused(sc, prefix.prepared(indices), hierarchy);
     }
     let before = hierarchy.shared_counters();
     let lane = hierarchy.lane_mut(sc);
     let l1_latency = lane.l1_latency();
-    let trace = core.trace_subtile(quads, textures, lane);
+    let trace = core.trace_prepared(prefix.prepared(indices), lane);
     let latencies = hierarchy.replay_demand(&trace.requests);
     let delta = hierarchy.shared_counters().since(&before);
     probe.record(Event::Mem(mem_sample(tile, sc, &trace, delta)));
@@ -726,14 +746,17 @@ fn mem_sample(tile: usize, sc: usize, trace: &SubtileTrace, delta: MemCounters) 
     }
 }
 
-/// Per-tile output of the serial front half (fetch + raster + early-Z):
-/// everything the fragment stage needs, independent of execution mode.
-#[derive(Debug)]
-struct TilePrep {
+/// Per-tile output of the leg's partition pass: everything the
+/// fragment stage needs, independent of execution mode. The survivor
+/// quads themselves live in the (schedule-independent) prefix arenas;
+/// this only holds index ranges into the leg's flat `sc_idx` arena.
+#[derive(Debug, Clone, Copy)]
+struct LegTile {
     /// The tile record with `quads_rasterized` filled in.
     rec: TileRecord,
-    /// Post-early-Z quads partitioned per SC, in submission order.
-    shaded: [Vec<Quad>; 4],
+    /// Per-SC `(start, end)` ranges into the leg's survivor-index
+    /// arena, each in submission order.
+    sc: [(u32, u32); 4],
     /// Tile-fetcher cycles.
     fetch: u64,
     /// Rasterizer cycles.

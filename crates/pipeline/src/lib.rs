@@ -52,6 +52,7 @@ mod error;
 mod fault;
 mod frame;
 mod geometry;
+mod prefix;
 mod prim;
 mod raster;
 mod render;
@@ -66,10 +67,11 @@ pub use error::SimError;
 pub use fault::{DramSpike, FaultPlan, LaneStall};
 pub use frame::{FrameResult, FrameSim, TileRecord};
 pub use geometry::{GeometryOutput, GeometryPipeline, GeometryStats};
+pub use prefix::FramePrefix;
 pub use prim::{Quad, RasterPrim};
 pub use raster::{Rasterizer, TileRasterStats};
 pub use render::{Image, Renderer};
-pub use shade::{ShaderCore, ShaderCoreStats, SubtileTrace};
+pub use shade::{PreparedQuad, ShaderCore, ShaderCoreStats, SubtileTrace};
 pub use tiling::{TileBins, TilingEngine, TilingStats};
 pub use timing::{compose_frame, compose_frame_probed, StageDurations};
 pub use zbuffer::ZBuffer;

@@ -15,7 +15,7 @@
 //! hierarchy, so deferring the L2 replay reorders nothing.
 
 use crate::prim::Quad;
-use dtexl_mem::{L1Lane, L2Request, TextureHierarchy};
+use dtexl_mem::{L1Lane, L2Request, LineAddr, TextureHierarchy};
 use dtexl_texture::{Sampler, TextureDesc};
 
 /// Per-run statistics of a shader core.
@@ -72,6 +72,24 @@ struct QuadTiming {
     samples: usize,
     /// Number of line accesses the quad performed.
     accesses: usize,
+}
+
+/// One quad's pre-resolved shading input for
+/// [`ShaderCore::trace_prepared`]: the shader-profile scalars plus the
+/// quad's texture footprint, already computed (and cached) by the
+/// schedule-independent frame prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedQuad<'a> {
+    /// Issue-port slots the warp occupies
+    /// ([`ShaderProfile::issue_slots`](dtexl_scene::ShaderProfile::issue_slots)).
+    pub issue: u32,
+    /// ALU instructions the quad executes.
+    pub alu_ops: u32,
+    /// Texture sample instructions per fragment.
+    pub tex_samples: u32,
+    /// The quad's deduplicated cache-line footprint
+    /// ([`Sampler::quad_footprint`]).
+    pub lines: &'a [LineAddr],
 }
 
 /// L1-side trace of one subtile on one shader core, produced by
@@ -182,26 +200,61 @@ impl ShaderCore {
         lane: &mut L1Lane,
     ) -> SubtileTrace {
         let mut trace = SubtileTrace::default();
+        let mut lines: Vec<LineAddr> = Vec::with_capacity(16);
         for quad in quads {
             let tex = &textures[quad.texture as usize];
             debug_assert_eq!(tex.id(), quad.texture, "texture table must be id-indexed");
             let sampler = Sampler::new(quad.shader.filter);
-            let lines = sampler.quad_footprint(tex, quad.uv);
-            for &line in &lines {
-                let hit = lane.access(line, &mut trace.requests);
-                trace.hits.push(hit);
-            }
-            trace.quads.push(QuadTiming {
-                issue: u64::from(quad.shader.issue_slots()),
-                samples: quad.shader.tex_samples.max(1) as usize,
-                accesses: lines.len(),
-            });
-            trace.stats.quads += 1;
-            trace.stats.alu_ops += u64::from(quad.shader.alu_ops);
-            trace.stats.tex_instructions += u64::from(quad.shader.tex_samples);
-            trace.stats.line_accesses += lines.len() as u64;
+            lines.clear();
+            sampler.quad_footprint_into(tex, quad.uv, &mut lines);
+            Self::trace_quad(
+                &mut trace,
+                lane,
+                PreparedQuad {
+                    issue: quad.shader.issue_slots(),
+                    alu_ops: quad.shader.alu_ops,
+                    tex_samples: quad.shader.tex_samples,
+                    lines: &lines,
+                },
+            );
         }
         trace
+    }
+
+    /// Like [`trace_subtile`](Self::trace_subtile), but consuming quads
+    /// whose texture footprints were already resolved (the cached frame
+    /// prefix). Bit-identical to tracing the original quads: the
+    /// footprint is a pure function of the quad's UVs, texture and
+    /// filter, and the L1 walk below is the same code path.
+    pub fn trace_prepared<'a, I>(&self, quads: I, lane: &mut L1Lane) -> SubtileTrace
+    where
+        I: IntoIterator<Item = PreparedQuad<'a>>,
+    {
+        let mut trace = SubtileTrace::default();
+        for quad in quads {
+            Self::trace_quad(&mut trace, lane, quad);
+        }
+        trace
+    }
+
+    /// Walk one quad's footprint through the private L1 and append its
+    /// replay metadata — the shared inner loop of
+    /// [`trace_subtile`](Self::trace_subtile) and
+    /// [`trace_prepared`](Self::trace_prepared).
+    fn trace_quad(trace: &mut SubtileTrace, lane: &mut L1Lane, quad: PreparedQuad<'_>) {
+        for &line in quad.lines {
+            let hit = lane.access(line, &mut trace.requests);
+            trace.hits.push(hit);
+        }
+        trace.quads.push(QuadTiming {
+            issue: u64::from(quad.issue),
+            samples: quad.tex_samples.max(1) as usize,
+            accesses: quad.lines.len(),
+        });
+        trace.stats.quads += 1;
+        trace.stats.alu_ops += u64::from(quad.alu_ops);
+        trace.stats.tex_instructions += u64::from(quad.tex_samples);
+        trace.stats.line_accesses += quad.lines.len() as u64;
     }
 
     /// Replay a trace through the warp timing model. `demand_latencies`
@@ -236,7 +289,10 @@ impl ShaderCore {
             group_latency.clear();
             group_latency.resize(quad.samples, 0);
             let mut misses = 0u64;
-            for i in 0..quad.accesses {
+            // Round-robin group index, kept as a wrapping counter: a
+            // `i % samples` here is a hardware divide per line access.
+            let mut g = 0usize;
+            for _ in 0..quad.accesses {
                 let latency = if trace.hits[access] {
                     l1_latency
                 } else {
@@ -246,8 +302,11 @@ impl ShaderCore {
                     l1_latency + below
                 };
                 access += 1;
-                let g = i % quad.samples;
                 group_latency[g] = group_latency[g].max(latency);
+                g += 1;
+                if g == quad.samples {
+                    g = 0;
+                }
             }
             let stall: u64 = group_latency.iter().map(|&l| u64::from(l)).sum();
 
@@ -275,6 +334,74 @@ impl ShaderCore {
         let drain = slot_free.iter().copied().max().unwrap_or(0);
         let cycles = port.max(drain);
         let mut stats = trace.stats;
+        stats.busy_cycles = port;
+        stats.total_cycles = cycles;
+        (cycles, stats)
+    }
+
+    /// Fused serial form of [`trace_prepared`](Self::trace_prepared) →
+    /// [`SharedL2::replay_demand`](dtexl_mem::SharedL2::replay_demand) →
+    /// [`time_subtile`](Self::time_subtile), for the single-threaded
+    /// fragment stage: every access goes through
+    /// [`TextureHierarchy::access`] (a replay window of one, so the
+    /// L2/DRAM see the identical request order and indices) and its
+    /// latency is charged to the warp model inline. Bit-identical to
+    /// the decoupled three-pass pipeline — the parallel-equivalence
+    /// suite pins that — while skipping the trace and latency buffers
+    /// entirely.
+    pub fn run_subtile_fused<'a, I>(
+        &self,
+        sc: usize,
+        quads: I,
+        hierarchy: &mut TextureHierarchy,
+    ) -> (u64, ShaderCoreStats)
+    where
+        I: IntoIterator<Item = PreparedQuad<'a>>,
+    {
+        let mut slot_free = vec![0u64; self.warp_slots];
+        let mut port = 0u64;
+        let mut group_latency: Vec<u32> = Vec::with_capacity(4);
+        let mut stats = ShaderCoreStats::default();
+
+        for quad in quads {
+            let samples = quad.tex_samples.max(1) as usize;
+            group_latency.clear();
+            group_latency.resize(samples, 0);
+            let mut misses = 0u64;
+            // Same wrapping round-robin counter as `time_subtile`.
+            let mut g = 0usize;
+            for &line in quad.lines {
+                let out = hierarchy.access(sc, line);
+                if !out.l1_hit {
+                    misses += 1;
+                }
+                group_latency[g] = group_latency[g].max(out.latency);
+                g += 1;
+                if g == samples {
+                    g = 0;
+                }
+            }
+            let stall: u64 = group_latency.iter().map(|&l| u64::from(l)).sum();
+
+            let (slot, &free) = slot_free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                // lint: allow(no-panic) -- ShaderCore::new asserts warp_slots > 0, so the iterator is non-empty
+                .expect("warp_slots > 0");
+            let occupancy = u64::from(quad.issue) + misses * u64::from(self.miss_fill_cycles);
+            let start = port.max(free);
+            port = start + occupancy;
+            slot_free[slot] = start + occupancy + stall;
+
+            stats.quads += 1;
+            stats.alu_ops += u64::from(quad.alu_ops);
+            stats.tex_instructions += u64::from(quad.tex_samples);
+            stats.line_accesses += quad.lines.len() as u64;
+        }
+
+        let drain = slot_free.iter().copied().max().unwrap_or(0);
+        let cycles = port.max(drain);
         stats.busy_cycles = port;
         stats.total_cycles = cycles;
         (cycles, stats)

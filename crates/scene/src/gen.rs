@@ -143,9 +143,13 @@ impl<'r> Builder<'r> {
                 side /= 2;
             }
             let tex = TextureDesc::new(id, side, side, base);
-            base += tex.footprint_bytes();
-            // Align the next allocation to a line boundary (already is:
-            // footprints are multiples of 64).
+            // Align the next allocation to a line boundary. The raw
+            // footprint is NOT a multiple of 64 — the mip tail ends in
+            // 16- and 4-byte levels — so without rounding up, every
+            // texture after the first starts mid-line and no mip level
+            // is line-aligned (this comment used to claim footprints
+            // were already 64-byte multiples; they never were).
+            base += tex.footprint_bytes().next_multiple_of(64);
             total += tex.footprint_bytes();
             self.scene.textures.push(tex);
             id += 1;
@@ -183,7 +187,7 @@ impl<'r> Builder<'r> {
             return base;
         }
         let angle: f32 = self.rng.gen_range(0.0..std::f32::consts::TAU);
-        let (s, c) = angle.sin_cos();
+        let (s, c) = dtexl_gmath::trig::sin_cos(angle);
         let center = Vec2::new(uv_repeat / 2.0, uv_repeat / 2.0);
         base.map(|uv| {
             let d = uv - center;
@@ -389,7 +393,7 @@ impl<'r> Builder<'r> {
         let (w, h) = (self.spec.width as f32, self.spec.height as f32);
         let aspect = w / h;
         let t = self.spec.frame as f32 * 0.15;
-        let eye = Vec3::new((t * 0.3).sin() * 1.5, 2.5, 6.0);
+        let eye = Vec3::new(dtexl_gmath::trig::sin(t * 0.3) * 1.5, 2.5, 6.0);
         let view = Mat4::look_at(eye, Vec3::new(0.0, 1.0, -10.0), Vec3::new(0.0, 1.0, 0.0));
         let proj = Mat4::perspective(60f32.to_radians(), aspect, 0.5, 200.0);
         let vp = proj * view;

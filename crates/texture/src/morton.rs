@@ -10,6 +10,7 @@
 
 /// Interleave the low 16 bits of `v` with zeros (`abcd` → `0a0b0c0d`).
 #[must_use]
+#[inline]
 pub fn spread_bits(v: u32) -> u64 {
     let mut x = u64::from(v & 0xFFFF);
     x = (x | (x << 8)) & 0x00FF_00FF;
@@ -43,6 +44,7 @@ pub fn compact_bits(v: u64) -> u32 {
 /// assert_eq!(encode(2, 0), 4);
 /// ```
 #[must_use]
+#[inline]
 pub fn encode(x: u32, y: u32) -> u64 {
     spread_bits(x) | (spread_bits(y) << 1)
 }

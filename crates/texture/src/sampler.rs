@@ -90,6 +90,39 @@ impl Sampler {
         rho.log2().max(0.0)
     }
 
+    /// Unbiased exponent of the quad's maximum *squared* texel-space
+    /// gradient `m = max(|ddx|², |ddy|²)`.
+    ///
+    /// With `ρ = √m`, integer mip levels derive from this exponent
+    /// without `sqrt` or `log2f` (the footprint hot path):
+    /// `floor(log2 ρ + ½) == (e + 1) >> 1` and
+    /// `floor(log2 ρ) == e >> 1` exactly, because the half-integer
+    /// thresholds of `log2 ρ` are the integer power-of-two boundaries
+    /// of `m` — where its exponent increments. Same quantized level as
+    /// [`lod`](Self::lod), minus that path's two rounding steps
+    /// (`sqrtf` then `log2f`), which cancel out within the float
+    /// spacing at every representable `m`.
+    #[inline]
+    fn grad_exp(tex: &TextureDesc, quad_uv: [Vec2; 4]) -> i32 {
+        let scale = Vec2::new(tex.width() as f32, tex.height() as f32);
+        let texel = quad_uv.map(|uv| uv.mul_elem(scale));
+        let (ddx, ddy) = attr_derivatives(texel);
+        let m = ddx.dot(ddx).max(ddy.dot(ddy)).max(1e-12);
+        ((m.to_bits() >> 23) as i32) - 127
+    }
+
+    /// `floor(max(log2 ρ, 0) + ½)` — nearest mip level (bilinear).
+    #[inline]
+    fn level_round(tex: &TextureDesc, quad_uv: [Vec2; 4]) -> u32 {
+        ((Self::grad_exp(tex, quad_uv) + 1) >> 1).max(0) as u32
+    }
+
+    /// `floor(max(log2 ρ, 0))` — lower mip level (trilinear).
+    #[inline]
+    fn level_floor(tex: &TextureDesc, quad_uv: [Vec2; 4]) -> u32 {
+        (Self::grad_exp(tex, quad_uv) >> 1).max(0) as u32
+    }
+
     /// Cache-line footprint of one quad: the deduplicated set of line
     /// addresses its four fragments touch under the configured filter.
     ///
@@ -98,24 +131,42 @@ impl Sampler {
     /// inter-quad sharing is what the scheduler can win or lose.
     #[must_use]
     pub fn quad_footprint(&self, tex: &TextureDesc, quad_uv: [Vec2; 4]) -> Vec<LineAddr> {
-        let lod = self.lod(tex, quad_uv);
-        let max_level = tex.levels() - 1;
         let mut lines = Vec::with_capacity(16);
+        self.quad_footprint_into(tex, quad_uv, &mut lines);
+        lines
+    }
+
+    /// Arena variant of [`quad_footprint`](Self::quad_footprint):
+    /// appends the quad's sorted, deduplicated footprint to `out`
+    /// without allocating, so callers can pack many quads' footprints
+    /// into one flat buffer. Only the appended tail is sorted and
+    /// deduplicated; anything already in `out` is untouched.
+    pub fn quad_footprint_into(
+        &self,
+        tex: &TextureDesc,
+        quad_uv: [Vec2; 4],
+        lines: &mut Vec<LineAddr>,
+    ) {
+        let start = lines.len();
+        let max_level = tex.levels() - 1;
 
         match self.filter {
             Filter::Bilinear => {
-                let level = (lod + 0.5).floor().min(max_level as f32) as u32;
+                let level = Self::level_round(tex, quad_uv).min(max_level);
+                let ctx = LevelCtx::new(tex, level, self.wrap);
                 for uv in quad_uv {
-                    self.bilinear_taps(tex, level, uv, &mut lines);
+                    ctx.fragment_lines(uv, lines, start);
                 }
             }
             Filter::Trilinear => {
-                let lo = (lod.floor() as u32).min(max_level);
+                let lo = Self::level_floor(tex, quad_uv).min(max_level);
                 let hi = (lo + 1).min(max_level);
+                let ctx_lo = LevelCtx::new(tex, lo, self.wrap);
+                let ctx_hi = LevelCtx::new(tex, hi, self.wrap);
                 for uv in quad_uv {
-                    self.bilinear_taps(tex, lo, uv, &mut lines);
+                    ctx_lo.fragment_lines(uv, lines, start);
                     if hi != lo {
-                        self.bilinear_taps(tex, hi, uv, &mut lines);
+                        ctx_hi.fragment_lines(uv, lines, start);
                     }
                 }
             }
@@ -131,8 +182,13 @@ impl Sampler {
                 };
                 let minor_len = minor.length().max(1e-6);
                 let probes = ((major.length() / minor_len).ceil() as u8).clamp(1, ratio) as i32;
-                let level = (minor_len.log2().max(0.0).floor() as u32).min(max_level);
+                // floor(max(log2 minor_len, 0)) is the unbiased
+                // exponent of `minor_len`, clamped — see `grad_exp`.
+                let e = (minor_len.to_bits() >> 23) as i32 - 127;
+                let level = (e.max(0) as u32).min(max_level);
                 let hi = (level + 1).min(max_level);
+                let ctx_lo = LevelCtx::new(tex, level, self.wrap);
+                let ctx_hi = LevelCtx::new(tex, hi, self.wrap);
                 for uv in quad_uv {
                     let uvt = uv.mul_elem(scale);
                     for p in 0..probes {
@@ -144,18 +200,26 @@ impl Sampler {
                         };
                         let pos = uvt + major * t;
                         let pos_uv = Vec2::new(pos.x / scale.x, pos.y / scale.y);
-                        self.bilinear_taps(tex, level, pos_uv, &mut lines);
+                        ctx_lo.fragment_lines(pos_uv, lines, start);
                         if hi != level {
-                            self.bilinear_taps(tex, hi, pos_uv, &mut lines);
+                            ctx_hi.fragment_lines(pos_uv, lines, start);
                         }
                     }
                 }
             }
         }
 
-        lines.sort_unstable();
-        lines.dedup();
-        lines
+        lines[start..].sort_unstable();
+        // In-place dedup of the tail (`Vec::dedup` would scan — and
+        // could merge across — the caller's existing prefix).
+        let mut w = start;
+        for r in start..lines.len() {
+            if w == start || lines[w - 1] != lines[r] {
+                lines[w] = lines[r];
+                w += 1;
+            }
+        }
+        lines.truncate(w);
     }
 
     /// Bilinearly filtered RGBA color (0–1 floats) at `uv` on the mip
@@ -187,23 +251,167 @@ impl Sampler {
         acc
     }
 
-    /// Append the 2×2 bilinear tap lines for `uv` at `level`.
-    fn bilinear_taps(&self, tex: &TextureDesc, level: u32, uv: Vec2, out: &mut Vec<LineAddr>) {
-        let (w, h) = tex.level_dims(level);
-        let tu = uv.x * w as f32 - 0.5;
-        let tv = uv.y * h as f32 - 0.5;
-        let x0 = tu.floor() as i64;
-        let y0 = tv.floor() as i64;
-        for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
-            let (x, y) = self.wrap_coord(x0 + dx, y0 + dy, w, h);
-            out.push(tex.texel_line(level, x, y));
-        }
-    }
-
     fn wrap_coord(&self, x: i64, y: i64, w: u32, h: u32) -> (i64, i64) {
         match self.wrap {
             Wrap::Repeat => (x.rem_euclid(i64::from(w)), y.rem_euclid(i64::from(h))),
             Wrap::ClampToEdge => (x.clamp(0, i64::from(w) - 1), y.clamp(0, i64::from(h) - 1)),
+        }
+    }
+}
+
+/// Per-mip-level addressing context, hoisted out of the per-fragment
+/// tap loop: one [`quad_footprint_into`](Sampler::quad_footprint_into)
+/// call resolves the level dimensions, wrap masks and base address
+/// once, then expands each fragment's 2×2 taps with inline Morton
+/// arithmetic. Bit-identical to addressing through
+/// [`TextureDesc::texel_line`] tap by tap — this is the footprint hot
+/// path (hundreds of thousands of quads per frame), so the per-tap
+/// `rem_euclid` divisions and bounds re-checks are folded away.
+struct LevelCtx {
+    /// Level dimensions as floats (UV → texel scale).
+    wf: f32,
+    hf: f32,
+    /// Level dimensions as integers. Power-of-two by construction
+    /// ([`TextureDesc`] asserts it), so `Repeat` wrapping is a mask.
+    w: i64,
+    h: i64,
+    /// First byte address of the level (base + level offset).
+    base: u64,
+    /// Row-major line pitch (`max(w, h)`, the padded square side).
+    pitch: u64,
+    morton: bool,
+    clamp: bool,
+    /// Morton layout *and* the level base is line-aligned: a 64-byte
+    /// line is then exactly one 4×4-texel Morton block, so a tap's
+    /// line is `base/64 + encode(x/4, y/4)` — one block encode shared
+    /// by all taps that land in the block, instead of a full-precision
+    /// Morton expansion per tap. Texture allocation keeps bases
+    /// line-aligned, so only the 4-byte 1×1 tail level (offset `…+16`)
+    /// misses this path.
+    morton_aligned: bool,
+}
+
+impl LevelCtx {
+    fn new(tex: &TextureDesc, level: u32, wrap: Wrap) -> Self {
+        let (w, h) = tex.level_dims(level);
+        debug_assert!(w.is_power_of_two() && h.is_power_of_two());
+        let base = tex.level_base_addr(level);
+        let morton = tex.layout() == crate::TexelLayout::Morton;
+        // One line = one 4x4 Morton block requires exactly 16 texels
+        // per line; both are fixed constants today, the assert guards
+        // the fast path if either ever changes.
+        debug_assert_eq!(dtexl_mem::LINE_BYTES / crate::BYTES_PER_TEXEL, 16);
+        Self {
+            wf: w as f32,
+            hf: h as f32,
+            w: i64::from(w),
+            h: i64::from(h),
+            base,
+            pitch: u64::from(w.max(h)),
+            morton,
+            clamp: wrap == Wrap::ClampToEdge,
+            morton_aligned: morton && base.is_multiple_of(dtexl_mem::LINE_BYTES),
+        }
+    }
+
+    /// Line address of texel `(x, y)` (already wrapped into range).
+    #[inline]
+    fn line(&self, x: u32, y: u32) -> LineAddr {
+        let texel_index = if self.morton {
+            crate::morton::encode(x, y)
+        } else {
+            u64::from(y) * self.pitch + u64::from(x)
+        };
+        (self.base + texel_index * crate::BYTES_PER_TEXEL) / dtexl_mem::LINE_BYTES
+    }
+
+    /// Append the distinct lines of the fragment's 2×2 bilinear taps,
+    /// skipping any already present in `out[start..]` (the current
+    /// quad's tail). Adjacent fragments of a quad mostly share lines —
+    /// a 64 B line is a 4×4-texel block — so deduplicating at push time
+    /// keeps the tail at its final unique size (typically 1–4 entries)
+    /// and the caller's closing sort+dedup nearly free. The linear
+    /// `contains` scan is over that same tiny tail.
+    fn fragment_lines(&self, uv: Vec2, out: &mut Vec<LineAddr>, start: usize) {
+        // Branchless floor: `f32::floor` lowers to a `floorf` libcall on
+        // baseline x86-64 (no SSE4.1), which dominated this function.
+        // `as i64` truncates toward zero, so subtract one when the
+        // truncation rounded up (negative non-integers); identical to
+        // `v.floor() as i64` for every float, NaN and ±∞ included
+        // (both saturate the same way).
+        #[inline]
+        fn floor_i64(v: f32) -> i64 {
+            let t = v as i64;
+            #[allow(clippy::cast_precision_loss)]
+            let adjust = v < t as f32;
+            // Saturating: floats below i64::MIN truncate to i64::MIN
+            // and must stay there, as `floor() as i64` would.
+            t.saturating_sub(i64::from(adjust))
+        }
+        let tu = uv.x * self.wf - 0.5;
+        let tv = uv.y * self.hf - 0.5;
+        let x0 = floor_i64(tu);
+        let y0 = floor_i64(tv);
+        let (x0, x1, y0, y1) = if self.clamp {
+            (
+                x0.clamp(0, self.w - 1) as u32,
+                (x0 + 1).clamp(0, self.w - 1) as u32,
+                y0.clamp(0, self.h - 1) as u32,
+                (y0 + 1).clamp(0, self.h - 1) as u32,
+            )
+        } else {
+            // `rem_euclid` by a power of two is a mask.
+            (
+                (x0 & (self.w - 1)) as u32,
+                ((x0 + 1) & (self.w - 1)) as u32,
+                (y0 & (self.h - 1)) as u32,
+                ((y0 + 1) & (self.h - 1)) as u32,
+            )
+        };
+        let (l00, l10, l01, l11);
+        if self.morton_aligned {
+            // Line-aligned Morton level: a tap's line is its 4×4-texel
+            // block's Morton index off the level's first line. The 2×2
+            // taps usually share one block, so most fragments cost a
+            // single encode.
+            let lb = self.base / dtexl_mem::LINE_BYTES;
+            let (bx0, by0) = (x0 >> 2, y0 >> 2);
+            let (bx1, by1) = (x1 >> 2, y1 >> 2);
+            l00 = lb + crate::morton::encode(bx0, by0);
+            l10 = if bx1 == bx0 {
+                l00
+            } else {
+                lb + crate::morton::encode(bx1, by0)
+            };
+            l01 = if by1 == by0 {
+                l00
+            } else {
+                lb + crate::morton::encode(bx0, by1)
+            };
+            l11 = if bx1 == bx0 {
+                l01
+            } else if by1 == by0 {
+                l10
+            } else {
+                lb + crate::morton::encode(bx1, by1)
+            };
+        } else {
+            l00 = self.line(x0, y0);
+            l10 = self.line(x1, y0);
+            l01 = self.line(x0, y1);
+            l11 = self.line(x1, y1);
+        }
+        if !out[start..].contains(&l00) {
+            out.push(l00);
+        }
+        if l10 != l00 && !out[start..].contains(&l10) {
+            out.push(l10);
+        }
+        if l01 != l00 && l01 != l10 && !out[start..].contains(&l01) {
+            out.push(l01);
+        }
+        if l11 != l00 && l11 != l10 && l11 != l01 && !out[start..].contains(&l11) {
+            out.push(l11);
         }
     }
 }
@@ -249,6 +457,57 @@ mod tests {
         let t = tex();
         let s = Sampler::new(Filter::Bilinear);
         assert_eq!(s.lod(&t, quad_at(10.0, 10.0, 0.25, &t)), 0.0);
+    }
+
+    #[test]
+    #[ignore]
+    fn footprint_phase_probe() {
+        use std::time::Instant;
+        let t256 = TextureDesc::new(0, 256, 256, 0);
+        let n = 119_000u32;
+        // Synthetic quads: sweep uv across the texture at ~1:1 scale.
+        let quads: Vec<[Vec2; 4]> = (0..n)
+            .map(|i| {
+                let px = (i % 480) as f32;
+                let py = (i / 480) as f32;
+                let uv = |x: f32, y: f32| Vec2::new(x / 256.0, y / 256.0);
+                [
+                    uv(px, py),
+                    uv(px + 1.0, py),
+                    uv(px, py + 1.0),
+                    uv(px + 1.0, py + 1.0),
+                ]
+            })
+            .collect();
+        let s = Sampler::new(Filter::Bilinear);
+        // Phase 1: lod only.
+        let t = Instant::now();
+        let mut acc = 0f32;
+        for q in &quads {
+            acc += s.lod(&t256, *q);
+        }
+        println!("lod: {:?} (acc {acc})", t.elapsed());
+        // Phase 2: ctx + fragments, no sort.
+        let t = Instant::now();
+        let mut lines: Vec<LineAddr> = Vec::new();
+        for q in &quads {
+            let lod = s.lod(&t256, *q);
+            let max_level = t256.levels() - 1;
+            let level = (lod + 0.5).floor().min(max_level as f32) as u32;
+            let ctx = LevelCtx::new(&t256, level, Wrap::Repeat);
+            let start = lines.len();
+            for uv in *q {
+                ctx.fragment_lines(uv, &mut lines, start);
+            }
+        }
+        println!("lod+fragments: {:?} ({} lines)", t.elapsed(), lines.len());
+        // Phase 3: full footprint.
+        lines.clear();
+        let t = Instant::now();
+        for q in &quads {
+            s.quad_footprint_into(&t256, *q, &mut lines);
+        }
+        println!("full: {:?} ({} lines)", t.elapsed(), lines.len());
     }
 
     #[test]

@@ -164,6 +164,12 @@ impl TextureDesc {
         ((self.width >> level).max(1), (self.height >> level).max(1))
     }
 
+    /// First byte address of mip `level` (the sampler's hot-path
+    /// shortcut past per-tap bounds checks).
+    pub(crate) fn level_base_addr(&self, level: u32) -> u64 {
+        self.base_addr + self.level_offsets[level as usize]
+    }
+
     /// Byte address of texel `(x, y)` at `level`, clamping the
     /// coordinates to the level's bounds (clamp-to-edge addressing).
     ///

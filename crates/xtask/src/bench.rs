@@ -107,7 +107,14 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport) -> Comparison {
     let mut fail = false;
     for (key, cur) in &current.jobs {
         let Some(base) = baseline.jobs.get(key) else {
-            continue; // new job: nothing to compare against yet
+            // New job with no baseline entry: surface it (so a stale
+            // baseline is visible in the CI log) but never fail — new
+            // sweep legs must not need a lockstep baseline refresh.
+            lines.push(format!(
+                "::warning::bench {key}: not in baseline (new job?) — \
+                 refresh results/BENCH_baseline.json to gate it"
+            ));
+            continue;
         };
         if regressed(cur.wall_ms, base.wall_ms, MIN_JOB_WALL_MS) {
             lines.push(format!(
@@ -251,7 +258,13 @@ mod tests {
         )
         .unwrap();
         let c = compare(&cur, &base);
-        assert!(!c.fail);
-        assert_eq!(c.lines.len(), 1, "{:?}", c.lines);
+        assert!(!c.fail, "a job missing from the baseline must not fail");
+        // One warning naming the unknown job, plus the summary line.
+        assert_eq!(c.lines.len(), 2, "{:?}", c.lines);
+        assert!(
+            c.lines[0].starts_with("::warning::bench fresh: not in baseline"),
+            "{:?}",
+            c.lines
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! across games, schedules, barrier modes and ragged resolutions.
 
 use dtexl::{SimConfig, Simulator};
+use dtexl_alloc::{meter_current_thread, AllocMeter};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig};
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::ScheduleConfig;
@@ -121,6 +122,35 @@ fn sequence_fanout_matches_serial_loop() {
         Simulator::simulate_sequence(&serial, 4),
         Simulator::simulate_sequence(&threaded, 4),
         "frame fan-out must preserve every per-frame metric"
+    );
+}
+
+#[test]
+fn fragment_stage_does_not_allocate_per_quad() {
+    // The early-Z survivor path used to clone every surviving `Quad`
+    // into per-SC re-merge buffers; on the densest game (CandyCrush,
+    // ~150k survivors at 480×192) the frame's high-water mark measured
+    // 15_450_568 bytes before the fix. The prepared-quad arena path
+    // reuses flat index buffers and measures ~12.0 MB despite now
+    // retaining the whole schedule-independent prefix for the frame.
+    // 14 MB splits the two: far above normal jitter, well below the
+    // per-quad-clone cost coming back.
+    let scene = Game::CandyCrush.scene(&SceneSpec::new(480, 192, 0));
+    let meter = AllocMeter::new();
+    let guard = meter_current_thread(&meter);
+    let r = FrameSim::run_with_resolution(
+        &scene,
+        &ScheduleConfig::dtexl(),
+        &PipelineConfig::default(),
+        480,
+        192,
+    );
+    drop(guard);
+    assert!(r.total_l2_accesses() > 0, "frame must have run");
+    assert!(
+        meter.peak_bytes() < 14_000_000,
+        "fragment-stage peak allocation regressed: {} bytes",
+        meter.peak_bytes()
     );
 }
 
