@@ -9,8 +9,14 @@
 //!                   [--keep-going] [--job-timeout SECS] [--retries N]
 //!                   [--backoff-ms N] [--upper] [--threads N]
 //!                   [--shard i/N] [--job-mem-budget MB] [--table]
-//!                   [--progress] [--heartbeat-ms N]
+//!                   [--progress] [--progress-to FILE] [--heartbeat-ms N]
 //!                   [--memoize [--memoize-budget MB]]
+//!                   [--stall-key SUBSTR --stall-ms N]
+//! dtexl sweep dispatch [--shards N] [--wedge-timeout SECS]
+//!                   [--max-restarts N] [--restart-backoff-ms N]
+//!                   [--poison-threshold N] [--shard-mem-limit MB]
+//!                   [--workdir DIR] [--out merged.jsonl] [--poll-ms N]
+//!                   [+ the sweep job flags above]
 //! dtexl sweep merge <journals...> --out merged.jsonl
 //! dtexl sweep canon <journal>
 //! dtexl profile     --game CCS [--schedule dtexl] [--res 1960x768]
@@ -37,9 +43,15 @@
 //! `sweep --job-mem-budget MB` bounds each job's allocator high-water
 //! mark (exceeding it is a journaled, non-retried `mem_budget` error).
 //! `sweep --progress` streams one JSON line per job lifecycle event
-//! (start/attempt/retry/heartbeat/done, with live `peak_alloc_bytes`)
-//! to stderr; `--heartbeat-ms` tunes the in-flight beat interval and
-//! `--heartbeat-ms 0` disables heartbeats (other events still flow).
+//! (start/attempt/retry/heartbeat/done, with live `peak_alloc_bytes`
+//! and the emitter's `shard`/`pid`/`seq`) to stderr; `--progress-to
+//! FILE` sends the stream to a file instead (flushed per line, so a
+//! supervisor can tail it); `--heartbeat-ms` tunes the in-flight beat
+//! interval and `--heartbeat-ms 0` disables heartbeats (other events
+//! still flow). `--stall-key SUBSTR --stall-ms N` injects a wall-clock
+//! stall into every job whose key contains the substring — a
+//! supervision test hook (the stall is part of the jobs' fault plans,
+//! so it changes their config hashes).
 //! `sweep --memoize` shares the schedule-independent frame prefix
 //! (geometry, binning, raster, early-Z, texture footprints) across the
 //! jobs that differ only in schedule — metrics are bit-identical with
@@ -54,10 +66,28 @@
 //! track per unit. Events carry simulated cycles, so the output is
 //! bit-identical across `--threads` values.
 //!
+//! `sweep dispatch` runs the sweep as a self-healing fleet of child
+//! processes — one `dtexl sweep --shard i/N` per shard, each resuming
+//! its own journal — under a supervisor that tails their progress
+//! streams, kills and restarts wedged shards (`--wedge-timeout`),
+//! restarts crashed/OOM-killed ones with exponential backoff
+//! (`--restart-backoff-ms`, capped by `--max-restarts`), quarantines
+//! jobs blamed for `--poison-threshold` shard deaths as typed
+//! `poisoned` journal records, enforces `--shard-mem-limit` at the
+//! process boundary (cgroup-v2 `memory.max` when writable, else
+//! polled RSS), and finally merges the shard journals into `--out`.
+//! Children always run `--keep-going`: a self-healing fleet attempts
+//! every job. `--threads` here sets each *child's* worker count
+//! (default 1, so a death blames exactly the in-flight job).
+//!
 //! Exit codes: `0` success; `1` error or aborted sweep; `2` sweep
-//! completed with failures (`--keep-going`).
+//! completed with failures (`--keep-going`). `sweep dispatch`: `0`
+//! every job ok; `2` completed with failed (incl. poisoned) jobs; `1`
+//! a shard gave up, jobs are missing from the merge, or the merge
+//! failed.
 
 use dtexl::characterize::characterize_all;
+use dtexl::dispatch::{dispatch_fleet, DispatchOptions, FleetSpec};
 use dtexl::profile::FrameProfile;
 use dtexl::sweep::{
     journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, PrefixCache,
@@ -67,7 +97,9 @@ use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
 use dtexl_scene::{Game, Scene, SceneSpec};
 use dtexl_sched::{NamedMapping, ScheduleConfig};
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::{Mutex, OnceLock};
 
 mod args;
 
@@ -247,31 +279,103 @@ fn cmd_sim(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse `--games all|CSV-of-aliases` (default: all ten).
-fn parse_games(args: &mut Args) -> Result<Vec<Game>, String> {
-    match args.value("--games").as_deref() {
-        None | Some("all") => Ok(Game::ALL.to_vec()),
-        Some(csv) => csv
-            .split(',')
-            .map(|alias| {
-                let alias = alias.trim();
-                Game::ALL
-                    .into_iter()
-                    .find(|g| g.alias().eq_ignore_ascii_case(alias))
-                    .ok_or_else(|| format!("unknown game '{alias}' (try `dtexl list`)"))
-            })
-            .collect(),
+/// Parse a `--games`-style CSV (`all` or aliases).
+fn games_from_csv(csv: &str) -> Result<Vec<Game>, String> {
+    if csv == "all" {
+        return Ok(Game::ALL.to_vec());
     }
+    csv.split(',')
+        .map(|alias| {
+            let alias = alias.trim();
+            Game::ALL
+                .into_iter()
+                .find(|g| g.alias().eq_ignore_ascii_case(alias))
+                .ok_or_else(|| format!("unknown game '{alias}' (try `dtexl list`)"))
+        })
+        .collect()
 }
 
-/// Parse `--schedules CSV` (default: `baseline,dtexl`).
-fn parse_schedules(args: &mut Args) -> Result<Vec<ScheduleConfig>, String> {
-    let csv = args
-        .value("--schedules")
-        .unwrap_or_else(|| "baseline,dtexl".into());
+/// Parse a `--schedules`-style CSV of schedule names.
+fn schedules_from_csv(csv: &str) -> Result<Vec<ScheduleConfig>, String> {
     csv.split(',')
         .map(|name| name.parse().map_err(|e| format!("{e} (try `dtexl list`)")))
         .collect()
+}
+
+/// The sweep job axes shared by `sweep` and `sweep dispatch`: both
+/// must build the *same* job list (same keys, same config hashes) —
+/// the supervisor from its own copy, the children from the forwarded
+/// flags — or poison quarantine and coverage audits fall apart.
+struct SweepAxes {
+    games_csv: String,
+    games: Vec<Game>,
+    schedules_csv: String,
+    schedules: Vec<ScheduleConfig>,
+    width: u32,
+    height: u32,
+    frame: u32,
+    upper: bool,
+    stall_key: Option<String>,
+    stall_ms: u64,
+}
+
+impl SweepAxes {
+    fn parse(args: &mut Args) -> Result<Self, String> {
+        let games_csv = args.value("--games").unwrap_or_else(|| "all".into());
+        let schedules_csv = args
+            .value("--schedules")
+            .unwrap_or_else(|| "baseline,dtexl".into());
+        let (width, height) = parse_res(args)?;
+        let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
+        let upper = args.flag("--upper");
+        let stall_key = args.value("--stall-key");
+        let stall_ms: u64 = args.parsed_value("--stall-ms")?.unwrap_or(0);
+        if stall_key.is_some() != (stall_ms > 0) {
+            return Err("--stall-key and --stall-ms must be given together".into());
+        }
+        Ok(Self {
+            games: games_from_csv(&games_csv)?,
+            games_csv,
+            schedules: schedules_from_csv(&schedules_csv)?,
+            schedules_csv,
+            width,
+            height,
+            frame,
+            upper,
+            stall_key,
+            stall_ms,
+        })
+    }
+
+    /// The games × schedules cross product, with the stall-injection
+    /// hook folded into matching jobs' fault plans.
+    fn jobs(&self, pipeline_base: &PipelineConfig) -> Vec<SweepJob> {
+        let mut jobs: Vec<SweepJob> = self
+            .games
+            .iter()
+            .flat_map(|&game| {
+                self.schedules.iter().map(move |&schedule| SweepJob {
+                    game,
+                    schedule,
+                    width: self.width,
+                    height: self.height,
+                    frame: self.frame,
+                    pipeline: PipelineConfig {
+                        upper_bound: self.upper,
+                        ..*pipeline_base
+                    },
+                })
+            })
+            .collect();
+        if let Some(pat) = &self.stall_key {
+            for job in &mut jobs {
+                if job.key().contains(pat.as_str()) {
+                    job.pipeline.fault.wall_stall_ms = self.stall_ms;
+                }
+            }
+        }
+        jobs
+    }
 }
 
 /// Run a fault-tolerant sweep over games × schedules, journaling one
@@ -282,14 +386,11 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
     match args.subcommand().as_deref() {
         Some("merge") => return cmd_sweep_merge(args).map(|()| ExitCode::SUCCESS),
         Some("canon") => return cmd_sweep_canon(args).map(|()| ExitCode::SUCCESS),
+        Some("dispatch") => return cmd_sweep_dispatch(args, format),
         Some(other) => return Err(format!("unknown sweep subcommand '{other}'\n{}", usage())),
         None => {}
     }
-    let games = parse_games(args)?;
-    let schedules = parse_schedules(args)?;
-    let (w, h) = parse_res(args)?;
-    let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
-    let upper = args.flag("--upper");
+    let axes = SweepAxes::parse(args)?;
     let pipeline_base = parse_pipeline(args)?;
     let keep_going = args.flag("--keep-going");
     let resume = args.flag("--resume");
@@ -308,6 +409,7 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         .map(|mb| mb.saturating_mul(1024 * 1024));
     let table = args.flag("--table");
     let progress = args.flag("--progress");
+    let progress_to = args.value("--progress-to");
     // 0 disables heartbeats (run_sweep treats a zero interval as "no
     // beats", not "beat as fast as possible").
     let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
@@ -324,22 +426,19 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         return Err("--resume requires --journal <file>".into());
     }
 
-    let jobs: Vec<SweepJob> = games
-        .iter()
-        .flat_map(|&game| {
-            schedules.iter().map(move |&schedule| SweepJob {
-                game,
-                schedule,
-                width: w,
-                height: h,
-                frame,
-                pipeline: PipelineConfig {
-                    upper_bound: upper,
-                    ..pipeline_base
-                },
-            })
-        })
-        .collect();
+    // `--progress-to` redirects the stream to a per-line-flushed file
+    // (and implies `--progress`); otherwise `--progress` streams to
+    // stderr.
+    let progress_hook: Option<fn(&Progress)> = match &progress_to {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let _ = PROGRESS_FILE.set(Mutex::new(file));
+            Some(print_progress_to_file as fn(&Progress))
+        }
+        None => progress.then_some(print_progress as fn(&Progress)),
+    };
+
+    let jobs = axes.jobs(&pipeline_base);
 
     let opts = SweepOptions {
         workers: pipeline_base.threads,
@@ -353,7 +452,7 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         resume,
         shard,
         job_mem_budget,
-        progress: progress.then_some(print_progress as fn(&Progress)),
+        progress: progress_hook,
         progress_heartbeat: std::time::Duration::from_millis(heartbeat_ms),
         // The cache budget defaults to the per-job budget: if one job
         // may not allocate more than that, retaining more than that
@@ -402,6 +501,169 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
 /// records and tables.
 fn print_progress(p: &Progress) {
     eprintln!("{}", p.to_json());
+}
+
+/// The `--progress-to` file, behind a static because `SweepOptions`
+/// takes a plain fn pointer. Set once per process in `cmd_sweep`.
+static PROGRESS_FILE: OnceLock<Mutex<std::fs::File>> = OnceLock::new();
+
+/// `sweep --progress-to` sink: one JSON line per event, flushed
+/// immediately so a supervising process can tail the file and treat
+/// write latency as liveness.
+fn print_progress_to_file(p: &Progress) {
+    let Some(lock) = PROGRESS_FILE.get() else {
+        return;
+    };
+    if let Ok(mut file) = lock.lock() {
+        let _ = writeln!(file, "{}", p.to_json());
+        let _ = file.flush();
+    }
+}
+
+/// `dtexl sweep dispatch`: run the sweep as a supervised fleet of
+/// child shard processes (see the module docs and
+/// `dtexl::dispatch`).
+fn cmd_sweep_dispatch(args: &mut Args, format: Format) -> Result<ExitCode, String> {
+    let axes = SweepAxes::parse(args)?;
+    // Children default to one worker thread so a shard death blames
+    // exactly the job that was in flight (`--threads` overrides).
+    let child_threads: usize = match args.parsed_value::<usize>("--threads")? {
+        Some(0) => return Err("--threads must be >= 1".into()),
+        Some(t) => t,
+        None => 1,
+    };
+    // Forwarded per-job fault-tolerance knobs.
+    let job_timeout: Option<u64> = args.parsed_value("--job-timeout")?;
+    let retries: u32 = args.parsed_value("--retries")?.unwrap_or(0);
+    let backoff_ms: u64 = args.parsed_value("--backoff-ms")?.unwrap_or(50);
+    let job_mem_budget_mb: Option<u64> = args.parsed_value("--job-mem-budget")?;
+    let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
+    let memoize = args.flag("--memoize");
+    let memoize_budget_mb: Option<u64> = args.parsed_value("--memoize-budget")?;
+    // Supervision knobs.
+    let shards: u32 = args.parsed_value("--shards")?.unwrap_or(2);
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    let wedge_timeout: u64 = args.parsed_value("--wedge-timeout")?.unwrap_or(30);
+    let max_restarts: u32 = args.parsed_value("--max-restarts")?.unwrap_or(3);
+    let restart_backoff_ms: u64 = args.parsed_value("--restart-backoff-ms")?.unwrap_or(500);
+    let poison_threshold: u32 = args.parsed_value("--poison-threshold")?.unwrap_or(2);
+    if poison_threshold == 0 {
+        return Err("--poison-threshold must be >= 1".into());
+    }
+    let shard_mem_limit = args
+        .parsed_value::<u64>("--shard-mem-limit")?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let workdir = args.value("--workdir").map(std::path::PathBuf::from);
+    let out = args.value("--out").map(std::path::PathBuf::from);
+    let poll_ms: u64 = args.parsed_value("--poll-ms")?.unwrap_or(50);
+    args.finish()?;
+    if memoize_budget_mb.is_some() && !memoize {
+        return Err("--memoize-budget requires --memoize".into());
+    }
+
+    // Rebuild the children's sweep arguments from the parsed values,
+    // so the supervisor's job list and the children's are provably
+    // built from the same inputs. Children always run `--keep-going`:
+    // a self-healing fleet attempts every job.
+    let mut sweep_args: Vec<String> = vec![
+        "sweep".into(),
+        "--games".into(),
+        axes.games_csv.clone(),
+        "--schedules".into(),
+        axes.schedules_csv.clone(),
+        "--res".into(),
+        format!("{}x{}", axes.width, axes.height),
+        "--frame".into(),
+        axes.frame.to_string(),
+        "--threads".into(),
+        child_threads.to_string(),
+        "--keep-going".into(),
+        "--heartbeat-ms".into(),
+        heartbeat_ms.to_string(),
+        "--backoff-ms".into(),
+        backoff_ms.to_string(),
+    ];
+    if axes.upper {
+        sweep_args.push("--upper".into());
+    }
+    if let Some(secs) = job_timeout {
+        sweep_args.push("--job-timeout".into());
+        sweep_args.push(secs.to_string());
+    }
+    if retries > 0 {
+        sweep_args.push("--retries".into());
+        sweep_args.push(retries.to_string());
+    }
+    if let Some(mb) = job_mem_budget_mb {
+        sweep_args.push("--job-mem-budget".into());
+        sweep_args.push(mb.to_string());
+    }
+    if memoize {
+        sweep_args.push("--memoize".into());
+        if let Some(mb) = memoize_budget_mb {
+            sweep_args.push("--memoize-budget".into());
+            sweep_args.push(mb.to_string());
+        }
+    }
+    if let Some(key) = &axes.stall_key {
+        sweep_args.push("--stall-key".into());
+        sweep_args.push(key.clone());
+        sweep_args.push("--stall-ms".into());
+        sweep_args.push(axes.stall_ms.to_string());
+    }
+
+    let pipeline_base = PipelineConfig {
+        threads: child_threads,
+        ..PipelineConfig::default()
+    };
+    let program =
+        std::env::current_exe().map_err(|e| format!("cannot locate the dtexl binary: {e}"))?;
+    let spec = FleetSpec {
+        program,
+        sweep_args,
+        jobs: axes.jobs(&pipeline_base),
+        shards,
+    };
+    let workdir = workdir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("dtexl-dispatch-{}", std::process::id()))
+    });
+    let opts = DispatchOptions {
+        wedge_timeout: std::time::Duration::from_secs(wedge_timeout),
+        max_restarts,
+        restart_backoff: std::time::Duration::from_millis(restart_backoff_ms),
+        poison_threshold,
+        mem_limit: shard_mem_limit,
+        poll: std::time::Duration::from_millis(poll_ms.max(1)),
+        workdir,
+        merged_journal: out,
+        ..DispatchOptions::default()
+    };
+    let report = dispatch_fleet(&spec, &opts).map_err(|e| format!("dispatch: {e}"))?;
+    match format {
+        Format::Text => println!("{}", report.summary()),
+        Format::Json => {
+            let poisoned: Vec<String> = report
+                .poisoned
+                .iter()
+                .map(|k| format!("\"{}\"", json_escape(k)))
+                .collect();
+            println!(
+                "{{\"fleet\":{{\"ok\":{},\"failed\":{},\"missing\":{},\"poisoned\":[{}],\
+                 \"shards\":{},\"restarts\":{},\"merged\":\"{}\",\"exit_code\":{}}}}}",
+                report.ok,
+                report.failed,
+                report.missing.len(),
+                poisoned.join(","),
+                report.shards.len(),
+                report.shards.iter().map(|s| s.restarts).sum::<u32>(),
+                json_escape(&report.merged_journal.display().to_string()),
+                report.exit_code()
+            );
+        }
+    }
+    Ok(ExitCode::from(report.exit_code()))
 }
 
 /// Profile one frame: print the stall-attribution tables and

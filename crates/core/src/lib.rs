@@ -39,6 +39,7 @@ mod metrics;
 mod sim;
 
 pub mod characterize;
+pub mod dispatch;
 pub mod experiments;
 pub mod profile;
 pub mod report;

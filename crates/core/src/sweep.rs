@@ -64,7 +64,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -485,6 +485,19 @@ pub enum JobError {
         /// The budget (bytes) it exceeded.
         budget: u64,
     },
+    /// The fleet supervisor (`dtexl sweep dispatch`) quarantined this
+    /// job: its shard process died repeatedly while the job was the
+    /// in-flight attempt, so the job is presumed to be what killed it.
+    /// Written to the journal *by the supervisor* (the child that
+    /// would have run the job is dead); a resuming child sees the
+    /// quarantine record and fails the job without executing it, so
+    /// one pathological config degrades to a single failed record
+    /// instead of a crash loop. Never retried in-process; delete the
+    /// journal line (or run without `--resume`) to re-attempt it.
+    Poisoned {
+        /// How many shard deaths were blamed on the job.
+        deaths: u32,
+    },
 }
 
 impl JobError {
@@ -493,7 +506,10 @@ impl JobError {
     /// deterministic at a fixed budget).
     #[must_use]
     pub fn retryable(&self) -> bool {
-        !matches!(self, JobError::Invalid(_) | JobError::MemBudget { .. })
+        !matches!(
+            self,
+            JobError::Invalid(_) | JobError::MemBudget { .. } | JobError::Poisoned { .. }
+        )
     }
 
     /// Short machine-readable kind tag (journal `error_kind` field).
@@ -504,6 +520,7 @@ impl JobError {
             JobError::Panicked(_) => "panic",
             JobError::TimedOut { .. } => "timeout",
             JobError::MemBudget { .. } => "mem_budget",
+            JobError::Poisoned { .. } => "poisoned",
         }
     }
 }
@@ -519,6 +536,11 @@ impl fmt::Display for JobError {
             JobError::MemBudget { used, budget } => write!(
                 f,
                 "job allocated {used} bytes, exceeding its {budget}-byte memory budget"
+            ),
+            JobError::Poisoned { deaths } => write!(
+                f,
+                "job quarantined as poison: its shard died {deaths} time(s) while this job \
+                 was in flight"
             ),
         }
     }
@@ -703,6 +725,18 @@ pub struct Progress {
     /// Allocator high-water mark observed so far (bytes; live for
     /// heartbeats, final for done events, 0 before the job allocates).
     pub peak_alloc_bytes: u64,
+    /// The shard this process is running, when sharded — lets a fleet
+    /// supervisor attribute a multiplexed stream.
+    pub shard: Option<Shard>,
+    /// The emitting process's OS pid: a supervisor tailing a progress
+    /// file can detect a stale writer (lines from a pid it no longer
+    /// supervises).
+    pub pid: u32,
+    /// Monotonic per-run sequence number (0-based, shared across all
+    /// worker threads of one [`run_sweep`] call). Gap-free within a
+    /// run; a gap means the consumer lost lines (truncated stream),
+    /// and a reset to 0 marks a restarted process.
+    pub seq: u64,
     /// Terminal status; only present on [`ProgressKind::Done`].
     pub status: Option<JobStatus>,
 }
@@ -720,12 +754,69 @@ impl Progress {
             self.elapsed.as_millis(),
             self.peak_alloc_bytes
         );
+        use std::fmt::Write as _;
+        if let Some(shard) = self.shard {
+            let _ = write!(s, ",\"shard\":\"{shard}\"");
+        }
+        let _ = write!(s, ",\"pid\":{},\"seq\":{}", self.pid, self.seq);
         if let Some(status) = self.status {
-            s.push_str(&format!(",\"status\":\"{}\"", status.name()));
+            let _ = write!(s, ",\"status\":\"{}\"", status.name());
         }
         s.push('}');
         s
     }
+}
+
+/// A progress event parsed back from its JSONL wire form — the
+/// supervisor-side dual of [`Progress::to_json`]. Unknown fields are
+/// ignored and `None` for blank/truncated/corrupt lines, mirroring
+/// [`parse_journal_line`]: a dying child may leave a partial final
+/// line, and the tail reader must shrug it off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressLine {
+    /// The `"event"` wire name (`start`/`attempt`/`retry`/`heartbeat`/
+    /// `done`).
+    pub event: String,
+    /// Job identity.
+    pub key: String,
+    /// Job index within the emitting process's job list.
+    pub index: u64,
+    /// 1-based attempt number (0 before the first attempt).
+    pub attempt: u64,
+    /// Wall time the job had consumed when the event fired.
+    pub elapsed_ms: u64,
+    /// Live (heartbeat) or final (done) allocator high-water mark.
+    pub peak_alloc_bytes: u64,
+    /// The emitting shard, when the run was sharded.
+    pub shard: Option<Shard>,
+    /// Emitting process pid (`None` on pre-fleet streams).
+    pub pid: Option<u32>,
+    /// Monotonic per-run sequence number (`None` on pre-fleet streams).
+    pub seq: Option<u64>,
+    /// Terminal status wire name, on `done` events.
+    pub status: Option<String>,
+}
+
+/// Parse one progress JSONL line; `None` for blank, truncated or
+/// corrupt lines.
+#[must_use]
+pub fn parse_progress_line(line: &str) -> Option<ProgressLine> {
+    let line = line.trim();
+    if line.is_empty() || !line.starts_with('{') || !line.ends_with('}') {
+        return None;
+    }
+    Some(ProgressLine {
+        event: field_str(line, "event")?,
+        key: field_str(line, "key")?,
+        index: field_u64(line, "index")?,
+        attempt: field_u64(line, "attempt").unwrap_or(0),
+        elapsed_ms: field_u64(line, "elapsed_ms").unwrap_or(0),
+        peak_alloc_bytes: field_u64(line, "peak_alloc_bytes").unwrap_or(0),
+        shard: field_str(line, "shard").and_then(|s| s.parse().ok()),
+        pid: field_u64(line, "pid").and_then(|p| u32::try_from(p).ok()),
+        seq: field_u64(line, "seq"),
+        status: field_str(line, "status"),
+    })
 }
 
 /// Headline metrics captured per successful job (journaled, so a
@@ -1051,9 +1142,12 @@ pub fn run_sweep<F>(
 where
     F: Fn(&SweepJob, FrameResult) + Sync,
 {
-    let done_keys = match (&opts.journal, opts.resume) {
-        (Some(path), true) if path.exists() => completed_entries(&std::fs::read_to_string(path)?),
-        _ => BTreeMap::new(),
+    let (done_keys, quarantined) = match (&opts.journal, opts.resume) {
+        (Some(path), true) if path.exists() => {
+            let text = std::fs::read_to_string(path)?;
+            (completed_entries(&text), poisoned_entries(&text))
+        }
+        _ => (BTreeMap::new(), BTreeMap::new()),
     };
     let journal = match &opts.journal {
         Some(path) => {
@@ -1073,6 +1167,10 @@ where
     let records: Mutex<Vec<JobRecord>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let abort = AtomicBool::new(false);
     let next = AtomicUsize::new(0);
+    // Progress-stream correlation fields: one pid per process, one
+    // gap-free sequence counter per run (shared by all workers).
+    let pid = std::process::id();
+    let seq = AtomicU64::new(0);
     let workers = if opts.workers == 0 {
         jobs.len().clamp(1, 8)
     } else {
@@ -1105,6 +1203,12 @@ where
                             attempt,
                             elapsed,
                             peak_alloc_bytes: peak,
+                            shard: opts.shard,
+                            pid,
+                            // Assigned at emit time so the stream's
+                            // sequence numbers are gap-free even with
+                            // events interleaving across workers.
+                            seq: seq.fetch_add(1, Ordering::Relaxed),
                             status,
                         });
                     }
@@ -1136,6 +1240,39 @@ where
                         shard: opts.shard,
                     };
                     records.lock().push(record);
+                    continue;
+                }
+                // Poison quarantine: the fleet supervisor journaled
+                // this job as having killed its shard repeatedly.
+                // Record the failure without executing — and without
+                // tripping the abort flag (the failure is historical,
+                // already accounted; the restarted shard's purpose is
+                // to get *past* it) or re-journaling (the supervisor's
+                // line is already the key's latest entry).
+                if let Some(entry) = quarantined
+                    .get(&key)
+                    .filter(|e| hash_matches(&e.config_hash))
+                {
+                    let deaths = u32::try_from(entry.attempts).unwrap_or(u32::MAX);
+                    emit(
+                        ProgressKind::Done,
+                        deaths,
+                        Duration::ZERO,
+                        0,
+                        Some(JobStatus::Failed),
+                    );
+                    records.lock().push(JobRecord {
+                        index,
+                        key,
+                        status: JobStatus::Failed,
+                        attempts: deaths,
+                        elapsed: Duration::ZERO,
+                        error: Some(JobError::Poisoned { deaths }),
+                        metrics: None,
+                        config_hash,
+                        peak_alloc: None,
+                        shard: opts.shard,
+                    });
                     continue;
                 }
 
@@ -1454,16 +1591,37 @@ pub fn completed_keys(journal: &str) -> BTreeSet<String> {
 /// drifted since the journal was written.
 #[must_use]
 pub fn completed_entries(journal: &str) -> BTreeMap<String, Option<u64>> {
-    let mut latest: BTreeMap<String, (String, Option<u64>)> = BTreeMap::new();
+    latest_entries(journal)
+        .into_iter()
+        .filter(|(_, e)| e.status == "ok" || e.status == "skipped")
+        .map(|(k, e)| (k, e.config_hash))
+        .collect()
+}
+
+/// The **latest** journal entry per key (last-wins over the whole
+/// file), ignoring unparseable lines.
+#[must_use]
+pub fn latest_entries(journal: &str) -> BTreeMap<String, JournalEntry> {
+    let mut latest: BTreeMap<String, JournalEntry> = BTreeMap::new();
     for line in journal.lines() {
         if let Some(e) = parse_journal_line(line) {
-            latest.insert(e.key, (e.status, e.config_hash));
+            latest.insert(e.key.clone(), e);
         }
     }
     latest
+}
+
+/// Job keys whose latest journal entry is a supervisor-written poison
+/// quarantine (`status:"failed"`, `error_kind:"poisoned"`), mapped to
+/// that entry. A resuming sweep fails these jobs without executing
+/// them (see [`JobError::Poisoned`]); any later `ok`/`failed` line —
+/// e.g. from a deliberate re-attempt without `--resume` — lifts the
+/// quarantine because only the *latest* entry counts.
+#[must_use]
+pub fn poisoned_entries(journal: &str) -> BTreeMap<String, JournalEntry> {
+    latest_entries(journal)
         .into_iter()
-        .filter(|(_, (s, _))| s == "ok" || s == "skipped")
-        .map(|(k, (_, h))| (k, h))
+        .filter(|(_, e)| e.status == "failed" && e.error_kind.as_deref() == Some("poisoned"))
         .collect()
 }
 
@@ -2267,6 +2425,78 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_journal_entries_are_quarantined_on_resume() {
+        let dir = std::env::temp_dir().join(format!("dtexl_sweep_poison_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let jobs = vec![tiny_job(Game::CandyCrush), tiny_job(Game::TempleRun)];
+        // Simulate the fleet supervisor: journal the first job as
+        // poisoned before any sweep runs.
+        let poisoned = JobRecord {
+            index: 0,
+            key: jobs[0].key(),
+            status: JobStatus::Failed,
+            attempts: 2,
+            elapsed: Duration::ZERO,
+            error: Some(JobError::Poisoned { deaths: 2 }),
+            metrics: None,
+            config_hash: jobs[0].config_hash(),
+            peak_alloc: None,
+            shard: None,
+        };
+        std::fs::write(&journal, format!("{}\n", journal_line(&poisoned))).unwrap();
+
+        let opts = SweepOptions {
+            journal: Some(journal.clone()),
+            resume: true,
+            // Deliberately NOT keep_going: a historical quarantine
+            // must not trip the first-failure abort, or a restarted
+            // shard would never get past its poison job.
+            keep_going: false,
+            ..SweepOptions::default()
+        };
+        let ran = AtomicUsize::new(0);
+        let report = run_sweep(&jobs, &opts, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert!(!report.aborted, "quarantine must not abort the sweep");
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "only the healthy job ran");
+        let quarantined = &report.records[0];
+        assert_eq!(quarantined.status, JobStatus::Failed);
+        assert_eq!(quarantined.attempts, 2, "blame count from the journal");
+        assert_eq!(
+            quarantined.error,
+            Some(JobError::Poisoned { deaths: 2 }),
+            "typed quarantine error"
+        );
+        assert!(!JobError::Poisoned { deaths: 2 }.retryable());
+        assert_eq!(report.records[1].status, JobStatus::Ok);
+        // The quarantine record is not re-journaled: the supervisor's
+        // line stays the key's single (latest) entry.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"error_kind\":\"poisoned\""))
+                .count(),
+            1
+        );
+        // A config drift lifts the quarantine: mutate the job so its
+        // hash no longer matches the journaled one and it re-runs.
+        let mut drifted = jobs.clone();
+        drifted[0].pipeline.fault.alloc_spike_mb = 1;
+        let report = run_sweep(&drifted, &opts, |_, _| {}).unwrap();
+        assert_eq!(
+            report.records[0].status,
+            JobStatus::Ok,
+            "hash mismatch re-runs the quarantined key"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn progress_json_is_one_stable_line() {
         let p = Progress {
             kind: ProgressKind::Heartbeat,
@@ -2275,20 +2505,66 @@ mod tests {
             attempt: 2,
             elapsed: Duration::from_millis(12),
             peak_alloc_bytes: 4096,
+            shard: None,
+            pid: 4242,
+            seq: 17,
             status: None,
         };
         assert_eq!(
             p.to_json(),
             "{\"event\":\"heartbeat\",\"key\":\"CCS|x|base|96x64#0\",\"index\":3,\
-             \"attempt\":2,\"elapsed_ms\":12,\"peak_alloc_bytes\":4096}"
+             \"attempt\":2,\"elapsed_ms\":12,\"peak_alloc_bytes\":4096,\
+             \"pid\":4242,\"seq\":17}"
         );
         let done = Progress {
             kind: ProgressKind::Done,
+            shard: Some(Shard::new(1, 4).unwrap()),
             status: Some(JobStatus::Ok),
             ..p
         };
-        assert!(done.to_json().ends_with(",\"status\":\"ok\"}"));
+        assert!(done
+            .to_json()
+            .ends_with(",\"shard\":\"1/4\",\"pid\":4242,\"seq\":17,\"status\":\"ok\"}"));
         assert!(!done.to_json().contains('\n'));
+    }
+
+    #[test]
+    fn progress_lines_round_trip_through_the_parser() {
+        let p = Progress {
+            kind: ProgressKind::Done,
+            key: "CCS|dtexl|base|96x64#0".into(),
+            index: 5,
+            attempt: 2,
+            elapsed: Duration::from_millis(34),
+            peak_alloc_bytes: 8192,
+            shard: Some(Shard::new(0, 2).unwrap()),
+            pid: 77,
+            seq: 9,
+            status: Some(JobStatus::Failed),
+        };
+        let parsed = parse_progress_line(&p.to_json()).expect("round trip");
+        assert_eq!(parsed.event, "done");
+        assert_eq!(parsed.key, p.key);
+        assert_eq!(parsed.index, 5);
+        assert_eq!(parsed.attempt, 2);
+        assert_eq!(parsed.elapsed_ms, 34);
+        assert_eq!(parsed.peak_alloc_bytes, 8192);
+        assert_eq!(parsed.shard, Some(Shard::new(0, 2).unwrap()));
+        assert_eq!(parsed.pid, Some(77));
+        assert_eq!(parsed.seq, Some(9));
+        assert_eq!(parsed.status.as_deref(), Some("failed"));
+        // Truncated / corrupt lines parse to None, like journal lines.
+        assert_eq!(parse_progress_line(""), None);
+        assert_eq!(parse_progress_line("{\"event\":\"done\",\"key\":\"x"), None);
+        // Pre-fleet lines (no pid/seq/shard) still parse.
+        let old = parse_progress_line(
+            "{\"event\":\"start\",\"key\":\"k\",\"index\":0,\"attempt\":0,\
+             \"elapsed_ms\":0,\"peak_alloc_bytes\":0}",
+        )
+        .expect("pre-fleet line parses");
+        assert_eq!(old.pid, None);
+        assert_eq!(old.seq, None);
+        assert_eq!(old.shard, None);
     }
 
     /// One test owns the static collector: progress events are pinned
@@ -2367,6 +2643,18 @@ mod tests {
             h_done.peak_alloc_bytes > 0,
             "done events carry the allocator high-water mark"
         );
+
+        // Fleet-correlation fields: every event stamps this process's
+        // pid, and the run's sequence numbers are gap-free from 0.
+        {
+            let events = EVENTS.lock();
+            assert!(events.iter().all(|p| p.pid == std::process::id()));
+            assert!(events.iter().all(|p| p.shard.is_none()), "unsharded run");
+            let mut seqs: Vec<u64> = events.iter().map(|p| p.seq).collect();
+            seqs.sort_unstable();
+            let expected: Vec<u64> = (0..events.len() as u64).collect();
+            assert_eq!(seqs, expected, "seq is gap-free across the run");
+        }
 
         // Resume-skipped jobs still announce themselves: start, then
         // done(skipped), with no attempts in between.

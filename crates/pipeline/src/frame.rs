@@ -580,6 +580,11 @@ impl FrameSim {
             for (sc, lane) in lane_states.into_iter().enumerate() {
                 assignment[sc % workers].push((sc, lane));
             }
+            // If this (job) thread is metered, hand the meter to every
+            // lane worker so `peak_alloc_bytes` covers their trace
+            // buffers and L1 state too — budgets stay honest under
+            // `threads > 1` instead of metering only the job thread.
+            let job_meter = dtexl_alloc::current_meter();
             let mut handles = Vec::with_capacity(workers);
             for mut owned in assignment {
                 let txs: Vec<_> = owned
@@ -588,7 +593,9 @@ impl FrameSim {
                     .map(|(sc, _)| txs[*sc].take().expect("each lane assigned once"))
                     .collect();
                 let fault = config.fault;
+                let meter = job_meter.clone();
                 handles.push(scope.spawn(move || {
+                    let _tag = meter.as_ref().map(dtexl_alloc::meter_current_thread);
                     'tiles: for (ti, leg) in legs.iter().enumerate() {
                         for ((sc, lane), tx) in owned.iter_mut().zip(&txs) {
                             let indices = &sc_idx[span(leg.sc[*sc])];

@@ -190,6 +190,22 @@ pub const ALLOWLIST: &[BuiltinAllow] = &[
         reason: "fault-injection wall stall and schedule-permutation jitter: both shift wall \
                  time only and never touch simulated state (pinned by tests/schedule_permutation.rs)",
     },
+    BuiltinAllow {
+        path_suffix: "crates/core/src/dispatch.rs",
+        rule: "determinism-clock",
+        needle: "Instant::now",
+        reason: "fleet supervisor: wedge timers and restart backoff schedule real child \
+                 processes; simulated results come from the children's journals and are \
+                 bit-identical regardless of supervision timing \
+                 (pinned by tests/dispatch_resilience.rs)",
+    },
+    BuiltinAllow {
+        path_suffix: "crates/core/src/dispatch.rs",
+        rule: "determinism-clock",
+        needle: "thread::sleep",
+        reason: "fleet supervisor poll loop: paces liveness checks of real child processes; \
+                 no simulated state on this thread",
+    },
 ];
 
 /// How a file is treated by the pattern rules.

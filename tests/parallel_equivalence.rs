@@ -134,23 +134,57 @@ fn fragment_stage_does_not_allocate_per_quad() {
     // reuses flat index buffers and measures ~12.0 MB despite now
     // retaining the whole schedule-independent prefix for the frame.
     // 14 MB splits the two: far above normal jitter, well below the
-    // per-quad-clone cost coming back.
+    // per-quad-clone cost coming back. Pinned to one thread: the
+    // per-quad-clone regression is equally visible serially, and the
+    // parallel path's (legitimately higher, lane-buffer-bearing) peak
+    // is covered by `lane_worker_allocations_charge_the_job_meter`.
     let scene = Game::CandyCrush.scene(&SceneSpec::new(480, 192, 0));
     let meter = AllocMeter::new();
     let guard = meter_current_thread(&meter);
-    let r = FrameSim::run_with_resolution(
-        &scene,
-        &ScheduleConfig::dtexl(),
-        &PipelineConfig::default(),
-        480,
-        192,
-    );
+    let serial = PipelineConfig {
+        threads: 1,
+        ..PipelineConfig::default()
+    };
+    let r = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &serial, 480, 192);
     drop(guard);
     assert!(r.total_l2_accesses() > 0, "frame must have run");
     assert!(
         meter.peak_bytes() < 14_000_000,
         "fragment-stage peak allocation regressed: {} bytes",
         meter.peak_bytes()
+    );
+}
+
+#[test]
+fn lane_worker_allocations_charge_the_job_meter() {
+    // The fragment stage's lane workers run on scoped threads; before
+    // the meter handoff their allocations were invisible to the job's
+    // `AllocMeter`, so a parallel sweep under-reported its high-water
+    // mark by the entire fragment working set (and per-job memory
+    // budgets silently failed to bind). With the handoff, the metered
+    // parallel peak on a heavy game must be at least the serial peak:
+    // the same buffers are charged, plus whatever per-lane buffers
+    // live concurrently (measured: ~12.0 MB serial vs ~14.7 MB at 4
+    // threads on this scene).
+    let scene = Game::CandyCrush.scene(&SceneSpec::new(480, 192, 0));
+    let peak = |threads: usize| {
+        let meter = AllocMeter::new();
+        let guard = meter_current_thread(&meter);
+        let config = PipelineConfig {
+            threads,
+            ..PipelineConfig::default()
+        };
+        let r = FrameSim::run_with_resolution(&scene, &ScheduleConfig::dtexl(), &config, 480, 192);
+        drop(guard);
+        assert!(r.total_l2_accesses() > 0, "frame must have run");
+        meter.peak_bytes()
+    };
+    let serial = peak(1);
+    let parallel = peak(4);
+    assert!(
+        parallel >= serial,
+        "lane workers stopped charging the job meter: parallel peak {parallel} < serial peak \
+         {serial}"
     );
 }
 
