@@ -131,6 +131,7 @@ impl Drop for MeterGuard {
         // Untag only while this guard still owns the slot; if a later
         // `meter_current_thread` call displaced it, the slot belongs
         // to the newer guard and must be left alone.
+        // lint: taint-barrier(pointer compared for slot-ownership identity only; the address never reaches a metric)
         let raw = Arc::as_ptr(&self.meter);
         let _ = METER.try_with(|slot| {
             if slot.get() == raw {
@@ -155,6 +156,7 @@ impl Drop for MeterGuard {
 #[must_use]
 pub fn meter_current_thread(meter: &Arc<AllocMeter>) -> MeterGuard {
     let owned = Arc::clone(meter);
+    // lint: taint-barrier(the address is an opaque TLS tag read back only via pointer identity, never as a value)
     METER.with(|slot| slot.set(Arc::as_ptr(&owned)));
     MeterGuard {
         meter: owned,
@@ -196,6 +198,10 @@ fn record_alloc(bytes: usize) {
     let _ = METER.try_with(|slot| {
         let meter = slot.get();
         if !meter.is_null() {
+            // SAFETY: a non-null slot means the `MeterGuard` that set
+            // it is still alive on this thread and holds a strong
+            // reference, so the meter behind the pointer is live; the
+            // shared borrow lasts only for this atomic bump.
             unsafe { &*meter }.on_alloc(bytes);
         }
     });
@@ -206,6 +212,9 @@ fn record_dealloc(bytes: usize) {
     let _ = METER.try_with(|slot| {
         let meter = slot.get();
         if !meter.is_null() {
+            // SAFETY: same invariant as `record_alloc` — the guard
+            // that set the slot outlives every read, nulling it before
+            // its strong reference drops.
             unsafe { &*meter }.on_dealloc(bytes);
         }
     });
@@ -224,6 +233,9 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 // bookkeeping around each call touches only atomics via a
 // const-initialized TLS slot and can neither allocate nor unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System` untouched, so
+    // the returned block satisfies exactly the contract `System`
+    // guarantees; metering happens after the fact and cannot fail.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -232,6 +244,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: as `alloc` — `System.alloc_zeroed` receives the layout
+    // verbatim and its zeroed-block contract passes through unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc_zeroed(layout);
         if !p.is_null() {
@@ -240,11 +254,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: the caller promises `ptr`/`layout` came from this
+    // allocator, which is `System` underneath — the free is forwarded
+    // with both unmodified.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         record_dealloc(layout.size());
     }
 
+    // SAFETY: caller-provided `ptr`/`layout`/`new_size` go straight
+    // through to `System.realloc`; metering only runs on success, with
+    // the sizes the caller already vouched for.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -605,6 +605,7 @@ impl FrameSim {
                             // delay perturbs lane *completion* order
                             // without touching simulated state.
                             if let Some(jitter) = fault.send_jitter(ti, *sc) {
+                                // lint: taint-barrier(jitter shifts lane completion wall time only; replay order and every metric are pinned by tests/schedule_permutation.rs)
                                 std::thread::sleep(jitter);
                             }
                             if tx.send(trace).is_err() {
@@ -686,6 +687,7 @@ impl FrameSim {
 /// leg (per sweep job) on the calling thread — the one sweep timeout
 /// and memory-budget watchdogs observe — without touching any simulated
 /// metric.
+// lint: taint-barrier(fault hooks stall wall time and allocator pressure only; nothing here is read back into simulated state)
 fn fault_hooks(config: &PipelineConfig) {
     // Wall-clock hook: wedge the job (exercises timeout watchdogs).
     if config.fault.wall_stall_ms > 0 {

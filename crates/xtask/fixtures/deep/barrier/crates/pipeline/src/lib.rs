@@ -1,0 +1,16 @@
+//! The same entry-point-to-clock reach as the `tainted` fixture, cut
+//! by a fn-level taint-barrier on the stall helper: the root must come
+//! out clean and the barrier must be counted as used.
+pub struct FrameSim;
+
+impl FrameSim {
+    pub fn try_run(&self) -> u64 {
+        stall();
+        7
+    }
+}
+
+// lint: taint-barrier(the stall pads wall time only; nothing it computes feeds simulated state)
+fn stall() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,7 @@
+//! Clean sim crate whose checked-in lock deliberately disagrees with
+//! the code, to pin `api-surface` drift detection in both directions.
+
+/// Tiles covered by a scanline of `width` pixels.
+pub fn tile_count(width: u32) -> u32 {
+    width.div_ceil(8)
+}

@@ -1,0 +1,13 @@
+//! Seeded unsafe-audit cases: one site carries a SAFETY comment, the
+//! other is bare and must trip `unsafe-safety`.
+
+/// Reads through a caller-guaranteed pointer.
+pub fn read_justified(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned and live.
+    unsafe { *p }
+}
+
+/// Reads through a pointer with no stated invariant.
+pub fn read_bare(p: *const u64) -> u64 {
+    unsafe { *p }
+}

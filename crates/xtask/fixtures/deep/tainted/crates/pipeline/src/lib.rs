@@ -1,0 +1,19 @@
+//! Seeded two-hop wall-clock taint: `FrameSim::try_run` reaches
+//! `Instant::now` through two helpers, so deep-lint must report the
+//! whole chain, not just the endpoint.
+pub struct FrameSim;
+
+impl FrameSim {
+    pub fn try_run(&self) -> u64 {
+        helper_a()
+    }
+}
+
+fn helper_a() -> u64 {
+    helper_b() + 1
+}
+
+fn helper_b() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

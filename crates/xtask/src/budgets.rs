@@ -1,20 +1,32 @@
 //! Per-crate allowlist budgets: the `lint: allow` ratchet.
 //!
 //! `lint-budgets.toml` at the workspace root records, per crate, how
-//! many allowed sites (annotations + built-in allowlist hits) the tree
-//! is permitted to carry. Counts can only shrink: exceeding a recorded
-//! budget is a `lint-budget` violation, and
-//! `cargo xtask lint --update-budgets` rewrites the file with
-//! `min(recorded, current)` per crate — so an accidental new escape
-//! hatch fails CI, while cleaning one up permanently lowers the bar.
+//! many escape hatches the tree is permitted to carry — in two
+//! tables, one per lint tier:
 //!
-//! The file is a single-table TOML subset this module parses itself
+//! * `[allow-budgets]` — tier-1 allowed sites (`lint: allow`
+//!   annotations + built-in allowlist hits), enforced by
+//!   `cargo xtask lint`;
+//! * `[deep-allow-budgets]` — used `lint: taint-barrier` annotations,
+//!   enforced by `cargo xtask deep-lint`.
+//!
+//! Counts can only shrink: exceeding a recorded budget is a
+//! `lint-budget` violation, and the respective `--update-budgets`
+//! rewrites its table with `min(recorded, current)` per crate — so an
+//! accidental new escape hatch fails CI, while cleaning one up
+//! permanently lowers the bar. Each updater preserves the other
+//! tier's table verbatim.
+//!
+//! The file is a two-table TOML subset this module parses itself
 //! (the vendored registry has no `toml` crate):
 //!
 //! ```toml
 //! [allow-budgets]
 //! core = 18
 //! root = 6
+//!
+//! [deep-allow-budgets]
+//! pipeline = 3
 //! ```
 //!
 //! Buckets are crate directory names (`crates/<name>/…`); files under
@@ -27,6 +39,15 @@ use std::collections::BTreeMap;
 
 /// Budget file name, resolved against the lint root.
 pub const BUDGET_FILE: &str = "lint-budgets.toml";
+
+/// Both budget tables.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BudgetFile {
+    /// `[allow-budgets]`: tier-1 allowed sites per crate.
+    pub allow: BTreeMap<String, usize>,
+    /// `[deep-allow-budgets]`: used taint-barriers per crate.
+    pub deep: BTreeMap<String, usize>,
+}
 
 /// The budget bucket a workspace-relative path belongs to: the crate
 /// directory name, or `root` for the workspace's own sources.
@@ -47,27 +68,32 @@ pub fn counts(report: &Report) -> BTreeMap<String, usize> {
     out
 }
 
-/// Parse the budget file.
+/// Parse the budget file (both tables).
 ///
 /// # Errors
 ///
 /// Returns a message naming the offending line for anything outside
-/// the `[allow-budgets]` single-table subset.
-pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
-    let mut budgets = BTreeMap::new();
-    let mut in_table = false;
+/// the `[allow-budgets]` / `[deep-allow-budgets]` two-table subset.
+pub fn parse_file(text: &str) -> Result<BudgetFile, String> {
+    let mut out = BudgetFile::default();
+    let mut table: Option<bool> = None; // Some(false)=allow, Some(true)=deep
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
         if line == "[allow-budgets]" {
-            in_table = true;
+            table = Some(false);
+            continue;
+        }
+        if line == "[deep-allow-budgets]" {
+            table = Some(true);
             continue;
         }
         if line.starts_with('[') {
             return Err(format!(
-                "{BUDGET_FILE}:{}: unknown table `{line}` (only [allow-budgets])",
+                "{BUDGET_FILE}:{}: unknown table `{line}` (only [allow-budgets] and \
+                 [deep-allow-budgets])",
                 lineno + 1
             ));
         }
@@ -77,12 +103,12 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
                 lineno + 1
             ));
         };
-        if !in_table {
+        let Some(deep) = table else {
             return Err(format!(
                 "{BUDGET_FILE}:{}: entry before [allow-budgets] header",
                 lineno + 1
             ));
-        }
+        };
         let value: usize = value.trim().parse().map_err(|_| {
             format!(
                 "{BUDGET_FILE}:{}: budget for `{}` is not an unsigned integer",
@@ -90,14 +116,26 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
                 name.trim()
             )
         })?;
-        budgets.insert(name.trim().to_string(), value);
+        let target = if deep { &mut out.deep } else { &mut out.allow };
+        target.insert(name.trim().to_string(), value);
     }
-    Ok(budgets)
+    Ok(out)
 }
 
-/// Render a budget map back to the checked-in file format.
+/// Parse just the tier-1 `[allow-budgets]` table (compatibility
+/// wrapper over [`parse_file`]).
+///
+/// # Errors
+///
+/// Same as [`parse_file`].
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    parse_file(text).map(|f| f.allow)
+}
+
+/// Render both tables back to the checked-in file format (the deep
+/// table is omitted while empty).
 #[must_use]
-pub fn render(budgets: &BTreeMap<String, usize>) -> String {
+pub fn render_file(f: &BudgetFile) -> String {
     let mut out = String::from(
         "# Per-crate `lint: allow` budgets (annotations + built-in allowlist hits).\n\
          # Enforced by `cargo xtask lint`; counts can only shrink. After removing\n\
@@ -105,29 +143,56 @@ pub fn render(budgets: &BTreeMap<String, usize>) -> String {
          \n\
          [allow-budgets]\n",
     );
-    for (name, value) in budgets {
+    for (name, value) in &f.allow {
         out.push_str(&format!("{name} = {value}\n"));
+    }
+    if !f.deep.is_empty() {
+        out.push_str(
+            "\n# Per-crate `lint: taint-barrier` budgets (used barriers only).\n\
+             # Enforced by `cargo xtask deep-lint`; tighten with\n\
+             # `cargo xtask deep-lint --update-budgets`.\n\
+             \n\
+             [deep-allow-budgets]\n",
+        );
+        for (name, value) in &f.deep {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
     }
     out
 }
 
-/// Check a lint report against recorded budgets: one `lint-budget`
-/// violation per over-budget crate, plus one per crate that carries
-/// allowed sites but has no recorded budget (new escape hatches must
-/// be budgeted deliberately).
+/// Render a tier-1-only budget map (compatibility wrapper).
 #[must_use]
-pub fn check(report: &Report, budgets: &BTreeMap<String, usize>) -> Vec<Violation> {
+pub fn render(budgets: &BTreeMap<String, usize>) -> String {
+    render_file(&BudgetFile {
+        allow: budgets.clone(),
+        deep: BTreeMap::new(),
+    })
+}
+
+/// Shared budget check: one `lint-budget` violation per over-budget
+/// bucket, plus one per bucket that carries sites but has no recorded
+/// budget. `what` names the counted thing, `update_cmd` the ratchet
+/// command for the hint.
+#[must_use]
+pub fn check_counts(
+    current: &BTreeMap<String, usize>,
+    budgets: &BTreeMap<String, usize>,
+    what: &str,
+    update_cmd: &str,
+) -> Vec<Violation> {
     let mut violations = Vec::new();
-    for (bucket, count) in counts(report) {
-        match budgets.get(&bucket) {
+    for (bucket, &count) in current {
+        match budgets.get(bucket) {
             Some(&budget) if count > budget => violations.push(Violation {
                 file: BUDGET_FILE.to_string(),
                 line: 1,
                 rule: "lint-budget".into(),
                 snippet: format!("{bucket} = {budget}"),
                 hint: format!(
-                    "crate `{bucket}` carries {count} allowed site(s), over its budget of \
-                     {budget}: remove the new allow, or justify raising the budget in review"
+                    "crate `{bucket}` carries {count} {what}(s), over its budget of \
+                     {budget}: remove the new escape hatch, or justify raising the budget \
+                     in review"
                 ),
             }),
             Some(_) => {}
@@ -137,13 +202,24 @@ pub fn check(report: &Report, budgets: &BTreeMap<String, usize>) -> Vec<Violatio
                 rule: "lint-budget".into(),
                 snippet: String::new(),
                 hint: format!(
-                    "crate `{bucket}` carries {count} allowed site(s) but has no recorded \
-                     budget: add it with `cargo xtask lint --update-budgets`"
+                    "crate `{bucket}` carries {count} {what}(s) but has no recorded \
+                     budget: add it with `{update_cmd}`"
                 ),
             }),
         }
     }
     violations
+}
+
+/// Check a tier-1 lint report against recorded budgets.
+#[must_use]
+pub fn check(report: &Report, budgets: &BTreeMap<String, usize>) -> Vec<Violation> {
+    check_counts(
+        &counts(report),
+        budgets,
+        "allowed site",
+        "cargo xtask lint --update-budgets",
+    )
 }
 
 /// The ratchet: keep each recorded budget at `min(recorded, current)`,
@@ -200,6 +276,23 @@ mod tests {
     }
 
     #[test]
+    fn both_tables_roundtrip_and_stay_separate() {
+        let text = "[allow-budgets]\ncore = 3\n\n[deep-allow-budgets]\npipeline = 2\nalloc = 1\n";
+        let f = parse_file(text).unwrap();
+        assert_eq!(f.allow["core"], 3);
+        assert_eq!(f.deep["pipeline"], 2);
+        assert_eq!(f.deep["alloc"], 1);
+        assert!(!f.allow.contains_key("pipeline"));
+        assert_eq!(parse_file(&render_file(&f)).unwrap(), f);
+        // The empty deep table is omitted on render.
+        let allow_only = BudgetFile {
+            allow: f.allow.clone(),
+            deep: BTreeMap::new(),
+        };
+        assert!(!render_file(&allow_only).contains("deep-allow-budgets"));
+    }
+
+    #[test]
     fn malformed_budget_files_are_rejected_with_line_numbers() {
         assert!(parse("[other-table]\n").unwrap_err().contains(":1:"));
         assert!(parse("core = 3\n").unwrap_err().contains("before"));
@@ -225,6 +318,22 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(v[0].hint.contains("`root`"), "{}", v[0].hint);
         assert!(v[0].hint.contains("no recorded budget"), "{}", v[0].hint);
+    }
+
+    #[test]
+    fn deep_counts_check_against_the_deep_table() {
+        let current: BTreeMap<String, usize> = [("pipeline".to_string(), 3)].into();
+        let f = parse_file("[allow-budgets]\n\n[deep-allow-budgets]\npipeline = 2\n").unwrap();
+        let v = check_counts(
+            &current,
+            &f.deep,
+            "used taint-barrier",
+            "cargo xtask deep-lint --update-budgets",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].hint.contains("used taint-barrier"), "{}", v[0].hint);
+        let f = parse_file("[allow-budgets]\n\n[deep-allow-budgets]\npipeline = 3\n").unwrap();
+        assert!(check_counts(&current, &f.deep, "used taint-barrier", "x").is_empty());
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Workspace symbol table + call graph for the deep-lint passes.
+//!
+//! Built from [`parse::ParsedFile`](crate::parse::ParsedFile)s:
+//! every function becomes a node, every call expression that matches a
+//! workspace-defined function by name becomes an edge, and every
+//! nondeterminism-source needle found inside a function body marks
+//! that node as a taint source. `// lint: taint-barrier(<why>)`
+//! annotations are attached here (to a source line or to a `fn`
+//! definition); [`taint`](crate::taint) consumes the result.
+//!
+//! Call resolution is a deliberate name-matched over-approximation:
+//!
+//! * `helper(..)` and `path::helper(..)` (lowercase qualifier) edge to
+//!   every workspace *free* fn named `helper`;
+//! * `Type::assoc(..)` (uppercase qualifier, `Self` already resolved
+//!   by the parser) edges to impl/trait fns of that type only;
+//! * `.method(..)` edges to every workspace impl/trait fn of that
+//!   name, whatever the receiver type.
+//!
+//! Calls that resolve to nothing (std, vendored crates) create no
+//! edge, so the over-approximation is bounded by what the workspace
+//! itself defines. Function *values* (`map(f)`, fn-pointer fields)
+//! create no edge either — a documented blind spot (docs/LINTS.md).
+
+use crate::parse::ParsedFile;
+use std::collections::BTreeMap;
+
+/// One detected nondeterminism source.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Source family: `clock`, `rng`, `env`, `addr` or `iter`.
+    pub kind: &'static str,
+    /// The needle that matched.
+    pub needle: &'static str,
+    /// `Some(why)` when a line-level taint-barrier suppresses it.
+    pub suppressed: Option<String>,
+}
+
+/// One function node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl/trait type.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Test code (never tainted, never propagates).
+    pub is_test: bool,
+    /// `Some(why)` when a fn-level taint-barrier stops taint from
+    /// propagating out of this function.
+    pub barrier: Option<String>,
+    /// Indices into [`Graph::sources`] for needles in this body.
+    pub sources: Vec<usize>,
+}
+
+/// What a taint-barrier annotation ended up guarding.
+#[derive(Debug, Clone)]
+pub enum BarrierTarget {
+    /// Suppresses these [`Graph::sources`] indices (line barrier).
+    Lines(Vec<usize>),
+    /// Guards this [`Graph::fns`] index (fn barrier).
+    Func(usize),
+    /// Matched nothing — reported stale by the taint pass.
+    Unattached,
+}
+
+/// One taint-barrier annotation, resolved against the graph.
+#[derive(Debug, Clone)]
+pub struct BarrierSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// The justification inside the parens.
+    pub why: String,
+    /// What it guards.
+    pub target: BarrierTarget,
+}
+
+/// The assembled workspace graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All function nodes, in file/source order.
+    pub fns: Vec<FnNode>,
+    /// All detected sources.
+    pub sources: Vec<Source>,
+    /// Forward edges: `callees[f]` = `(callee idx, call line)`.
+    pub callees: Vec<Vec<(usize, usize)>>,
+    /// Reverse edges: `callers[f]` = caller indices.
+    pub callers: Vec<Vec<usize>>,
+    /// All taint-barrier annotations, resolved.
+    pub barriers: Vec<BarrierSite>,
+}
+
+/// `(kind, needle)` pairs matched verbatim against sanitized lines.
+/// `Instant`/`SystemTime` are `exact` matches (callers write
+/// `Instant::now()` or `std::time::Instant::now()`); identifiers get
+/// word boundaries via [`ident_bounded`].
+const PLAIN_SOURCES: &[(&str, &str, bool)] = &[
+    ("clock", "Instant::now", false),
+    ("clock", "SystemTime::now", false),
+    ("clock", "thread::sleep", false),
+    ("rng", "thread_rng", true),
+    ("rng", "from_entropy", true),
+    ("env", "env::var", false),
+    ("env", "available_parallelism", true),
+    ("addr", "Arc::ptr_eq", false),
+    ("addr", "Arc::as_ptr", false),
+];
+
+/// Float reductions whose order matters (same list as the tier-1
+/// `determinism-iter` rule).
+const REDUCTIONS: &[&str] = &[
+    ".sum::<f64>",
+    ".sum::<f32>",
+    ".product::<f64>",
+    ".product::<f32>",
+    ".fold(0.0",
+    ".fold(0f64",
+    ".fold(0f32",
+];
+
+/// Unordered containers feeding those reductions.
+const UNORDERED: &[&str] = &["HashMap", "HashSet", "BinaryHeap"];
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `needle` occurs in `line` with non-identifier characters (or
+/// line edges) on both sides.
+fn ident_bounded(line: &str, needle: &str) -> bool {
+    for (idx, _) in line.match_indices(needle) {
+        let start_ok = line[..idx].chars().next_back().is_none_or(|c| !is_ident(c));
+        let end_ok = line[idx + needle.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident(c));
+        if start_ok && end_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// A raw-pointer address observed as an integer: ` as usize` on a line
+/// that also mentions a raw pointer. Plain numeric narrowing casts
+/// (`idx as usize`) are everywhere in the sim and are deterministic.
+fn addr_cast(line: &str) -> bool {
+    line.contains(" as usize")
+        && (line.contains("*const") || line.contains("*mut") || line.contains("as_ptr"))
+}
+
+/// Scan one file's sanitized lines for sources. `line_fn` maps a
+/// 0-based line index to the innermost enclosing fn (if any).
+fn scan_sources(
+    pf: &ParsedFile,
+    whole_file_is_test: bool,
+    line_fn: &[Option<usize>],
+    fns: &mut [FnNode],
+    sources: &mut Vec<Source>,
+) {
+    let is_test_line =
+        |idx: usize| whole_file_is_test || pf.test_lines.get(idx).copied().unwrap_or(false);
+    let mut push =
+        |idx: usize, kind: &'static str, needle: &'static str, sources: &mut Vec<Source>| {
+            let Some(owner) = line_fn.get(idx).copied().flatten() else {
+                return; // outside any fn body: consts/statics cannot execute
+            };
+            if fns[owner].is_test {
+                return;
+            }
+            let sidx = sources.len();
+            sources.push(Source {
+                file: pf.rel.clone(),
+                line: idx + 1,
+                kind,
+                needle,
+                suppressed: None,
+            });
+            fns[owner].sources.push(sidx);
+        };
+    for (idx, code) in pf.code_lines.iter().enumerate() {
+        if is_test_line(idx) {
+            continue;
+        }
+        for (kind, needle, bounded) in PLAIN_SOURCES {
+            let hit = if *bounded {
+                ident_bounded(code, needle)
+            } else {
+                code.contains(needle)
+            };
+            if hit {
+                push(idx, kind, needle, sources);
+            }
+        }
+        if addr_cast(code) {
+            push(idx, "addr", " as usize", sources);
+        }
+        if REDUCTIONS.iter().any(|n| code.contains(n)) {
+            let window = &pf.code_lines[idx.saturating_sub(3)..=idx];
+            if window
+                .iter()
+                .any(|l| UNORDERED.iter().any(|u| ident_bounded(l, u)))
+            {
+                push(
+                    idx,
+                    "iter",
+                    "float reduction over unordered container",
+                    sources,
+                );
+            }
+        }
+    }
+}
+
+impl Graph {
+    /// Assemble the graph from parsed files. `test_files[i]` marks
+    /// whole-file test trees (`tests/`, `benches/`).
+    #[must_use]
+    pub fn build(files: &[ParsedFile], test_files: &[bool]) -> Self {
+        let mut g = Self::default();
+
+        // Nodes, plus per-file innermost line→fn maps.
+        let mut file_base: Vec<usize> = Vec::with_capacity(files.len());
+        let mut line_maps: Vec<Vec<Option<usize>>> = Vec::with_capacity(files.len());
+        for (fi, pf) in files.iter().enumerate() {
+            let whole_test = test_files.get(fi).copied().unwrap_or(false);
+            file_base.push(g.fns.len());
+            let mut line_fn: Vec<Option<usize>> = vec![None; pf.code_lines.len()];
+            for f in &pf.fns {
+                let idx = g.fns.len();
+                g.fns.push(FnNode {
+                    file: pf.rel.clone(),
+                    name: f.name.clone(),
+                    impl_type: f.impl_type.clone(),
+                    line: f.line,
+                    is_test: f.is_test || whole_test,
+                    barrier: None,
+                    sources: Vec::new(),
+                });
+                // Later fns in parse order are lexically inner, so
+                // overwriting yields the innermost owner per line.
+                for l in f.body.0..=f.body.1.min(pf.code_lines.len()) {
+                    if l >= 1 {
+                        line_fn[l - 1] = Some(idx);
+                    }
+                }
+            }
+            line_maps.push(line_fn);
+        }
+
+        // Sources.
+        for (fi, pf) in files.iter().enumerate() {
+            let whole_test = test_files.get(fi).copied().unwrap_or(false);
+            scan_sources(pf, whole_test, &line_maps[fi], &mut g.fns, &mut g.sources);
+        }
+
+        // Barriers: a barrier suppresses sources on its own or the
+        // next line; otherwise it guards a `fn` defined on one of the
+        // three lines below; otherwise it is unattached (stale).
+        for (fi, pf) in files.iter().enumerate() {
+            for b in &pf.barriers {
+                let on_lines: Vec<usize> = g
+                    .sources
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.file == pf.rel && (s.line == b.line || s.line == b.line + 1))
+                    .map(|(i, _)| i)
+                    .collect();
+                let target = if on_lines.is_empty() {
+                    let base = file_base[fi];
+                    let guarded = pf
+                        .fns
+                        .iter()
+                        .position(|f| f.line >= b.line && f.line <= b.line + 3)
+                        .map(|local| base + local);
+                    match guarded {
+                        Some(idx) => {
+                            g.fns[idx].barrier = Some(b.why.clone());
+                            BarrierTarget::Func(idx)
+                        }
+                        None => BarrierTarget::Unattached,
+                    }
+                } else {
+                    for &sidx in &on_lines {
+                        g.sources[sidx].suppressed = Some(b.why.clone());
+                    }
+                    BarrierTarget::Lines(on_lines)
+                };
+                g.barriers.push(BarrierSite {
+                    file: pf.rel.clone(),
+                    line: b.line,
+                    why: b.why.clone(),
+                    target,
+                });
+            }
+        }
+
+        // Name indices for call resolution.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in g.fns.iter().enumerate() {
+            match &f.impl_type {
+                None => free.entry(f.name.as_str()).or_default().push(idx),
+                Some(ty) => {
+                    typed
+                        .entry((ty.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(idx);
+                    methods.entry(f.name.as_str()).or_default().push(idx);
+                }
+            }
+        }
+
+        // Edges.
+        g.callees = vec![Vec::new(); g.fns.len()];
+        g.callers = vec![Vec::new(); g.fns.len()];
+        for (fi, pf) in files.iter().enumerate() {
+            let base = file_base[fi];
+            for (local, f) in pf.fns.iter().enumerate() {
+                let caller = base + local;
+                if g.fns[caller].is_test {
+                    continue;
+                }
+                for call in &f.calls {
+                    let Some(name) = call.path.last() else {
+                        continue;
+                    };
+                    let targets: &[usize] = if call.method {
+                        methods.get(name.as_str()).map_or(&[], Vec::as_slice)
+                    } else if call.path.len() >= 2 {
+                        let qual = &call.path[call.path.len() - 2];
+                        if qual.chars().next().is_some_and(char::is_uppercase) {
+                            typed
+                                .get(&(qual.as_str(), name.as_str()))
+                                .map_or(&[], Vec::as_slice)
+                        } else {
+                            free.get(name.as_str()).map_or(&[], Vec::as_slice)
+                        }
+                    } else {
+                        free.get(name.as_str()).map_or(&[], Vec::as_slice)
+                    };
+                    for &callee in targets {
+                        if callee == caller || g.fns[callee].is_test {
+                            continue;
+                        }
+                        if !g.callees[caller].iter().any(|(c, _)| *c == callee) {
+                            g.callees[caller].push((callee, call.line));
+                            g.callers[callee].push(caller);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// `Type::name` / `name` display form for a node.
+    #[must_use]
+    pub fn name_of(&self, idx: usize) -> String {
+        let f = &self.fns[idx];
+        match &f.impl_type {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+
+    /// Nodes whose display name or bare name equals `symbol`.
+    #[must_use]
+    pub fn resolve(&self, symbol: &str) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| self.name_of(i) == symbol || self.fns[i].name == symbol)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn build(srcs: &[(&str, &str)]) -> Graph {
+        let files: Vec<ParsedFile> = srcs
+            .iter()
+            .map(|(rel, src)| parse_file(rel, src, false))
+            .collect();
+        let test_flags = vec![false; files.len()];
+        Graph::build(&files, &test_flags)
+    }
+
+    #[test]
+    fn cross_file_calls_resolve_to_workspace_fns_only() {
+        let g = build(&[
+            (
+                "crates/pipeline/src/lib.rs",
+                "pub fn entry() { helper(); std::mem::drop(1); missing(); }\n",
+            ),
+            ("crates/mem/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let entry = g.resolve("entry")[0];
+        let helper = g.resolve("helper")[0];
+        assert_eq!(g.callees[entry].len(), 1, "std + unresolved calls drop out");
+        assert_eq!(g.callees[entry][0].0, helper);
+        assert_eq!(g.callers[helper], vec![entry]);
+    }
+
+    #[test]
+    fn typed_calls_do_not_leak_across_types() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "pub struct A;\npub struct B;\n\
+             impl A { pub fn go() { B::step(); } fn step() { tainted(); } }\n\
+             impl B { pub fn step() {} }\n\
+             fn tainted() { let t = Instant::now(); }\n",
+        )]);
+        let go = g.resolve("A::go")[0];
+        let b_step = g.resolve("B::step")[0];
+        let callee_ids: Vec<usize> = g.callees[go].iter().map(|&(c, _)| c).collect();
+        assert_eq!(callee_ids, vec![b_step], "B::step only, never A::step");
+        let a_step = g.resolve("A::step")[0];
+        assert_eq!(g.callees[a_step].len(), 1, "A::step calls the free fn");
+    }
+
+    #[test]
+    fn sources_attach_to_the_innermost_fn_and_skip_tests() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "fn outer() {\n\
+                 let t = Instant::now();\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { let x = Instant::now(); }\n\
+             }\n",
+        )]);
+        assert_eq!(g.sources.len(), 1, "{:?}", g.sources);
+        assert_eq!(g.sources[0].kind, "clock");
+        let outer = g.resolve("outer")[0];
+        assert_eq!(g.fns[outer].sources, vec![0]);
+    }
+
+    #[test]
+    fn line_barriers_suppress_and_fn_barriers_guard() {
+        let g = build(&[(
+            "crates/pipeline/src/lib.rs",
+            "fn jittered() {\n\
+                 // lint: taint-barrier(wall-time only, never read back)\n\
+                 std::thread::sleep(d);\n\
+             }\n\
+             // lint: taint-barrier(fault hook, wall stall only)\n\
+             fn fault_hooks() {\n\
+                 std::thread::sleep(d);\n\
+             }\n",
+        )]);
+        assert_eq!(g.sources.len(), 2);
+        let suppressed: Vec<bool> = g.sources.iter().map(|s| s.suppressed.is_some()).collect();
+        assert_eq!(suppressed, vec![true, false]);
+        let hooks = g.resolve("fault_hooks")[0];
+        assert!(g.fns[hooks].barrier.is_some());
+        assert!(matches!(g.barriers[0].target, BarrierTarget::Lines(_)));
+        assert!(matches!(g.barriers[1].target, BarrierTarget::Func(_)));
+    }
+
+    #[test]
+    fn unattached_barriers_are_recorded_as_such() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "// lint: taint-barrier(guards nothing)\n\nconst X: u32 = 1;\n",
+        )]);
+        assert!(matches!(g.barriers[0].target, BarrierTarget::Unattached));
+    }
+
+    #[test]
+    fn addr_casts_need_a_pointer_on_the_line() {
+        let g = build(&[(
+            "crates/alloc/src/lib.rs",
+            "fn f(x: &u32, i: u32) -> usize {\n\
+                 let a = (x as *const u32) as usize;\n\
+                 let b = i as usize;\n\
+                 a + b\n\
+             }\n",
+        )]);
+        assert_eq!(g.sources.len(), 1, "{:?}", g.sources);
+        assert_eq!(g.sources[0].line, 2);
+        assert_eq!(g.sources[0].kind, "addr");
+    }
+
+    #[test]
+    fn float_reduction_near_unordered_container_is_a_source() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                 m.values()\n\
+                 .sum::<f64>()\n\
+             }\n",
+        )]);
+        assert_eq!(g.sources.len(), 1, "{:?}", g.sources);
+        assert_eq!(g.sources[0].kind, "iter");
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_across_impls() {
+        let g = build(&[(
+            "crates/core/src/lib.rs",
+            "pub struct S;\nimpl S { pub fn tick(&self) {} }\n\
+             fn f(s: &S) { s.tick(); }\n",
+        )]);
+        let f = g.resolve("f")[0];
+        let tick = g.resolve("S::tick")[0];
+        assert_eq!(g.callees[f], vec![(tick, 3)]);
+    }
+}

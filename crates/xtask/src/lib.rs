@@ -16,12 +16,24 @@
 //! comments and literals so the substring rules in [`rules`] are sound
 //! on this workspace, and that is all `cargo xtask lint` needs to work
 //! against the offline vendored registry.
+//!
+//! A second, deeper tier — `cargo xtask deep-lint` ([`deep`]) — parses
+//! the same sanitized sources into a workspace call graph ([`parse`],
+//! [`graph`]) and runs transitive passes on top: determinism taint
+//! ([`taint`]), the unsafe audit, and the API-surface lock
+//! ([`surface`]). Tier 1 stays line-local and fast; tier 2 catches
+//! what only whole-program reachability can see.
 
 pub mod bench;
 pub mod budgets;
+pub mod deep;
+pub mod graph;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod sanitize;
+pub mod surface;
+pub mod taint;
 pub mod walk;
 
 use report::Report;
@@ -78,15 +90,17 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
 pub fn update_budgets(root: &Path) -> io::Result<Report> {
     let report = scan_root(root)?;
     let budget_path = root.join(budgets::BUDGET_FILE);
-    let recorded = if budget_path.exists() {
-        budgets::parse(&fs::read_to_string(&budget_path)?).map_err(io::Error::other)?
+    let mut recorded = if budget_path.exists() {
+        budgets::parse_file(&fs::read_to_string(&budget_path)?).map_err(io::Error::other)?
     } else {
-        Default::default()
+        budgets::BudgetFile::default()
     };
-    let tightened = budgets::tighten(&recorded, &budgets::counts(&report));
-    fs::write(&budget_path, budgets::render(&tightened))?;
+    // Tighten the tier-1 table only; the [deep-allow-budgets] table is
+    // deep-lint's and rides through verbatim.
+    recorded.allow = budgets::tighten(&recorded.allow, &budgets::counts(&report));
+    fs::write(&budget_path, budgets::render_file(&recorded))?;
     let mut report = report;
-    let mut budget_violations = budgets::check(&report, &tightened);
+    let mut budget_violations = budgets::check(&report, &recorded.allow);
     report.violations.append(&mut budget_violations);
     Ok(report)
 }

@@ -227,7 +227,11 @@ pub fn classify(rel: &str) -> FileClass {
     if rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/") {
         return FileClass::Test;
     }
-    if rel.contains("/src/bin/") || rel.ends_with("/main.rs") {
+    if rel.starts_with("examples/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/")
+        || rel.ends_with("/main.rs")
+    {
         return FileClass::Bin;
     }
     for c in SIM_CRATES {
@@ -521,6 +525,8 @@ mod tests {
         assert_eq!(classify("crates/cli/src/args.rs"), FileClass::Lib);
         assert_eq!(classify("crates/cli/src/main.rs"), FileClass::Bin);
         assert_eq!(classify("crates/bench/src/bin/figures.rs"), FileClass::Bin);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/mem/examples/demo.rs"), FileClass::Bin);
         assert_eq!(classify("tests/determinism.rs"), FileClass::Test);
         assert_eq!(classify("crates/mem/tests/x.rs"), FileClass::Test);
     }

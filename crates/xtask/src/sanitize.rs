@@ -27,6 +27,19 @@ pub struct SiblingAnnotation {
     pub test_fn: String,
 }
 
+/// One `// lint: taint-barrier(<why>)` annotation (consumed by the
+/// deep-lint call-graph taint pass, docs/LINTS.md): on a source line
+/// it suppresses that nondeterminism source; on (or up to three lines
+/// above) a `fn` definition it stops taint from propagating out of
+/// that function to its callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierAnnotation {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Why the boundary is sound (mandatory).
+    pub why: String,
+}
+
 /// A source file after sanitization.
 #[derive(Debug)]
 pub struct Sanitized {
@@ -39,6 +52,11 @@ pub struct Sanitized {
     pub allows: Vec<AllowAnnotation>,
     /// All typed-sibling annotations, in line order.
     pub siblings: Vec<SiblingAnnotation>,
+    /// All taint-barrier annotations, in line order.
+    pub barriers: Vec<BarrierAnnotation>,
+    /// Lines whose comment opens a `// SAFETY:` justification (used by
+    /// the deep-lint unsafe audit).
+    pub safety_lines: Vec<usize>,
     /// Malformed `// lint:` comments (line, problem).
     pub bad_annotations: Vec<(usize, String)>,
 }
@@ -212,9 +230,25 @@ pub fn sanitize(source: &str) -> Sanitized {
 
     let mut allows = Vec::new();
     let mut siblings = Vec::new();
+    let mut barriers = Vec::new();
+    let mut safety_lines = Vec::new();
     let mut bad = Vec::new();
     for (cline, text) in comments {
-        parse_annotation(cline, &text, &mut allows, &mut siblings, &mut bad);
+        let body = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if body.starts_with("SAFETY:") {
+            safety_lines.push(cline);
+        }
+        parse_annotation(
+            cline,
+            &text,
+            &mut allows,
+            &mut siblings,
+            &mut barriers,
+            &mut bad,
+        );
     }
 
     Sanitized {
@@ -222,6 +256,8 @@ pub fn sanitize(source: &str) -> Sanitized {
         test_lines,
         allows,
         siblings,
+        barriers,
+        safety_lines,
         bad_annotations: bad,
     }
 }
@@ -312,6 +348,7 @@ fn parse_annotation(
     text: &str,
     allows: &mut Vec<AllowAnnotation>,
     siblings: &mut Vec<SiblingAnnotation>,
+    barriers: &mut Vec<BarrierAnnotation>,
     bad: &mut Vec<(usize, String)>,
 ) {
     // Only comments whose body *starts* with `lint:` are annotations;
@@ -359,6 +396,22 @@ fn parse_annotation(
             return;
         }
         siblings.push(SiblingAnnotation { line, test_fn });
+    } else if let Some(rest) = body.strip_prefix("taint-barrier(") {
+        // The why lives inside the parens; allow nested parens in the
+        // prose by matching the *last* close on the line.
+        let Some(close) = rest.rfind(')') else {
+            bad.push((line, "unclosed taint-barrier(...)".into()));
+            return;
+        };
+        let why = rest[..close].trim().to_string();
+        if why.is_empty() {
+            bad.push((
+                line,
+                "taint-barrier() needs a justification inside the parens".into(),
+            ));
+            return;
+        }
+        barriers.push(BarrierAnnotation { line, why });
     } else {
         bad.push((
             line,
@@ -433,5 +486,28 @@ mod tests {
         let s = sanitize(src);
         assert_eq!(s.siblings.len(), 1);
         assert_eq!(s.siblings[0].test_fn, "bad_config_is_typed");
+    }
+
+    #[test]
+    fn taint_barrier_annotations_are_parsed_and_require_a_why() {
+        let src = "// lint: taint-barrier(wall-clock hook (watchdog) only)\n\
+                   std::thread::sleep(d);\n\
+                   // lint: taint-barrier()\n";
+        let s = sanitize(src);
+        assert_eq!(s.barriers.len(), 1);
+        assert_eq!(s.barriers[0].line, 1);
+        assert_eq!(s.barriers[0].why, "wall-clock hook (watchdog) only");
+        assert_eq!(s.bad_annotations.len(), 1);
+        assert!(s.bad_annotations[0].1.contains("justification"));
+    }
+
+    #[test]
+    fn safety_comment_openers_are_recorded() {
+        let src = "// SAFETY: delegates to System unchanged; the slot\n\
+                   // never dangles.\n\
+                   unsafe { work() }\n\
+                   let x = 1; // not a safety comment\n";
+        let s = sanitize(src);
+        assert_eq!(s.safety_lines, vec![1]);
     }
 }

@@ -1,0 +1,184 @@
+//! API-surface lock for the sim crates.
+//!
+//! `api-surface.lock` at the workspace root snapshots every `pub` item
+//! the sim crates (`rules::SIM_CRATES`) export: structs, enums,
+//! traits, type aliases, consts, statics, modules, re-exports and fn
+//! signatures (normalized token text, no line numbers — moving code
+//! does not drift the lock). `cargo xtask deep-lint` fails on any
+//! undeclared difference in either direction; accept intentional
+//! changes with `--update-surface`, so API breaks surface in review as
+//! a lock-file diff instead of downstream.
+
+use crate::parse::ParsedFile;
+use crate::report::Violation;
+use crate::rules::{classify, FileClass};
+
+/// Lock file name, resolved against the lint root.
+pub const SURFACE_FILE: &str = "api-surface.lock";
+
+/// The current public surface: sorted, deduplicated
+/// `<file>\t<item>` entries for sim-crate library files.
+#[must_use]
+pub fn current(files: &[ParsedFile]) -> Vec<String> {
+    let mut out: Vec<String> = files
+        .iter()
+        .filter(|pf| classify(&pf.rel) == FileClass::SimLib)
+        .flat_map(|pf| {
+            pf.pub_items
+                .iter()
+                .map(move |item| format!("{}\t{}", pf.rel, item.text))
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Render entries to the checked-in lock format.
+#[must_use]
+pub fn render(entries: &[String]) -> String {
+    let mut out = String::from(
+        "# Public API surface of the sim crates, locked by `cargo xtask deep-lint`.\n\
+         # One `<file>\\t<item>` per line; regenerate deliberate changes with\n\
+         # `cargo xtask deep-lint --update-surface` so API drift shows up in review.\n",
+    );
+    for e in entries {
+        out.push_str(e);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a lock file back to its entries (comments and blanks
+/// skipped).
+#[must_use]
+pub fn parse(text: &str) -> Vec<String> {
+    let mut out: Vec<String> = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(ToString::to_string)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn split_entry(entry: &str) -> (&str, &str) {
+    entry.split_once('\t').unwrap_or((entry, ""))
+}
+
+/// Set-diff the current surface against the recorded lock: one
+/// `api-surface` violation per added (undeclared new API) or removed
+/// (undeclared break) entry.
+#[must_use]
+pub fn diff(current: &[String], recorded: &[String]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for entry in current {
+        if recorded.binary_search(entry).is_err() {
+            let (file, item) = split_entry(entry);
+            violations.push(Violation {
+                file: file.to_string(),
+                line: 1,
+                rule: "api-surface".into(),
+                snippet: item.to_string(),
+                hint: format!(
+                    "public item not in {SURFACE_FILE}: accept the new API with \
+                     `cargo xtask deep-lint --update-surface`"
+                ),
+            });
+        }
+    }
+    for entry in recorded {
+        if current.binary_search(entry).is_err() {
+            let (file, item) = split_entry(entry);
+            violations.push(Violation {
+                file: file.to_string(),
+                line: 1,
+                rule: "api-surface".into(),
+                snippet: item.to_string(),
+                hint: "locked public item is gone (renamed, hidden or re-signatured): restore \
+                       it, or declare the break with `cargo xtask deep-lint --update-surface`"
+                    .to_string(),
+            });
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, &a.snippet, &a.hint).cmp(&(&b.file, &b.snippet, &b.hint)));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn surface_of(rel: &str, src: &str) -> Vec<String> {
+        current(&[parse_file(rel, src, false)])
+    }
+
+    #[test]
+    fn only_sim_crate_pub_items_enter_the_surface() {
+        let src = "pub struct Meter;\npub(crate) struct Hidden;\nstruct Private;\n";
+        let s = surface_of("crates/alloc/src/lib.rs", src);
+        assert_eq!(s, vec!["crates/alloc/src/lib.rs\tpub struct Meter"]);
+        assert!(surface_of("crates/cli/src/lib.rs", src).is_empty());
+        assert!(surface_of("crates/alloc/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let entries = vec![
+            "crates/mem/src/lib.rs\tpub struct Cache".to_string(),
+            "crates/mem/src/lib.rs\tpub fn Cache::new(ways: usize) -> Cache".to_string(),
+        ];
+        assert_eq!(parse(&render(&entries)), {
+            let mut e = entries.clone();
+            e.sort();
+            e
+        });
+    }
+
+    #[test]
+    fn drift_is_reported_in_both_directions() {
+        let recorded = {
+            let mut e = vec![
+                "crates/mem/src/lib.rs\tpub fn gone()".to_string(),
+                "crates/mem/src/lib.rs\tpub struct Cache".to_string(),
+            ];
+            e.sort();
+            e
+        };
+        let current = {
+            let mut e = vec![
+                "crates/mem/src/lib.rs\tpub fn fresh()".to_string(),
+                "crates/mem/src/lib.rs\tpub struct Cache".to_string(),
+            ];
+            e.sort();
+            e
+        };
+        let v = diff(&current, &recorded);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "api-surface"));
+        assert!(v
+            .iter()
+            .any(|v| v.snippet == "pub fn fresh()" && v.hint.contains("not in")));
+        assert!(v
+            .iter()
+            .any(|v| v.snippet == "pub fn gone()" && v.hint.contains("gone")));
+        assert!(diff(&current, &current).is_empty());
+    }
+
+    #[test]
+    fn signature_changes_show_as_paired_drift() {
+        let old = surface_of(
+            "crates/mem/src/lib.rs",
+            "pub fn replay(x: u64) -> u64 { x }\n",
+        );
+        let new = surface_of(
+            "crates/mem/src/lib.rs",
+            "pub fn replay(x: u64, y: u64) -> u64 { x + y }\n",
+        );
+        let v = diff(&new, &old);
+        assert_eq!(v.len(), 2, "old sig gone + new sig undeclared: {v:?}");
+    }
+}

@@ -7,8 +7,8 @@ use std::path::{Path, PathBuf};
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", ".github"];
 
-/// Collect every `.rs` file under the workspace's `src/` and `tests/`
-/// trees (root crate and `crates/*`), as sorted
+/// Collect every `.rs` file under the workspace's `src/`, `tests/`
+/// and `examples/` trees (root crate and `crates/*`), as sorted
 /// `(workspace-relative path, absolute path)` pairs.
 ///
 /// # Errors
@@ -16,14 +16,14 @@ const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git", ".github"];
 /// Propagates filesystem errors from reading the tree.
 pub fn rust_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut files = Vec::new();
-    for top in ["src", "tests"] {
+    for top in ["src", "tests", "examples"] {
         collect(&root.join(top), &mut files)?;
     }
     let crates = root.join("crates");
     if crates.is_dir() {
         for entry in sorted_entries(&crates)? {
             if entry.is_dir() {
-                for sub in ["src", "tests", "benches"] {
+                for sub in ["src", "tests", "benches", "examples"] {
                     collect(&entry.join(sub), &mut files)?;
                 }
             }
@@ -84,6 +84,10 @@ mod tests {
             .iter()
             .any(|(rel, _)| rel == "crates/xtask/src/walk.rs"));
         assert!(files.iter().any(|(rel, _)| rel.starts_with("tests/")));
+        assert!(
+            files.iter().any(|(rel, _)| rel.starts_with("examples/")),
+            "examples are linted too"
+        );
         assert!(
             !files.iter().any(|(rel, _)| rel.contains("/fixtures/")),
             "fixtures must never be linted as workspace code"
