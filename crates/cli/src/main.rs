@@ -17,6 +17,13 @@
 //!                   [--poison-threshold N] [--shard-mem-limit MB]
 //!                   [--workdir DIR] [--out merged.jsonl] [--poll-ms N]
 //!                   [+ the sweep job flags above]
+//! dtexl sweep submit --spool DIR [--games all|CSV]
+//!                   [--schedules baseline,dtexl] [--res 1960x768]
+//!                   [--frame N] [--upper]
+//! dtexl sweep daemon --spool DIR [--shards N] [--spool-poll-ms N]
+//!                   [+ the dispatch supervision flags]
+//!                   [+ the per-job sweep flags, minus the axes]
+//! dtexl sweep status --spool DIR
 //! dtexl sweep merge <journals...> --out merged.jsonl
 //! dtexl sweep canon <journal>
 //! dtexl profile     --game CCS [--schedule dtexl] [--res 1960x768]
@@ -80,18 +87,42 @@
 //! every job. `--threads` here sets each *child's* worker count
 //! (default 1, so a death blames exactly the in-flight job).
 //!
+//! `sweep daemon` runs the fleet as a long-lived service over a
+//! durable *spool* directory instead of a fixed job list: `sweep
+//! submit` atomically drops content-addressed batches of job specs
+//! into `<spool>/incoming/` (re-submitting the same batch is a
+//! reported no-op), the daemon validates and accepts them *while
+//! running* — healthy workers pick up new jobs between spool scans
+//! without being restarted — and an incremental merger tails the
+//! shard journals so `<spool>/merged.jsonl` and `<spool>/merged.canon`
+//! are live views (a crash loses no completed work; restarting the
+//! daemon resumes exactly). Supervision state is published to
+//! `<spool>/status.json` (atomically swapped; also served on the
+//! `<spool>/status.sock` unix socket) and `sweep status` pretty-prints
+//! it (`--format json` passes the raw document through). SIGTERM or
+//! SIGINT — or `touch <spool>/drain` from anywhere — triggers a
+//! graceful drain: in-flight jobs finish, the merge is flushed, and a
+//! terminal status (`drained`/`stopped`, `alive:false`) is written.
+//! Workers are `dtexl sweep --spool DIR` processes: the spool replaces
+//! the `--games`/`--schedules` axes as the source of jobs, and
+//! `--spool-poll-ms` sets the idle rescan interval.
+//!
 //! Exit codes: `0` success; `1` error or aborted sweep; `2` sweep
-//! completed with failures (`--keep-going`). `sweep dispatch`: `0`
-//! every job ok; `2` completed with failed (incl. poisoned) jobs; `1`
-//! a shard gave up, jobs are missing from the merge, or the merge
-//! failed.
+//! completed with failures (`--keep-going`). `sweep dispatch` and
+//! `sweep daemon`: `0` every job ok; `2` completed with failed (incl.
+//! poisoned) jobs; `1` a shard gave up, jobs are missing from the
+//! merge, or the merge diverged/failed. `sweep submit`: `0` batch
+//! accepted *or* an exact duplicate of one already spooled; `1`
+//! invalid specs or spool I/O error.
 
 use dtexl::characterize::characterize_all;
+use dtexl::daemon::{run_daemon, run_spool_worker, DaemonOptions, DaemonStatus, WorkerOptions};
 use dtexl::dispatch::{dispatch_fleet, DispatchOptions, FleetSpec};
 use dtexl::profile::FrameProfile;
+use dtexl::spool::{JobSpec, Spool};
 use dtexl::sweep::{
-    journal_line, json_escape, merge_journals, parse_journal_line, JournalEntry, PrefixCache,
-    Progress, RetryPolicy, Shard, SweepJob, SweepOptions,
+    canon_text, journal_line, json_escape, merge_journals, JobError, PrefixCache, Progress,
+    RetryPolicy, Shard, SweepJob, SweepOptions,
 };
 use dtexl::{SimConfig, Simulator, CLOCK_HZ};
 use dtexl_pipeline::{BarrierMode, FrameSim, PipelineConfig, Renderer};
@@ -102,6 +133,7 @@ use std::process::ExitCode;
 use std::sync::{Mutex, OnceLock};
 
 mod args;
+mod signals;
 
 use args::Args;
 
@@ -387,10 +419,22 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         Some("merge") => return cmd_sweep_merge(args).map(|()| ExitCode::SUCCESS),
         Some("canon") => return cmd_sweep_canon(args).map(|()| ExitCode::SUCCESS),
         Some("dispatch") => return cmd_sweep_dispatch(args, format),
+        Some("submit") => return cmd_sweep_submit(args, format),
+        Some("daemon") => return cmd_sweep_daemon(args, format),
+        Some("status") => return cmd_sweep_status(args, format).map(|()| ExitCode::SUCCESS),
         Some(other) => return Err(format!("unknown sweep subcommand '{other}'\n{}", usage())),
         None => {}
     }
-    let axes = SweepAxes::parse(args)?;
+    // `--spool DIR` switches this process into spool-worker mode: jobs
+    // come from the spool's accepted batches instead of the
+    // `--games`/`--schedules` axes (which are rejected as unknown
+    // flags), and the worker loops until the spool drains.
+    let spool_dir = args.value("--spool");
+    let spool_poll_ms: u64 = args.parsed_value("--spool-poll-ms")?.unwrap_or(100);
+    let axes = match &spool_dir {
+        Some(_) => None,
+        None => Some(SweepAxes::parse(args)?),
+    };
     let pipeline_base = parse_pipeline(args)?;
     let keep_going = args.flag("--keep-going");
     let resume = args.flag("--resume");
@@ -438,8 +482,6 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         None => progress.then_some(print_progress as fn(&Progress)),
     };
 
-    let jobs = axes.jobs(&pipeline_base);
-
     let opts = SweepOptions {
         workers: pipeline_base.threads,
         keep_going,
@@ -460,6 +502,43 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         prefix_cache: memoize.then(|| PrefixCache::new(memoize_budget.or(job_mem_budget))),
         ..SweepOptions::default()
     };
+
+    if let Some(dir) = spool_dir {
+        if opts.journal.is_none() {
+            return Err("--spool worker mode requires --journal <file>".into());
+        }
+        // A direct SIGTERM/SIGINT to a worker is honored as a drain
+        // request scoped to this process.
+        signals::install();
+        let spool = Spool::open(&dir).map_err(|e| format!("open spool {dir}: {e}"))?;
+        let wopts = WorkerOptions {
+            pipeline: pipeline_base,
+            poll: std::time::Duration::from_millis(spool_poll_ms.max(1)),
+            sweep: opts,
+            shutdown: signals::shutdown_requested,
+        };
+        let report = run_spool_worker(&spool, &wopts).map_err(|e| format!("spool worker: {e}"))?;
+        match format {
+            Format::Text => println!(
+                "spool worker: {} generation(s), {} job(s) run, {} failed, {} corrupt batch(es)",
+                report.generations, report.jobs_run, report.failed, report.corrupt_batches
+            ),
+            Format::Json => println!(
+                "{{\"worker\":{{\"generations\":{},\"jobs_run\":{},\"failed\":{},\
+                 \"corrupt_batches\":{},\"exit_code\":{}}}}}",
+                report.generations,
+                report.jobs_run,
+                report.failed,
+                report.corrupt_batches,
+                report.exit_code()
+            ),
+        }
+        return Ok(ExitCode::from(report.exit_code()));
+    }
+
+    let jobs = axes
+        .expect("axes are parsed whenever --spool is absent")
+        .jobs(&pipeline_base);
     let report = dtexl::sweep::run_sweep(&jobs, &opts, |_, _| {})
         .map_err(|e| format!("journal I/O: {e}"))?;
 
@@ -666,6 +745,241 @@ fn cmd_sweep_dispatch(args: &mut Args, format: Format) -> Result<ExitCode, Strin
     Ok(ExitCode::from(report.exit_code()))
 }
 
+/// `dtexl sweep submit`: atomically append a content-addressed batch
+/// of job specs to a spool's `incoming/` directory. Re-submitting a
+/// batch the spool already holds (same canonical content) is a
+/// reported no-op with exit 0, so at-least-once submitters are safe.
+fn cmd_sweep_submit(args: &mut Args, format: Format) -> Result<ExitCode, String> {
+    let dir = args
+        .value("--spool")
+        .ok_or_else(|| "missing --spool <dir>".to_string())?;
+    let games_csv = args.value("--games").unwrap_or_else(|| "all".into());
+    let schedules_csv = args
+        .value("--schedules")
+        .unwrap_or_else(|| "baseline,dtexl".into());
+    let (width, height) = parse_res(args)?;
+    let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
+    let upper = args.flag("--upper");
+    args.finish()?;
+
+    // Specs carry the *names* of the schedules (not resolved labels):
+    // the daemon and its workers re-resolve them, so both sides
+    // provably materialize the same jobs.
+    let games = games_from_csv(&games_csv)?;
+    let mut specs = Vec::new();
+    for &game in &games {
+        for name in schedules_csv.split(',') {
+            specs.push(JobSpec::new(
+                game.alias(),
+                name.trim(),
+                width,
+                height,
+                frame,
+                upper,
+            )?);
+        }
+    }
+    let spool = Spool::open(&dir).map_err(|e| format!("open spool {dir}: {e}"))?;
+    match spool.submit(&specs) {
+        Ok(receipt) => {
+            match format {
+                Format::Text => println!(
+                    "submitted batch {} ({} job(s)) -> {}",
+                    receipt.batch,
+                    receipt.jobs,
+                    receipt.path.display()
+                ),
+                Format::Json => println!(
+                    "{{\"submit\":{{\"batch\":\"{}\",\"jobs\":{},\"duplicate\":false}}}}",
+                    json_escape(&receipt.batch),
+                    receipt.jobs
+                ),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(JobError::DuplicateBatch { batch }) => {
+            match format {
+                Format::Text => {
+                    println!(
+                        "batch {batch} already spooled ({} job(s)); nothing to do",
+                        specs.len()
+                    )
+                }
+                Format::Json => println!(
+                    "{{\"submit\":{{\"batch\":\"{}\",\"jobs\":{},\"duplicate\":true}}}}",
+                    json_escape(&batch),
+                    specs.len()
+                ),
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Err(format!("submit: {e}")),
+    }
+}
+
+/// `dtexl sweep daemon`: supervise a fleet of `sweep --spool` workers
+/// over a spool directory until it drains (see the module docs and
+/// `dtexl::daemon`).
+fn cmd_sweep_daemon(args: &mut Args, format: Format) -> Result<ExitCode, String> {
+    let dir = args
+        .value("--spool")
+        .ok_or_else(|| "missing --spool <dir>".to_string())?;
+    // Same defaults and semantics as `sweep dispatch`, minus the job
+    // axes (jobs arrive through the spool).
+    let child_threads: usize = match args.parsed_value::<usize>("--threads")? {
+        Some(0) => return Err("--threads must be >= 1".into()),
+        Some(t) => t,
+        None => 1,
+    };
+    let job_timeout: Option<u64> = args.parsed_value("--job-timeout")?;
+    let retries: u32 = args.parsed_value("--retries")?.unwrap_or(0);
+    let backoff_ms: u64 = args.parsed_value("--backoff-ms")?.unwrap_or(50);
+    let job_mem_budget_mb: Option<u64> = args.parsed_value("--job-mem-budget")?;
+    let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
+    let memoize = args.flag("--memoize");
+    let memoize_budget_mb: Option<u64> = args.parsed_value("--memoize-budget")?;
+    let spool_poll_ms: u64 = args.parsed_value("--spool-poll-ms")?.unwrap_or(100);
+    let shards: u32 = args.parsed_value("--shards")?.unwrap_or(2);
+    if shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    let wedge_timeout: u64 = args.parsed_value("--wedge-timeout")?.unwrap_or(30);
+    let max_restarts: u32 = args.parsed_value("--max-restarts")?.unwrap_or(3);
+    let restart_backoff_ms: u64 = args.parsed_value("--restart-backoff-ms")?.unwrap_or(500);
+    let poison_threshold: u32 = args.parsed_value("--poison-threshold")?.unwrap_or(2);
+    if poison_threshold == 0 {
+        return Err("--poison-threshold must be >= 1".into());
+    }
+    let shard_mem_limit = args
+        .parsed_value::<u64>("--shard-mem-limit")?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let poll_ms: u64 = args.parsed_value("--poll-ms")?.unwrap_or(50);
+    args.finish()?;
+    if memoize_budget_mb.is_some() && !memoize {
+        return Err("--memoize-budget requires --memoize".into());
+    }
+
+    // Worker-mode arguments: jobs come from the spool, so no axes are
+    // forwarded; the fleet appends the per-shard
+    // `--shard/--journal/--resume/--progress-to` itself.
+    let mut sweep_args: Vec<String> = vec![
+        "sweep".into(),
+        "--spool".into(),
+        dir.clone(),
+        "--spool-poll-ms".into(),
+        spool_poll_ms.to_string(),
+        "--threads".into(),
+        child_threads.to_string(),
+        "--heartbeat-ms".into(),
+        heartbeat_ms.to_string(),
+        "--backoff-ms".into(),
+        backoff_ms.to_string(),
+    ];
+    if let Some(secs) = job_timeout {
+        sweep_args.push("--job-timeout".into());
+        sweep_args.push(secs.to_string());
+    }
+    if retries > 0 {
+        sweep_args.push("--retries".into());
+        sweep_args.push(retries.to_string());
+    }
+    if let Some(mb) = job_mem_budget_mb {
+        sweep_args.push("--job-mem-budget".into());
+        sweep_args.push(mb.to_string());
+    }
+    if memoize {
+        sweep_args.push("--memoize".into());
+        if let Some(mb) = memoize_budget_mb {
+            sweep_args.push("--memoize-budget".into());
+            sweep_args.push(mb.to_string());
+        }
+    }
+
+    let spool = Spool::open(&dir).map_err(|e| format!("open spool {dir}: {e}"))?;
+    let program =
+        std::env::current_exe().map_err(|e| format!("cannot locate the dtexl binary: {e}"))?;
+    let spec = FleetSpec {
+        program,
+        sweep_args,
+        // The daemon ingests accepted batches itself; starting on an
+        // empty spool is the normal CI flow.
+        jobs: Vec::new(),
+        shards,
+    };
+    signals::install();
+    let opts = DaemonOptions {
+        dispatch: DispatchOptions {
+            wedge_timeout: std::time::Duration::from_secs(wedge_timeout),
+            max_restarts,
+            restart_backoff: std::time::Duration::from_millis(restart_backoff_ms),
+            poison_threshold,
+            mem_limit: shard_mem_limit,
+            poll: std::time::Duration::from_millis(poll_ms.max(1)),
+            ..DispatchOptions::default()
+        },
+        pipeline: PipelineConfig {
+            threads: child_threads,
+            ..PipelineConfig::default()
+        },
+        poll: std::time::Duration::from_millis(poll_ms.max(1)),
+        shutdown: signals::shutdown_requested,
+    };
+    let report = run_daemon(&spool, spec, &opts).map_err(|e| format!("daemon: {e}"))?;
+    match format {
+        Format::Text => println!("{}", report.summary()),
+        Format::Json => {
+            let poisoned: Vec<String> = report
+                .poisoned
+                .iter()
+                .map(|k| format!("\"{}\"", json_escape(k)))
+                .collect();
+            println!(
+                "{{\"daemon\":{{\"ok\":{},\"failed\":{},\"missing\":{},\"poisoned\":[{}],\
+                 \"shards\":{},\"restarts\":{},\"batches_accepted\":{},\"batches_duplicate\":{},\
+                 \"batches_rejected\":{},\"status_writes\":{},\"exit_code\":{}}}}}",
+                report.ok,
+                report.failed,
+                report.missing.len(),
+                poisoned.join(","),
+                report.shards.len(),
+                report.shards.iter().map(|s| s.restarts).sum::<u32>(),
+                report.batches.0,
+                report.batches.1,
+                report.batches.2,
+                report.status_writes,
+                report.exit_code()
+            );
+        }
+    }
+    Ok(ExitCode::from(report.exit_code()))
+}
+
+/// `dtexl sweep status`: read and render a spool's status document.
+/// `--format json` passes the raw document through unchanged (the
+/// schema is documented in docs/ROBUSTNESS.md).
+fn cmd_sweep_status(args: &mut Args, format: Format) -> Result<(), String> {
+    let dir = args
+        .value("--spool")
+        .ok_or_else(|| "missing --spool <dir>".to_string())?;
+    args.finish()?;
+    let path = Spool::open(&dir)
+        .map_err(|e| format!("open spool {dir}: {e}"))?
+        .status_file();
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "read {}: {e} (is a daemon running on this spool?)",
+            path.display()
+        )
+    })?;
+    let status = DaemonStatus::parse(&text)
+        .ok_or_else(|| format!("unparseable status document at {}", path.display()))?;
+    match format {
+        Format::Text => println!("{}", status.summary()),
+        Format::Json => print!("{text}"),
+    }
+    Ok(())
+}
+
 /// Profile one frame: print the stall-attribution tables and
 /// optionally export a Chrome-trace JSON (`--trace-out`).
 fn cmd_profile(args: &mut Args) -> Result<(), String> {
@@ -760,26 +1074,10 @@ fn cmd_sweep_canon(args: &mut Args) -> Result<(), String> {
         return Err("canon needs exactly one journal".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let mut latest: std::collections::BTreeMap<String, JournalEntry> =
-        std::collections::BTreeMap::new();
-    for line in text.lines() {
-        if let Some(e) = parse_journal_line(line) {
-            latest.insert(e.key.clone(), e);
-        }
-    }
-    for (key, e) in latest {
-        if e.status != "ok" {
-            continue;
-        }
-        let Some(m) = e.metrics else { continue };
-        println!(
-            "{key}|{:016x}|{}|{}|{}",
-            e.config_hash.unwrap_or(0),
-            m.coupled_cycles,
-            m.decoupled_cycles,
-            m.l2_accesses
-        );
-    }
+    // Same renderer the daemon's live merger uses for merged.canon, so
+    // `sweep canon <journal>` and a daemon's on-disk canon view are
+    // diffable against each other byte-for-byte.
+    print!("{}", canon_text(&text));
     Ok(())
 }
 

@@ -1,0 +1,57 @@
+//! Process-global shutdown flag, set by SIGTERM/SIGINT.
+//!
+//! The daemon and spool-worker loops in `dtexl::daemon` take a plain
+//! `fn() -> bool` shutdown hook so the core crate can stay
+//! `forbid(unsafe_code)`; this module owns the one unavoidable unsafe
+//! call — registering a C signal handler — and exposes the flag
+//! behind that hook. The handler only performs an atomic store, the
+//! canonical async-signal-safe operation.
+//!
+//! On non-unix targets [`install`] is a no-op and the flag can only
+//! stay `false`; the daemon still drains via its spool drain marker.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGTERM/SIGINT has been received since [`install`].
+/// Matches the `fn() -> bool` shutdown hooks of
+/// `dtexl::daemon::DaemonOptions` / `WorkerOptions`.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Register the SIGTERM/SIGINT handler (idempotent; later
+/// registrations are harmless re-installs of the same handler).
+#[cfg(unix)]
+pub fn install() {
+    extern "C" {
+        // signal(2) from the C standard library, declared directly so
+        // this crate needs no libc binding. The return value (the
+        // previous handler, or SIG_ERR) is deliberately ignored: on
+        // failure the old disposition simply stays in place and the
+        // spool drain marker remains the shutdown path.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    // SAFETY: `signal` is the C standard library's signal(2), declared
+    // with a compatible ABI (a C function pointer is pointer-sized).
+    // The handler is async-signal-safe: it performs a single atomic
+    // store on a `'static` AtomicBool, touches no allocator, lock or
+    // errno, and never unwinds.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Non-unix stand-in: no signals to hook; the spool drain marker is
+/// the only shutdown path.
+#[cfg(not(unix))]
+pub fn install() {}

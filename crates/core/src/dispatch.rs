@@ -54,11 +54,12 @@
 
 use crate::sweep::{
     journal_line, latest_entries, merge_journals, parse_progress_line, JobError, JobRecord,
-    JobStatus, MergeStats, ProgressLine, Shard, SweepJob,
+    JobStatus, JournalEntry, MergeStats, ProgressLine, Shard, SweepJob,
 };
+use crate::tail::TailReader;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -346,11 +347,8 @@ impl StreamTracker {
 struct RunningShard {
     child: Child,
     pid: u32,
-    progress_path: PathBuf,
-    /// Byte offset already consumed from `progress_path`.
-    offset: u64,
-    /// Partial trailing line carried between drains.
-    carry: String,
+    /// Tail state for the incarnation's `--progress-to` stream.
+    tail: TailReader,
     tracker: StreamTracker,
     /// When the progress stream last produced a complete line (spawn
     /// time initially) — the wedge clock.
@@ -395,6 +393,239 @@ struct ShardState {
     stream_gaps: u64,
 }
 
+/// A status-endpoint snapshot of one shard slot — everything the
+/// daemon's status document reports per shard, extracted in one place
+/// so the supervision internals stay private to this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardView {
+    /// Shard index.
+    pub index: u32,
+    /// State-machine phase: `pending`, `healthy`, `completed`,
+    /// `gave_up`.
+    pub phase: &'static str,
+    /// The live child's pid, when one is running.
+    pub pid: Option<u32>,
+    /// Re-spawns consumed so far.
+    pub restarts: u32,
+    /// Every death recorded, rendered human-readable, in order.
+    pub deaths: Vec<String>,
+    /// Keys currently in flight on the live incarnation.
+    pub in_flight: Vec<String>,
+    /// Largest allocator peak seen on the live incarnation's stream.
+    pub peak_alloc_bytes: u64,
+    /// Milliseconds of restart backoff still to wait (0 unless
+    /// pending).
+    pub backoff_ms: u64,
+}
+
+/// Coverage of a job list against the latest merged journal entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Coverage {
+    /// Jobs whose latest record is `ok` or `skipped`.
+    pub ok: usize,
+    /// Jobs whose latest record is `failed`.
+    pub failed: usize,
+    /// The failed jobs that were poison-quarantined, by key.
+    pub poisoned: Vec<String>,
+    /// Jobs with no record at all.
+    pub missing: Vec<String>,
+}
+
+/// Audit a key set against a latest-entry lookup (shared between the
+/// one-shot fleet's end-of-run report and the daemon's live status).
+pub(crate) fn audit_coverage<'a, K, F>(keys: K, lookup: F) -> Coverage
+where
+    K: IntoIterator<Item = &'a String>,
+    F: Fn(&str) -> Option<&'a JournalEntry>,
+{
+    let mut cov = Coverage::default();
+    for key in keys {
+        match lookup(key) {
+            Some(e) if e.status == "ok" || e.status == "skipped" => cov.ok += 1,
+            Some(e) if e.status == "failed" => {
+                cov.failed += 1;
+                if e.error_kind.as_deref() == Some("poisoned") {
+                    cov.poisoned.push(key.clone());
+                }
+            }
+            _ => cov.missing.push(key.clone()),
+        }
+    }
+    cov
+}
+
+/// A supervised fleet of shard processes, one tick at a time.
+///
+/// [`dispatch_fleet`] owns the classic one-shot loop (tick until
+/// settled, then merge); the daemon drives the same machine manually
+/// so it can interleave spool ingestion, live merging and status
+/// publication between ticks, and revive workers that exit while the
+/// queue is still open.
+pub(crate) struct Fleet {
+    spec: FleetSpec,
+    /// key → (index, config_hash) over every job the fleet knows
+    /// about; poison records must carry the same hash the child would
+    /// have journaled, or the child's resume pass will not honor the
+    /// quarantine.
+    key_info: BTreeMap<String, (usize, u64)>,
+    shards: Vec<ShardState>,
+}
+
+impl Fleet {
+    /// Build the shard slots (workdir created, nothing spawned yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the workdir cannot be
+    /// created.
+    pub fn new(spec: FleetSpec, opts: &DispatchOptions) -> std::io::Result<Self> {
+        let shard_count = spec.shards.max(1);
+        std::fs::create_dir_all(&opts.workdir)?;
+        let mut key_info: BTreeMap<String, (usize, u64)> = BTreeMap::new();
+        for (index, job) in spec.jobs.iter().enumerate() {
+            key_info.insert(job.key(), (index, job.config_hash()));
+        }
+        let mut shards: Vec<ShardState> = Vec::with_capacity(shard_count as usize);
+        for index in 0..shard_count {
+            let shard = match Shard::new(index, shard_count) {
+                Ok(s) => s,
+                // Unreachable (index < count by construction), but the
+                // supervisor must not panic over it.
+                Err(_) => continue,
+            };
+            shards.push(ShardState {
+                shard,
+                journal: opts.workdir.join(format!("shard-{index}.jsonl")),
+                phase: Phase::Pending { at: Instant::now() },
+                incarnations: 0,
+                restarts: 0,
+                deaths: Vec::new(),
+                blame: BTreeMap::new(),
+                poisoned: BTreeSet::new(),
+                stream_gaps: 0,
+            });
+        }
+        Ok(Self {
+            spec,
+            key_info,
+            shards,
+        })
+    }
+
+    /// Register newly accepted jobs (daemon spool ingest). Returns how
+    /// many were new to the fleet; already-known keys are ignored.
+    pub fn extend_jobs(&mut self, jobs: &[SweepJob]) -> usize {
+        let mut added = 0;
+        for job in jobs {
+            let key = job.key();
+            if !self.key_info.contains_key(&key) {
+                let index = self.spec.jobs.len();
+                self.key_info.insert(key, (index, job.config_hash()));
+                self.spec.jobs.push(*job);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Advance every shard slot by one supervision tick. Returns
+    /// `true` when every slot is settled (completed or gave up).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when a child cannot be spawned
+    /// or a poison record cannot be journaled.
+    pub fn tick(&mut self, opts: &DispatchOptions) -> std::io::Result<bool> {
+        let mut settled = true;
+        for state in &mut self.shards {
+            step_shard(state, &self.spec, opts, &self.key_info)?;
+            settled &= matches!(state.phase, Phase::Completed { .. } | Phase::GaveUp);
+        }
+        Ok(settled)
+    }
+
+    /// Re-open completed slots (daemon mode, queue still open): a
+    /// worker that exited cleanly goes back to pending for a fresh
+    /// incarnation. Not a restart — nothing died; the slot is revived
+    /// because more work can still arrive. Gave-up slots stay down.
+    pub fn revive_completed(&mut self, opts: &DispatchOptions) {
+        let log = opts.log;
+        for state in &mut self.shards {
+            if let Phase::Completed { code } = state.phase {
+                log(&format!(
+                    "dispatch: shard {} exited (code {code}) with the queue still open; reviving",
+                    state.shard
+                ));
+                state.phase = Phase::Pending { at: Instant::now() };
+            }
+        }
+    }
+
+    /// Every shard's journal path (existing or not).
+    pub fn journals(&self) -> Vec<PathBuf> {
+        self.shards.iter().map(|s| s.journal.clone()).collect()
+    }
+
+    /// The fleet's key → (index, config_hash) map.
+    pub fn key_info(&self) -> &BTreeMap<String, (usize, u64)> {
+        &self.key_info
+    }
+
+    /// Status-endpoint snapshots, one per shard slot.
+    pub fn views(&self) -> Vec<ShardView> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let (phase, pid, in_flight, peak, backoff_ms) = match &s.phase {
+                    Phase::Pending { at } => (
+                        "pending",
+                        None,
+                        Vec::new(),
+                        0,
+                        at.saturating_duration_since(Instant::now()).as_millis() as u64,
+                    ),
+                    Phase::Running(r) => (
+                        "healthy",
+                        Some(r.pid),
+                        r.tracker.in_flight.keys().cloned().collect(),
+                        r.tracker.last_peak,
+                        0,
+                    ),
+                    Phase::Completed { .. } => ("completed", None, Vec::new(), 0, 0),
+                    Phase::GaveUp => ("gave_up", None, Vec::new(), 0, 0),
+                };
+                ShardView {
+                    index: s.shard.index,
+                    phase,
+                    pid,
+                    restarts: s.restarts,
+                    deaths: s.deaths.iter().map(ToString::to_string).collect(),
+                    in_flight,
+                    peak_alloc_bytes: peak,
+                    backoff_ms,
+                }
+            })
+            .collect()
+    }
+
+    /// Consume the fleet into per-shard supervision summaries.
+    pub fn into_summaries(self) -> Vec<ShardSummary> {
+        self.shards
+            .into_iter()
+            .map(|s| ShardSummary {
+                shard: s.shard,
+                restarts: s.restarts,
+                deaths: s.deaths,
+                outcome: match s.phase {
+                    Phase::Completed { code } => ShardOutcome::Completed { code },
+                    _ => ShardOutcome::GaveUp,
+                },
+                stream_gaps: s.stream_gaps,
+            })
+            .collect()
+    }
+}
+
 /// Spawn, supervise, restart and merge a fleet of shard processes.
 ///
 /// Blocks until every shard completes or gives up, then merges the
@@ -409,60 +640,21 @@ struct ShardState {
 /// created, a child cannot be spawned, or a poison record cannot be
 /// journaled.
 pub fn dispatch_fleet(spec: &FleetSpec, opts: &DispatchOptions) -> std::io::Result<FleetReport> {
-    let shard_count = spec.shards.max(1);
-    std::fs::create_dir_all(&opts.workdir)?;
     let log = opts.log;
-
-    // The supervisor's own key → (index, config_hash) map: poison
-    // records must carry the same hash the child would have journaled,
-    // or the child's resume pass will not honor the quarantine.
-    let mut key_info: BTreeMap<String, (usize, u64)> = BTreeMap::new();
-    for (index, job) in spec.jobs.iter().enumerate() {
-        key_info.insert(job.key(), (index, job.config_hash()));
-    }
-
-    let mut shards: Vec<ShardState> = Vec::with_capacity(shard_count as usize);
-    for index in 0..shard_count {
-        let shard = match Shard::new(index, shard_count) {
-            Ok(s) => s,
-            // Unreachable (index < count by construction), but the
-            // supervisor must not panic over it.
-            Err(_) => continue,
-        };
-        shards.push(ShardState {
-            shard,
-            journal: opts.workdir.join(format!("shard-{index}.jsonl")),
-            phase: Phase::Pending { at: Instant::now() },
-            incarnations: 0,
-            restarts: 0,
-            deaths: Vec::new(),
-            blame: BTreeMap::new(),
-            poisoned: BTreeSet::new(),
-            stream_gaps: 0,
-        });
-    }
-
-    loop {
-        let mut settled = true;
-        for state in &mut shards {
-            step_shard(state, spec, opts, &key_info)?;
-            settled &= matches!(state.phase, Phase::Completed { .. } | Phase::GaveUp);
-        }
-        if settled {
-            break;
-        }
+    let mut fleet = Fleet::new(spec.clone(), opts)?;
+    while !fleet.tick(opts)? {
         std::thread::sleep(opts.poll);
     }
 
-    // Live-merge the shard journals through the same last-wins path as
+    // Merge the shard journals through the same last-wins path as
     // `dtexl sweep merge`.
     let merged_path = opts
         .merged_journal
         .clone()
         .unwrap_or_else(|| opts.workdir.join("merged.jsonl"));
-    let inputs: Vec<PathBuf> = shards
-        .iter()
-        .map(|s| s.journal.clone())
+    let inputs: Vec<PathBuf> = fleet
+        .journals()
+        .into_iter()
         .filter(|p| p.exists())
         .collect();
     let (merge, merge_error) = match merge_journals(&inputs, &merged_path) {
@@ -476,48 +668,23 @@ pub fn dispatch_fleet(spec: &FleetSpec, opts: &DispatchOptions) -> std::io::Resu
     // Coverage audit over the supervisor's own job list.
     let merged_text = std::fs::read_to_string(&merged_path).unwrap_or_default();
     let latest = latest_entries(&merged_text);
-    let (mut ok, mut failed) = (0usize, 0usize);
-    let mut poisoned = Vec::new();
-    let mut missing = Vec::new();
-    for key in key_info.keys() {
-        match latest.get(key) {
-            Some(e) if e.status == "ok" || e.status == "skipped" => ok += 1,
-            Some(e) if e.status == "failed" => {
-                failed += 1;
-                if e.error_kind.as_deref() == Some("poisoned") {
-                    poisoned.push(key.clone());
-                }
-            }
-            _ => missing.push(key.clone()),
-        }
-    }
+    let total = fleet.key_info().len();
+    let cov = audit_coverage(fleet.key_info().keys(), |k| latest.get(k));
 
     let report = FleetReport {
-        shards: shards
-            .into_iter()
-            .map(|s| ShardSummary {
-                shard: s.shard,
-                restarts: s.restarts,
-                deaths: s.deaths,
-                outcome: match s.phase {
-                    Phase::Completed { code } => ShardOutcome::Completed { code },
-                    _ => ShardOutcome::GaveUp,
-                },
-                stream_gaps: s.stream_gaps,
-            })
-            .collect(),
+        shards: fleet.into_summaries(),
         merge,
         merge_error,
         merged_journal: merged_path,
-        ok,
-        failed,
-        poisoned,
-        missing,
+        ok: cov.ok,
+        failed: cov.failed,
+        poisoned: cov.poisoned,
+        missing: cov.missing,
     };
     log(&format!(
         "dispatch: fleet done: {}/{} ok, {} failed, {} missing (exit {})",
         report.ok,
-        key_info.len(),
+        total,
         report.failed,
         report.missing.len(),
         report.exit_code()
@@ -679,9 +846,7 @@ fn spawn_shard(
     Ok(RunningShard {
         child,
         pid,
-        progress_path,
-        offset: 0,
-        carry: String::new(),
+        tail: TailReader::new(progress_path),
         tracker: StreamTracker::default(),
         last_event: Instant::now(),
         kill_cause: None,
@@ -777,32 +942,21 @@ fn handle_death(
 
 /// Pull newly appended bytes from the shard's progress stream and fold
 /// complete lines into the tracker. A trailing partial line (child
-/// died mid-write) is carried until its remainder arrives or the
-/// incarnation is abandoned.
+/// died mid-write) is carried by the [`TailReader`] until its
+/// remainder arrives or the incarnation is abandoned.
 fn drain_progress(running: &mut RunningShard, stream_gaps: &mut u64) {
-    let Ok(mut file) = std::fs::File::open(&running.progress_path) else {
-        return; // Child has not created the stream yet.
-    };
-    if file.seek(SeekFrom::Start(running.offset)).is_err() {
-        return;
-    }
-    let mut buf = String::new();
-    let Ok(read) = file.read_to_string(&mut buf) else {
-        return; // Partial UTF-8 at EOF: retry next tick.
-    };
-    if read == 0 {
-        return;
-    }
-    running.offset += read as u64;
-    running.carry.push_str(&buf);
     let gaps_before = running.tracker.gaps;
-    // Process complete lines; keep the unterminated tail in carry.
-    while let Some(nl) = running.carry.find('\n') {
-        let line: String = running.carry.drain(..=nl).collect();
-        if let Some(parsed) = parse_progress_line(&line) {
-            running.tracker.observe(&parsed, running.pid);
-            running.last_event = Instant::now();
+    let tracker = &mut running.tracker;
+    let pid = running.pid;
+    let mut saw_event = false;
+    running.tail.drain(|line| {
+        if let Some(parsed) = parse_progress_line(line) {
+            tracker.observe(&parsed, pid);
+            saw_event = true;
         }
+    });
+    if saw_event {
+        running.last_event = Instant::now();
     }
     *stream_gaps += running.tracker.gaps - gaps_before;
 }

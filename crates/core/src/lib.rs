@@ -37,12 +37,15 @@
 
 mod metrics;
 mod sim;
+mod tail;
 
 pub mod characterize;
+pub mod daemon;
 pub mod dispatch;
 pub mod experiments;
 pub mod profile;
 pub mod report;
+pub mod spool;
 pub mod sweep;
 
 pub use metrics::{percentile, Distribution, Row, Table};

@@ -498,6 +498,25 @@ pub enum JobError {
         /// How many shard deaths were blamed on the job.
         deaths: u32,
     },
+    /// A spool artifact (batch file, spool directory) could not be
+    /// read or did not parse. Raised by the daemon-mode job queue
+    /// (`dtexl sweep daemon` / `submit`); a corrupt *batch* is
+    /// quarantined and journaled with this kind, never retried — the
+    /// bytes on disk will not improve on a second read.
+    SpoolCorrupt {
+        /// The offending file or directory.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A submitted batch's content hash matched a batch already in the
+    /// spool: the same job set was already queued or accepted.
+    /// Deterministic (content-addressed), never retried; resubmit is a
+    /// no-op by design so at-least-once submitters are safe.
+    DuplicateBatch {
+        /// The batch id (content hash) both submissions share.
+        batch: String,
+    },
 }
 
 impl JobError {
@@ -508,7 +527,11 @@ impl JobError {
     pub fn retryable(&self) -> bool {
         !matches!(
             self,
-            JobError::Invalid(_) | JobError::MemBudget { .. } | JobError::Poisoned { .. }
+            JobError::Invalid(_)
+                | JobError::MemBudget { .. }
+                | JobError::Poisoned { .. }
+                | JobError::SpoolCorrupt { .. }
+                | JobError::DuplicateBatch { .. }
         )
     }
 
@@ -521,6 +544,8 @@ impl JobError {
             JobError::TimedOut { .. } => "timeout",
             JobError::MemBudget { .. } => "mem_budget",
             JobError::Poisoned { .. } => "poisoned",
+            JobError::SpoolCorrupt { .. } => "spool_corrupt",
+            JobError::DuplicateBatch { .. } => "duplicate_batch",
         }
     }
 }
@@ -541,6 +566,13 @@ impl fmt::Display for JobError {
                 f,
                 "job quarantined as poison: its shard died {deaths} time(s) while this job \
                  was in flight"
+            ),
+            JobError::SpoolCorrupt { path, detail } => {
+                write!(f, "spool artifact {path} is corrupt: {detail}")
+            }
+            JobError::DuplicateBatch { batch } => write!(
+                f,
+                "batch {batch} was already submitted (content-identical job set)"
             ),
         }
     }
@@ -589,7 +621,9 @@ impl RetryPolicy {
 }
 
 /// FNV-1a 64-bit: stable, dependency-free hash for job identities.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// `pub(crate)`: the spool content-addresses batch files with the same
+/// hash family the journal uses for config hashes.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -690,6 +724,12 @@ pub enum ProgressKind {
     Heartbeat,
     /// The job reached a terminal [`JobStatus`] (carried in `status`).
     Done,
+    /// Not a job event: a spool worker (`dtexl sweep --spool`) has no
+    /// queued work and is waiting for batches. Emitted between scan
+    /// passes so a fleet supervisor's wedge detection sees a live,
+    /// merely idle, child (`key` is empty; never enters blame
+    /// tracking).
+    Idle,
 }
 
 impl ProgressKind {
@@ -702,6 +742,7 @@ impl ProgressKind {
             Self::Retry => "retry",
             Self::Heartbeat => "heartbeat",
             Self::Done => "done",
+            Self::Idle => "idle",
         }
     }
 }
@@ -1483,7 +1524,10 @@ pub fn journal_line(r: &JobRecord) -> String {
 
 /// Extract a string field from a single-line JSON object (minimal
 /// parser for the journal's own output; tolerates unknown fields).
-fn field_str(line: &str, field: &str) -> Option<String> {
+/// `pub(crate)`: the spool and daemon modules parse their own
+/// hand-rolled documents (batch lines, status files) with the same
+/// helpers so every wire format in the crate shares one dialect.
+pub(crate) fn field_str(line: &str, field: &str) -> Option<String> {
     let tag = format!("\"{field}\":\"");
     let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];
@@ -1510,7 +1554,7 @@ fn field_str(line: &str, field: &str) -> Option<String> {
 }
 
 /// Extract an unsigned integer field from a single-line JSON object.
-fn field_u64(line: &str, field: &str) -> Option<u64> {
+pub(crate) fn field_u64(line: &str, field: &str) -> Option<u64> {
     let tag = format!("\"{field}\":");
     let start = line.find(&tag)? + tag.len();
     let digits: String = line[start..]
@@ -1705,10 +1749,15 @@ pub struct MergeStats {
     pub failed_ignored: usize,
 }
 
-/// Union journal texts (in argument order, lines in file order) with
-/// last-wins-per-key resolution, with two carve-outs that make the
-/// result independent of operator-chosen argument order: (1) two `ok`
-/// records sharing a key *and* a config hash must agree on metrics
+/// Incremental journal-merge state: the fold underneath
+/// [`merge_journal_texts`], exposed so a live merger (the sweep
+/// daemon) can feed shard-journal lines *as they are appended* and
+/// re-render the merged view at any point, with semantics identical
+/// to a one-shot merge of the same lines.
+///
+/// Last-wins per key, with two carve-outs that make the result
+/// independent of feed order: (1) two `ok` records sharing a key
+/// *and* a config hash must agree on metrics
 /// ([`MergeError::Divergent`] otherwise) — checked against *every*
 /// `ok` record seen for that configuration, not just the current
 /// per-key winner, so interleaved records with other hashes cannot
@@ -1719,85 +1768,191 @@ pub struct MergeStats {
 /// in [`MergeStats::failed_ignored`]). A record with a *different*
 /// hash simply supersedes the earlier one — the configuration drifted
 /// and the later run is authoritative, exactly as in-journal resume
-/// semantics. Output lines are the winning verbatim input lines,
-/// sorted by key.
+/// semantics.
+///
+/// The rendered output ([`render`](Self::render)) is the winning
+/// verbatim input lines sorted by key — a pure function of the fed
+/// line *set*'s winners, so a daemon that crashes mid-merge and
+/// re-folds the shard journals from byte 0 reproduces the merged file
+/// bit-identically.
+#[derive(Debug, Default)]
+pub struct MergeAccumulator {
+    winners: BTreeMap<String, (JournalEntry, String)>,
+    /// First-seen `ok` metrics per (key, config hash) — the divergence
+    /// guarantee is order-independent, so it must survive a record
+    /// with a different hash being interleaved between two divergent
+    /// ones.
+    seen_ok: BTreeMap<(String, u64), JobMetrics>,
+    stats: MergeStats,
+}
+
+impl MergeAccumulator {
+    /// An empty accumulator (no lines folded, zero stats).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one journal line. Blank lines are ignored; unparseable
+    /// ones are counted corrupt and dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Divergent`] when the line's `ok` metrics
+    /// contradict an earlier `ok` record for the same key and config
+    /// hash. The accumulator is left as of the previous line; callers
+    /// should stop feeding it (divergence means corruption or mixed
+    /// simulator builds and is never auto-resolved).
+    pub fn fold_line(&mut self, line: &str) -> Result<(), MergeError> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        let Some(entry) = parse_journal_line(trimmed) else {
+            self.stats.corrupt += 1;
+            return Ok(());
+        };
+        self.stats.lines += 1;
+        if entry.status == "ok" {
+            if let (Some(h), Some(m)) = (entry.config_hash, entry.metrics) {
+                match self.seen_ok.entry((entry.key.clone(), h)) {
+                    std::collections::btree_map::Entry::Occupied(first) => {
+                        if *first.get() != m {
+                            return Err(MergeError::Divergent {
+                                key: entry.key,
+                                config_hash: h,
+                                first: *first.get(),
+                                second: m,
+                            });
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(m);
+                    }
+                }
+            }
+        }
+        // `ok` beats a non-`ok` record for the same configuration
+        // regardless of encounter order.
+        let ok_over_failed = |ok: &JournalEntry, other: &JournalEntry| {
+            ok.status == "ok"
+                && other.status != "ok"
+                && ok.config_hash.is_some()
+                && ok.config_hash == other.config_hash
+        };
+        match self.winners.get(&entry.key) {
+            Some((prev, _)) if ok_over_failed(prev, &entry) => {
+                self.stats.failed_ignored += 1;
+            }
+            Some((prev, _)) => {
+                if ok_over_failed(&entry, prev) {
+                    self.stats.failed_ignored += 1;
+                } else {
+                    self.stats.superseded += 1;
+                }
+                self.winners
+                    .insert(entry.key.clone(), (entry, trimmed.to_string()));
+            }
+            None => {
+                self.winners
+                    .insert(entry.key.clone(), (entry, trimmed.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold every line of one journal text, bumping the input-journal
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MergeError::Divergent`] from
+    /// [`fold_line`](Self::fold_line).
+    pub fn fold_text(&mut self, text: &str) -> Result<(), MergeError> {
+        self.stats.journals += 1;
+        for line in text.lines() {
+            self.fold_line(line)?;
+        }
+        Ok(())
+    }
+
+    /// Current merge statistics ([`MergeStats::records`] reflects the
+    /// winner count as of the last fold).
+    #[must_use]
+    pub fn stats(&self) -> MergeStats {
+        MergeStats {
+            records: self.winners.len(),
+            ..self.stats
+        }
+    }
+
+    /// The current winning entry per key (the merged journal's
+    /// last-wins view), for coverage and status queries.
+    pub fn latest(&self) -> impl Iterator<Item = (&String, &JournalEntry)> {
+        self.winners.iter().map(|(k, (e, _))| (k, e))
+    }
+
+    /// The current winning entry for one key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JournalEntry> {
+        self.winners.get(key).map(|(e, _)| e)
+    }
+
+    /// Render the merged journal: the winning verbatim input lines,
+    /// sorted by key, one per line with a trailing newline each.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (_, line) in self.winners.values() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Union journal texts (in argument order, lines in file order)
+/// through a [`MergeAccumulator`] — see its docs for the last-wins /
+/// ok-over-failed / divergence semantics. Output lines are the
+/// winning verbatim input lines, sorted by key.
 ///
 /// # Errors
 ///
 /// Only [`MergeError::Divergent`]; the text-level API does no I/O.
 pub fn merge_journal_texts(texts: &[String]) -> Result<(String, MergeStats), MergeError> {
-    let mut stats = MergeStats {
-        journals: texts.len(),
-        ..MergeStats::default()
-    };
-    let mut winners: BTreeMap<String, (JournalEntry, String)> = BTreeMap::new();
-    // First-seen `ok` metrics per (key, config hash) — the divergence
-    // guarantee is order-independent, so it must survive a record with
-    // a different hash being interleaved between two divergent ones.
-    let mut seen_ok: BTreeMap<(String, u64), JobMetrics> = BTreeMap::new();
+    let mut acc = MergeAccumulator::new();
     for text in texts {
-        for line in text.lines() {
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            let Some(entry) = parse_journal_line(trimmed) else {
-                stats.corrupt += 1;
-                continue;
-            };
-            stats.lines += 1;
-            if entry.status == "ok" {
-                if let (Some(h), Some(m)) = (entry.config_hash, entry.metrics) {
-                    match seen_ok.entry((entry.key.clone(), h)) {
-                        std::collections::btree_map::Entry::Occupied(first) => {
-                            if *first.get() != m {
-                                return Err(MergeError::Divergent {
-                                    key: entry.key,
-                                    config_hash: h,
-                                    first: *first.get(),
-                                    second: m,
-                                });
-                            }
-                        }
-                        std::collections::btree_map::Entry::Vacant(slot) => {
-                            slot.insert(m);
-                        }
-                    }
-                }
-            }
-            // `ok` beats a non-`ok` record for the same configuration
-            // regardless of encounter order.
-            let ok_over_failed = |ok: &JournalEntry, other: &JournalEntry| {
-                ok.status == "ok"
-                    && other.status != "ok"
-                    && ok.config_hash.is_some()
-                    && ok.config_hash == other.config_hash
-            };
-            match winners.get(&entry.key) {
-                Some((prev, _)) if ok_over_failed(prev, &entry) => {
-                    stats.failed_ignored += 1;
-                }
-                Some((prev, _)) => {
-                    if ok_over_failed(&entry, prev) {
-                        stats.failed_ignored += 1;
-                    } else {
-                        stats.superseded += 1;
-                    }
-                    winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
-                }
-                None => {
-                    winners.insert(entry.key.clone(), (entry, trimmed.to_string()));
-                }
-            }
-        }
+        acc.fold_text(text)?;
     }
-    stats.records = winners.len();
+    Ok((acc.render(), acc.stats()))
+}
+
+/// Render a journal text's latest `ok` records in the canonical,
+/// sorted `key|config_hash|coupled|decoupled|l2` form (one line each,
+/// trailing newline). Volatile fields (wall time, peak allocation,
+/// shard) are omitted, so two journals that simulated the same jobs
+/// canonicalize identically — `dtexl sweep canon` prints this form
+/// and CI diffs runs through it; the daemon's live merger maintains
+/// the same view on disk next to the merged journal.
+#[must_use]
+pub fn canon_text(journal: &str) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
-    for (_, (_, line)) in winners {
-        out.push_str(&line);
-        out.push('\n');
+    for (key, e) in latest_entries(journal) {
+        if e.status != "ok" {
+            continue;
+        }
+        let Some(m) = e.metrics else { continue };
+        let _ = writeln!(
+            out,
+            "{key}|{:016x}|{}|{}|{}",
+            e.config_hash.unwrap_or(0),
+            m.coupled_cycles,
+            m.decoupled_cycles,
+            m.l2_accesses
+        );
     }
-    Ok((out, stats))
+    out
 }
 
 /// File-level [`merge_journal_texts`]: read `inputs` in order, write

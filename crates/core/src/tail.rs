@@ -1,0 +1,98 @@
+//! Offset-tracking line tailer for append-only JSONL files.
+//!
+//! Both supervisor planes read files that a live child is appending
+//! to: the fleet supervisor tails `--progress-to` streams, and the
+//! daemon's live merger tails shard journals. The failure modes are
+//! identical — the file may not exist yet, the last line may be
+//! half-written, a read may land mid-UTF-8 — so both share this
+//! reader: consume newly appended bytes from a remembered offset,
+//! yield only *complete* lines, and carry the unterminated tail until
+//! its remainder arrives.
+
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::PathBuf;
+
+/// Tail state for one append-only file: the byte offset already
+/// consumed and the trailing partial line carried between drains.
+#[derive(Debug)]
+pub(crate) struct TailReader {
+    path: PathBuf,
+    offset: u64,
+    carry: String,
+}
+
+impl TailReader {
+    /// Tail `path` from byte 0 (the file need not exist yet).
+    pub(crate) fn new(path: PathBuf) -> Self {
+        Self {
+            path,
+            offset: 0,
+            carry: String::new(),
+        }
+    }
+
+    /// Read newly appended bytes and invoke `sink` once per complete
+    /// line (newline stripped). Returns the number of complete lines
+    /// yielded. Every failure mode — missing file, seek past a
+    /// truncation, partial UTF-8 at EOF — yields zero lines now and
+    /// retries on the next drain; a tailer must shrug, not fail.
+    pub(crate) fn drain(&mut self, mut sink: impl FnMut(&str)) -> usize {
+        let Ok(mut file) = std::fs::File::open(&self.path) else {
+            return 0;
+        };
+        if file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return 0;
+        }
+        let mut buf = String::new();
+        let Ok(read) = file.read_to_string(&mut buf) else {
+            return 0;
+        };
+        if read == 0 {
+            return 0;
+        }
+        self.offset += read as u64;
+        self.carry.push_str(&buf);
+        let mut lines = 0;
+        while let Some(nl) = self.carry.find('\n') {
+            let line: String = self.carry.drain(..=nl).collect();
+            sink(line.trim_end_matches('\n'));
+            lines += 1;
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    #[test]
+    fn drains_only_complete_lines_and_carries_the_tail() {
+        let dir = std::env::temp_dir().join(format!("dtexl_tail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let mut tail = TailReader::new(path.clone());
+
+        // File does not exist yet: zero lines, no error.
+        assert_eq!(tail.drain(|_| panic!("no lines yet")), 0);
+
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "one\ntwo\npart").unwrap();
+        f.flush().unwrap();
+        let mut seen = Vec::new();
+        assert_eq!(tail.drain(|l| seen.push(l.to_string())), 2);
+        assert_eq!(seen, ["one", "two"], "the partial tail is withheld");
+
+        // The remainder of the partial line arrives.
+        write!(f, "ial\nlast\n").unwrap();
+        f.flush().unwrap();
+        seen.clear();
+        assert_eq!(tail.drain(|l| seen.push(l.to_string())), 2);
+        assert_eq!(seen, ["partial", "last"]);
+
+        // Nothing new appended: zero lines.
+        assert_eq!(tail.drain(|_| panic!("no new lines")), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
