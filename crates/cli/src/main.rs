@@ -10,7 +10,7 @@
 //!                   [--backoff-ms N] [--upper] [--threads N]
 //!                   [--shard i/N] [--job-mem-budget MB] [--table]
 //!                   [--progress] [--progress-to FILE] [--heartbeat-ms N]
-//!                   [--memoize [--memoize-budget MB]]
+//!                   [--memoize [--memoize-budget MB]] [--with-obs]
 //!                   [--stall-key SUBSTR --stall-ms N]
 //! dtexl sweep dispatch [--shards N] [--wedge-timeout SECS]
 //!                   [--max-restarts N] [--restart-backoff-ms N]
@@ -23,11 +23,14 @@
 //! dtexl sweep daemon --spool DIR [--shards N] [--spool-poll-ms N]
 //!                   [+ the dispatch supervision flags]
 //!                   [+ the per-job sweep flags, minus the axes]
-//! dtexl sweep status --spool DIR
+//! dtexl sweep status --spool DIR [--metrics]
 //! dtexl sweep merge <journals...> --out merged.jsonl
 //! dtexl sweep canon <journal>
 //! dtexl profile     --game CCS [--schedule dtexl] [--res 1960x768]
-//!                   [--threads N] [--trace-out frame.json] [--csv]
+//!                   [--threads N] [--trace-out frame.json]
+//!                   [--rollup-out rollup.json] [--csv]
+//! dtexl profile --diff A B  (operands: coupled | decoupled |
+//!                   PATH[@coupled|@decoupled]) [+ the profile flags]
 //! dtexl render      --game SoD --out frame.ppm [--res 980x384]
 //! dtexl characterize [--res 1960x768]
 //! dtexl trace-save  --game CCS --out frame.dtxl [--res 1960x768]
@@ -64,14 +67,27 @@
 //! jobs that differ only in schedule — metrics are bit-identical with
 //! or without it; `--memoize-budget MB` bounds the cache's retained
 //! bytes (default: the `--job-mem-budget` value, else unbounded).
+//! `sweep --with-obs` attaches the rollup probes to every job and
+//! journals an `obs` object per record — the per-(SC, stage)
+//! busy/wait cycle totals under both barrier modes plus the frame's
+//! L1/L2/DRAM counters (bit-identical across `--threads` and
+//! `--memoize`; `sweep canon` output is unchanged). `done` progress
+//! events then carry the job's dominant stall category (`top_stall`)
+//! and `dram_requests`.
 //!
 //! `profile` simulates one frame with the observability probes of
 //! `dtexl-obs` attached and prints the stall-attribution tables (busy
 //! vs barrier-wait vs upstream-wait cycles per (SC, stage) unit, under
 //! both barrier modes); `--trace-out` additionally writes a
 //! Chrome-trace JSON viewable at <https://ui.perfetto.dev>, with one
-//! track per unit. Events carry simulated cycles, so the output is
-//! bit-identical across `--threads` values.
+//! track per unit, and `--rollup-out` writes the journal-form rollup
+//! JSON (the same object `sweep --with-obs` journals). Events carry
+//! simulated cycles, so the output is bit-identical across
+//! `--threads` values. `profile --diff A B` prints the per-unit stall
+//! delta (signed cycles and percent change) between two rollups: an
+//! operand is `coupled`/`decoupled` (the two barrier modes of one
+//! live capture) or `PATH[@MODE]` (an exported rollup file, mode
+//! defaulting to coupled).
 //!
 //! `sweep dispatch` runs the sweep as a self-healing fleet of child
 //! processes — one `dtexl sweep --shard i/N` per shard, each resuming
@@ -99,7 +115,12 @@
 //! daemon resumes exactly). Supervision state is published to
 //! `<spool>/status.json` (atomically swapped; also served on the
 //! `<spool>/status.sock` unix socket) and `sweep status` pretty-prints
-//! it (`--format json` passes the raw document through). SIGTERM or
+//! it (`--format json` passes the raw document through). The daemon
+//! also keeps a Prometheus text-format metrics document live at
+//! `<spool>/metrics.prom` (atomically swapped; `sweep status
+//! --metrics` prints it, and sending `metrics\n` to the status socket
+//! returns the same text — see docs/OBSERVABILITY.md for the metric
+//! inventory). SIGTERM or
 //! SIGINT — or `touch <spool>/drain` from anywhere — triggers a
 //! graceful drain: in-flight jobs finish, the merge is flushed, and a
 //! terminal status (`drained`/`stopped`, `alive:false`) is written.
@@ -118,7 +139,8 @@
 use dtexl::characterize::characterize_all;
 use dtexl::daemon::{run_daemon, run_spool_worker, DaemonOptions, DaemonStatus, WorkerOptions};
 use dtexl::dispatch::{dispatch_fleet, DispatchOptions, FleetSpec};
-use dtexl::profile::FrameProfile;
+use dtexl::obs::{ObsRollup, StallRollup};
+use dtexl::profile::{stall_diff_table, FrameProfile};
 use dtexl::spool::{JobSpec, Spool};
 use dtexl::sweep::{
     canon_text, journal_line, json_escape, merge_journals, JobError, PrefixCache, Progress,
@@ -461,6 +483,7 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
     let memoize_budget = args
         .parsed_value::<u64>("--memoize-budget")?
         .map(|mb| mb.saturating_mul(1024 * 1024));
+    let with_obs = args.flag("--with-obs");
     args.finish()?;
     if memoize_budget.is_some() && !memoize {
         return Err("--memoize-budget requires --memoize".into());
@@ -500,6 +523,7 @@ fn cmd_sweep(args: &mut Args, format: Format) -> Result<ExitCode, String> {
         // may not allocate more than that, retaining more than that
         // across jobs is not a saving either.
         prefix_cache: memoize.then(|| PrefixCache::new(memoize_budget.or(job_mem_budget))),
+        with_obs,
         ..SweepOptions::default()
     };
 
@@ -619,6 +643,7 @@ fn cmd_sweep_dispatch(args: &mut Args, format: Format) -> Result<ExitCode, Strin
     let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
     let memoize = args.flag("--memoize");
     let memoize_budget_mb: Option<u64> = args.parsed_value("--memoize-budget")?;
+    let with_obs = args.flag("--with-obs");
     // Supervision knobs.
     let shards: u32 = args.parsed_value("--shards")?.unwrap_or(2);
     if shards == 0 {
@@ -691,6 +716,9 @@ fn cmd_sweep_dispatch(args: &mut Args, format: Format) -> Result<ExitCode, Strin
         sweep_args.push(key.clone());
         sweep_args.push("--stall-ms".into());
         sweep_args.push(axes.stall_ms.to_string());
+    }
+    if with_obs {
+        sweep_args.push("--with-obs".into());
     }
 
     let pipeline_base = PipelineConfig {
@@ -838,6 +866,7 @@ fn cmd_sweep_daemon(args: &mut Args, format: Format) -> Result<ExitCode, String>
     let heartbeat_ms: u64 = args.parsed_value("--heartbeat-ms")?.unwrap_or(1_000);
     let memoize = args.flag("--memoize");
     let memoize_budget_mb: Option<u64> = args.parsed_value("--memoize-budget")?;
+    let with_obs = args.flag("--with-obs");
     let spool_poll_ms: u64 = args.parsed_value("--spool-poll-ms")?.unwrap_or(100);
     let shards: u32 = args.parsed_value("--shards")?.unwrap_or(2);
     if shards == 0 {
@@ -893,6 +922,9 @@ fn cmd_sweep_daemon(args: &mut Args, format: Format) -> Result<ExitCode, String>
             sweep_args.push("--memoize-budget".into());
             sweep_args.push(mb.to_string());
         }
+    }
+    if with_obs {
+        sweep_args.push("--with-obs".into());
     }
 
     let spool = Spool::open(&dir).map_err(|e| format!("open spool {dir}: {e}"))?;
@@ -956,15 +988,28 @@ fn cmd_sweep_daemon(args: &mut Args, format: Format) -> Result<ExitCode, String>
 
 /// `dtexl sweep status`: read and render a spool's status document.
 /// `--format json` passes the raw document through unchanged (the
-/// schema is documented in docs/ROBUSTNESS.md).
+/// schema is documented in docs/ROBUSTNESS.md). `--metrics` prints
+/// the spool's Prometheus text exposition (`metrics.prom`) instead.
 fn cmd_sweep_status(args: &mut Args, format: Format) -> Result<(), String> {
     let dir = args
         .value("--spool")
         .ok_or_else(|| "missing --spool <dir>".to_string())?;
+    let metrics = args.flag("--metrics");
     args.finish()?;
-    let path = Spool::open(&dir)
-        .map_err(|e| format!("open spool {dir}: {e}"))?
-        .status_file();
+    let spool = Spool::open(&dir).map_err(|e| format!("open spool {dir}: {e}"))?;
+    if metrics {
+        // Already a stable text format; --format does not apply.
+        let path = spool.metrics_file();
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "read {}: {e} (has a daemon written metrics on this spool?)",
+                path.display()
+            )
+        })?;
+        print!("{text}");
+        return Ok(());
+    }
+    let path = spool.status_file();
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
             "read {}: {e} (is a daemon running on this spool?)",
@@ -981,14 +1026,20 @@ fn cmd_sweep_status(args: &mut Args, format: Format) -> Result<(), String> {
 }
 
 /// Profile one frame: print the stall-attribution tables and
-/// optionally export a Chrome-trace JSON (`--trace-out`).
+/// optionally export a Chrome-trace JSON (`--trace-out`) or the
+/// journal-form rollup JSON (`--rollup-out`, consumed by `profile
+/// --diff`). `--diff A B` switches to comparison mode instead.
 fn cmd_profile(args: &mut Args) -> Result<(), String> {
+    if args.flag("--diff") {
+        return cmd_profile_diff(args);
+    }
     let game = parse_game(args)?;
     let (w, h) = parse_res(args)?;
     let schedule = parse_schedule(args)?;
     let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
     let pipeline = parse_pipeline(args)?;
     let trace_out = args.value("--trace-out");
+    let rollup_out = args.value("--rollup-out");
     let csv = args.flag("--csv");
     args.finish()?;
 
@@ -1027,6 +1078,116 @@ fn cmd_profile(args: &mut Args) -> Result<(), String> {
         std::fs::write(&path, profile.chrome_trace()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path} — open at https://ui.perfetto.dev");
     }
+    if let Some(path) = rollup_out {
+        std::fs::write(&path, format!("{}\n", profile.rollup().to_json()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path} — rollup JSON for `dtexl profile --diff`");
+    }
+    Ok(())
+}
+
+/// `dtexl profile --diff A B`: print the per-(SC, stage) stall delta
+/// between two rollups. An operand is `coupled` / `decoupled` (both
+/// sides of one live capture from `--game`/`--res`/`--schedule`) or
+/// `PATH[@coupled|@decoupled]` — a rollup JSON written by `profile
+/// --rollup-out` or sliced from a `sweep --with-obs` journal record's
+/// `obs` field (mode defaults to coupled).
+fn cmd_profile_diff(args: &mut Args) -> Result<(), String> {
+    let game_alias = args.value("--game");
+    let (w, h) = parse_res(args)?;
+    let schedule = parse_schedule(args)?;
+    let frame: u32 = args.parsed_value("--frame")?.unwrap_or(0);
+    let pipeline = parse_pipeline(args)?;
+    let csv = args.flag("--csv");
+    let operands = args.positionals();
+    args.finish()?;
+    let [a, b] = operands.as_slice() else {
+        return Err(
+            "profile --diff needs exactly two operands: coupled | decoupled | PATH[@MODE]".into(),
+        );
+    };
+
+    // Capture one live profile only when a mode operand asks for it —
+    // two file operands need no --game at all.
+    let needs_capture = [a, b]
+        .iter()
+        .any(|o| matches!(o.as_str(), "coupled" | "decoupled"));
+    let captured: Option<ObsRollup> = if needs_capture {
+        let alias = game_alias
+            .ok_or_else(|| "operand 'coupled'/'decoupled' requires --game <alias>".to_string())?;
+        let game = Game::ALL
+            .into_iter()
+            .find(|g| g.alias().eq_ignore_ascii_case(&alias))
+            .ok_or_else(|| format!("unknown game '{alias}' (try `dtexl list`)"))?;
+        let config = SimConfig {
+            game,
+            width: w,
+            height: h,
+            frame,
+            schedule,
+            pipeline,
+            barrier: BarrierMode::Decoupled,
+        };
+        Some(
+            FrameProfile::capture(&config)
+                .map_err(|e| e.to_string())?
+                .rollup(),
+        )
+    } else {
+        None
+    };
+
+    let side = |operand: &str| -> Result<(String, StallRollup), String> {
+        match operand {
+            "coupled" | "decoupled" => {
+                let r = captured
+                    .as_ref()
+                    .expect("captured whenever a mode operand exists");
+                let rollup = if operand == "coupled" {
+                    r.coupled
+                } else {
+                    r.decoupled
+                };
+                Ok((operand.to_string(), rollup))
+            }
+            spec => {
+                let (path, mode) = match spec.rsplit_once('@') {
+                    Some((p, m)) if m == "coupled" || m == "decoupled" => (p, m),
+                    _ => (spec, "coupled"),
+                };
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let rollup = ObsRollup::parse(text.trim()).ok_or_else(|| {
+                    format!(
+                        "{path}: not a rollup JSON (export one with `dtexl profile --rollup-out` \
+                         or slice a `sweep --with-obs` record's \"obs\" field)"
+                    )
+                })?;
+                let side = if mode == "coupled" {
+                    rollup.coupled
+                } else {
+                    rollup.decoupled
+                };
+                Ok((format!("{path}@{mode}"), side))
+            }
+        }
+    };
+    let (label_a, ra) = side(a)?;
+    let (label_b, rb) = side(b)?;
+
+    println!("A = {label_a}, B = {label_b}; deltas are B − A (signed cycles, percent change)");
+    let table = stall_diff_table(&ra, &rb, format!("stall delta {label_b} vs {label_a}"));
+    if csv {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+    let (ta, tb) = (ra.totals(), rb.totals());
+    println!(
+        "total wait delta: {:+} barrier cycles, {:+} upstream cycles",
+        tb[2] as i64 - ta[2] as i64,
+        tb[1] as i64 - ta[1] as i64
+    );
     Ok(())
 }
 

@@ -25,6 +25,11 @@
 //!   in-flight keys, completed/failed/poisoned counts, live
 //!   peak-alloc and restart/backoff history. Dashboards and CI poll
 //!   the file; nothing blocks on a reader.
+//! * **Metrics plane.** A [`DaemonMetrics`] registry fed every tick
+//!   is exposed as Prometheus text format two ways: an
+//!   atomically-swapped `metrics.prom` in the spool and a `metrics`
+//!   line command on the status socket (see `crate::registry` and
+//!   `docs/OBSERVABILITY.md`).
 //! * **Graceful drain.** SIGTERM/SIGINT (via the CLI's shutdown hook)
 //!   writes the spool's drain marker: submission of new batches
 //!   stops, workers finish everything already accepted and exit, the
@@ -36,13 +41,15 @@
 //! here by scoped built-in allowlist entries.
 
 use crate::dispatch::{audit_coverage, DispatchOptions, Fleet, FleetSpec, ShardSummary, ShardView};
-use crate::spool::{atomic_write, field_bool, jobs_from_specs, Spool};
+use crate::registry::{DaemonMetrics, RESTART_CAUSES};
+use crate::spool::{atomic_write, field_bool, jobs_from_specs, Spool, EVENTS_ROTATE_BYTES};
 use crate::sweep::{
     canon_text, field_str, field_u64, journal_line, json_escape, latest_entries, run_sweep,
     JobError, JobRecord, JobStatus, MergeAccumulator, MergeStats, Progress, ProgressKind, SweepJob,
     SweepOptions,
 };
 use crate::tail::TailReader;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -495,6 +502,8 @@ pub fn run_spool_worker(spool: &Spool, opts: &WorkerOptions) -> std::io::Result<
                     pid: std::process::id(),
                     seq: idle_seq,
                     status: None,
+                    top_stall: None,
+                    dram_requests: None,
                 });
                 idle_seq += 1;
             }
@@ -666,6 +675,7 @@ fn journal_batch_event(spool: &Spool, log: fn(&str), name: &str, error: JobError
         config_hash: 0,
         peak_alloc: None,
         shard: None,
+        obs: None,
     };
     if spool.append_event(&journal_line(&record)).is_err() {
         log(&format!(
@@ -698,14 +708,21 @@ pub fn run_daemon(
 
     let mut fleet = Fleet::new(spec, &dopts)?;
     let mut merger = LiveMerger::new(fleet.journals(), spool.merged_journal(), spool.canon_file());
+    let metrics = DaemonMetrics::new();
     // Re-fold whatever the shard journals already contain: a restarted
     // daemon's merged view is rebuilt from the source of truth.
-    merger.tick()?;
+    if merger.tick()? {
+        metrics.merge_swaps.inc();
+    }
 
     let socket = StatusSocket::bind(spool);
     let mut batches = (0u64, 0u64, 0u64);
     let mut status_writes = 0u64;
     let mut last_body = String::new();
+    let mut last_metrics = String::new();
+    // Keys whose terminal wall-clock has been fed to the histogram; a
+    // key is observed exactly once, as it first turns terminal.
+    let mut clocked: BTreeSet<String> = BTreeSet::new();
 
     // Initial ingest: accepted batches from a previous daemon run.
     let (specs, _) = spool.accepted_specs();
@@ -765,13 +782,21 @@ pub fn run_daemon(
             }
         }
 
+        // Size-capped events rotation. A failed rotation is advisory
+        // (logged, retried next pass) — see `Spool::rotate_events`.
+        if let Err(e) = spool.rotate_events(EVENTS_ROTATE_BYTES) {
+            log(&format!("daemon: {e}"));
+        }
+
         let settled = fleet.tick(&dopts)?;
         if !spool.drain_requested() {
             // A worker that exited while the queue is open is revived
             // (it only exits by itself when draining).
             fleet.revive_completed(&dopts);
         }
-        merger.tick()?;
+        if merger.tick()? {
+            metrics.merge_swaps.inc();
+        }
 
         let status = build_status(
             spool,
@@ -790,7 +815,14 @@ pub fn run_daemon(
             status_writes += 1;
             last_body = body;
         }
-        socket.serve(&status);
+        feed_metrics(&metrics, &status, status_writes);
+        observe_wall_clocks(&metrics, &fleet, &merger, &mut clocked);
+        let prom = metrics.render();
+        if prom != last_metrics {
+            atomic_write(&spool.metrics_file(), &prom)?;
+            last_metrics = prom.clone();
+        }
+        socket.serve(&status, &prom);
 
         if spool.drain_requested() && settled {
             break;
@@ -799,8 +831,12 @@ pub fn run_daemon(
         std::thread::sleep(opts.poll);
     }
 
-    // Terminal flush: final merge state, terminal status document.
-    merger.tick()?;
+    // Terminal flush: final merge state, terminal status document and
+    // a last metrics snapshot (scrapers read metrics.prom after the
+    // daemon exits; the socket goes away with the process).
+    if merger.tick()? {
+        metrics.merge_swaps.inc();
+    }
     let cov = audit_coverage(fleet.key_info().keys(), |k| merger.acc.get(k));
     let mut status = build_status(spool, &fleet, &merger, batches, status_writes + 1);
     status.alive = false;
@@ -811,6 +847,9 @@ pub fn run_daemon(
     };
     atomic_write(&spool.status_file(), &status.to_json())?;
     status_writes += 1;
+    feed_metrics(&metrics, &status, status_writes);
+    observe_wall_clocks(&metrics, &fleet, &merger, &mut clocked);
+    atomic_write(&spool.metrics_file(), &metrics.render())?;
     socket.close(spool);
 
     let report = DaemonReport {
@@ -875,6 +914,66 @@ fn build_status(
     }
 }
 
+/// Feed the metrics registry from a freshly-built status snapshot.
+/// Counters whose source is an absolute total (batch counts, journal
+/// coverage, cumulative death lists) go through `record_total`, so
+/// the exposed values stay monotone even when the source dips.
+fn feed_metrics(metrics: &DaemonMetrics, status: &DaemonStatus, status_writes: u64) {
+    metrics
+        .batches_accepted
+        .record_total(status.batches_accepted);
+    metrics
+        .batches_duplicate
+        .record_total(status.batches_duplicate);
+    metrics
+        .batches_rejected
+        .record_total(status.batches_rejected);
+    metrics.jobs_submitted.set(status.submitted_jobs);
+    metrics.queue_depth.set(status.queued);
+    metrics.jobs_in_flight.set(status.in_flight.len() as u64);
+    metrics.jobs_ok.record_total(status.ok);
+    metrics.jobs_failed.record_total(status.failed);
+    metrics.jobs_poisoned.record_total(status.poisoned);
+    metrics.peak_alloc_bytes.set(status.peak_alloc_bytes);
+    metrics.status_writes.record_total(status_writes);
+    let mut by_cause = [0u64; RESTART_CAUSES.len()];
+    for shard in &status.shards {
+        for death in &shard.deaths {
+            let cause = death.split(" (").next().unwrap_or(death);
+            let idx = RESTART_CAUSES
+                .iter()
+                .position(|c| *c == cause)
+                .unwrap_or(RESTART_CAUSES.len() - 1);
+            by_cause[idx] += 1;
+        }
+    }
+    for (i, cause) in RESTART_CAUSES.iter().enumerate() {
+        metrics.record_restart_total(cause, by_cause[i]);
+    }
+}
+
+/// Observe each job's wall clock exactly once, as its merged record
+/// first turns terminal. Resume-skips are not observed (their elapsed
+/// is the skip cost, not a job run).
+fn observe_wall_clocks(
+    metrics: &DaemonMetrics,
+    fleet: &Fleet,
+    merger: &LiveMerger,
+    clocked: &mut BTreeSet<String>,
+) {
+    for key in fleet.key_info().keys() {
+        if clocked.contains(key) {
+            continue;
+        }
+        if let Some(entry) = merger.acc.get(key) {
+            if entry.status == "ok" || entry.status == "failed" {
+                metrics.job_wall_clock.observe_ms(entry.elapsed_ms);
+                clocked.insert(key.clone());
+            }
+        }
+    }
+}
+
 /// Convert a fleet shard view into its status-document row.
 fn shard_status(view: ShardView) -> ShardStatus {
     ShardStatus {
@@ -891,11 +990,13 @@ fn shard_status(view: ShardView) -> ShardStatus {
 
 // --- status socket ---------------------------------------------------------
 
-/// A nonblocking unix socket that answers every connection with the
-/// current status document (one line, then EOF) — the same bytes as
-/// `status.json`, without the file-polling latency. Best-effort
-/// everywhere: a platform or filesystem that cannot host the socket
-/// degrades to the file, never to an error.
+/// A nonblocking unix socket speaking a one-line request protocol: a
+/// client that sends `metrics\n` gets the Prometheus text exposition;
+/// anything else — including the classic client that sends nothing
+/// and just reads — gets the current status document (one line, then
+/// EOF), the same bytes as `status.json` without the file-polling
+/// latency. Best-effort everywhere: a platform or filesystem that
+/// cannot host the socket degrades to the file, never to an error.
 #[cfg(unix)]
 struct StatusSocket {
     listener: Option<std::os::unix::net::UnixListener>,
@@ -913,14 +1014,30 @@ impl StatusSocket {
         Self { listener }
     }
 
-    fn serve(&self, status: &DaemonStatus) {
-        use std::io::Write as _;
+    fn serve(&self, status: &DaemonStatus, metrics: &str) {
+        use std::io::{Read as _, Write as _};
         let Some(listener) = &self.listener else {
             return;
         };
         // Answer everything queued this tick; WouldBlock means idle.
         while let Ok((mut conn, _)) = listener.accept() {
-            let _ = writeln!(conn, "{}", status.to_json());
+            // Accepted sockets are blocking even off a nonblocking
+            // listener; a short read timeout keeps a silent client
+            // (the plain status poller) from stalling the daemon.
+            let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+            let mut buf = [0u8; 64];
+            // One read is enough: the only request is the 8-byte
+            // `metrics\n`, which arrives in a single segment. No
+            // bytes, EOF or a timeout all mean "status".
+            let request = match conn.read(&mut buf) {
+                Ok(n) => std::str::from_utf8(&buf[..n]).unwrap_or(""),
+                Err(_) => "",
+            };
+            if request.trim() == "metrics" {
+                let _ = conn.write_all(metrics.as_bytes());
+            } else {
+                let _ = writeln!(conn, "{}", status.to_json());
+            }
         }
     }
 
@@ -940,7 +1057,7 @@ impl StatusSocket {
     fn bind(_spool: &Spool) -> Self {
         Self
     }
-    fn serve(&self, _status: &DaemonStatus) {}
+    fn serve(&self, _status: &DaemonStatus, _metrics: &str) {}
     fn close(&self, _spool: &Spool) {}
 }
 
@@ -1038,6 +1155,33 @@ mod tests {
         // And the composite equality, in case a field is added without
         // extending the list above.
         assert_eq!(parsed, status);
+    }
+
+    #[test]
+    fn feed_metrics_maps_status_fields_and_death_causes() {
+        let metrics = DaemonMetrics::new();
+        feed_metrics(&metrics, &sample_status(), 6);
+        let text = metrics.render();
+        assert!(text.contains("dtexl_batches_accepted_total 4"));
+        assert!(text.contains("dtexl_jobs_submitted 20"));
+        assert!(text.contains("dtexl_queue_depth 3"));
+        assert!(text.contains("dtexl_jobs_in_flight 2"));
+        assert!(text.contains("dtexl_jobs_ok_total 15"));
+        assert!(text.contains("dtexl_jobs_failed_total 2"));
+        assert!(text.contains("dtexl_jobs_poisoned_total 1"));
+        assert!(text.contains("dtexl_status_writes_total 6"));
+        assert!(text.contains("dtexl_peak_alloc_bytes 9000000"));
+        // Death strings parse to their cause prefix.
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"wedged\"} 1"));
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"crashed\"} 1"));
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"oom-killed\"} 1"));
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"other\"} 0"));
+
+        // Re-feeding a shrunken snapshot never lowers a counter.
+        let mut dipped = sample_status();
+        dipped.ok = 9;
+        feed_metrics(&metrics, &dipped, 6);
+        assert!(metrics.render().contains("dtexl_jobs_ok_total 15"));
     }
 
     #[test]

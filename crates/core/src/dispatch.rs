@@ -901,6 +901,7 @@ fn handle_death(
                 config_hash,
                 peak_alloc: None,
                 shard: Some(state.shard),
+                obs: None,
             };
             let mut journal = std::fs::OpenOptions::new()
                 .create(true)
@@ -1086,6 +1087,8 @@ mod tests {
             pid: Some(pid),
             seq: Some(seq),
             status: None,
+            top_stall: None,
+            dram_requests: None,
         }
     }
 

@@ -44,6 +44,7 @@ pub mod daemon;
 pub mod dispatch;
 pub mod experiments;
 pub mod profile;
+pub mod registry;
 pub mod report;
 pub mod spool;
 pub mod sweep;

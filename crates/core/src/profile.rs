@@ -18,7 +18,10 @@
 use crate::metrics::{Distribution, Table};
 use crate::sim::SimConfig;
 use dtexl_obs::perfetto::{chrome_trace, TrackGroup};
-use dtexl_obs::{EventSink, MemSample, RasterSample, Span, SpanKind, Stage};
+use dtexl_obs::{
+    Event, EventSink, MemSample, ObsRollup, Probe, RasterSample, RollupMode, Span, SpanKind, Stage,
+    StallRollup,
+};
 use dtexl_pipeline::{compose_frame_probed, BarrierMode, FrameResult, FrameSim, SimError};
 use dtexl_scene::SceneSpec;
 use std::collections::BTreeMap;
@@ -165,6 +168,32 @@ impl FrameProfile {
         t
     }
 
+    /// Fold the captured event streams into the journal's per-job
+    /// rollup form — the same [`ObsRollup`] a `dtexl sweep --with-obs`
+    /// run journals for this configuration (pinned by
+    /// `tests/obs_rollup.rs`), so an exported profile and a journal
+    /// record diff against each other freely.
+    #[must_use]
+    pub fn rollup(&self) -> ObsRollup {
+        let mut rollup = ObsRollup::default();
+        {
+            let mut probe = rollup.probe(RollupMode::Sim);
+            for m in &self.mem {
+                probe.record(Event::Mem(*m));
+            }
+        }
+        for (mode, spans) in [
+            (RollupMode::Coupled, &self.coupled),
+            (RollupMode::Decoupled, &self.decoupled),
+        ] {
+            let mut probe = rollup.probe(mode);
+            for s in spans {
+                probe.record(Event::Span(*s));
+            }
+        }
+        rollup
+    }
+
     /// Chrome-trace / Perfetto JSON for the profile: process 1 is the
     /// coupled composition, process 2 the decoupled one, each with one
     /// track per (SC, stage) unit. Open at <https://ui.perfetto.dev>.
@@ -185,6 +214,51 @@ impl FrameProfile {
             },
         ])
     }
+}
+
+/// The per-unit stall delta between two stall rollups, `b − a`: one
+/// row per (SC, stage) unit, with a signed cycle delta and a percent
+/// change for each of busy / wait-upstream / wait-barrier. Percent
+/// change is relative to `a`; a unit going from zero to nonzero reads
+/// as +100%, zero to zero as 0%. This powers `dtexl profile --diff`.
+#[must_use]
+pub fn stall_diff_table(a: &StallRollup, b: &StallRollup, title: impl Into<String>) -> Table {
+    let pct = |x: f64, y: f64| -> f64 {
+        if x == 0.0 {
+            if y > 0.0 {
+                100.0
+            } else {
+                0.0
+            }
+        } else {
+            100.0 * (y - x) / x
+        }
+    };
+    let mut t = Table::new(
+        "stall-diff",
+        title,
+        [
+            "busy",
+            "busy%",
+            "upstream",
+            "upstream%",
+            "barrier",
+            "barrier%",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (i, (stage, sc)) in dtexl_obs::rollup::unit_order().iter().enumerate() {
+        let (ua, ub) = (a.units[i], b.units[i]);
+        let mut row = Vec::with_capacity(6);
+        for col in 0..3 {
+            let (x, y) = (ua[col] as f64, ub[col] as f64);
+            row.push(y - x);
+            row.push(pct(x, y));
+        }
+        t.push_row(dtexl_obs::perfetto::track_name(*stage, *sc), row);
+    }
+    t
 }
 
 /// Units in dataflow order: the serial front-end stages, then each
@@ -277,6 +351,60 @@ mod tests {
                     Some(0.0),
                     "{stage}/{col}: empty population must summarize to zero"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_folds_the_same_totals_as_the_stall_table() {
+        let p = small_profile();
+        let r = p.rollup();
+        let t = p.stall_table();
+        assert_eq!(
+            r.coupled.busy(Stage::Fragment, 0) as f64,
+            t.get("fragment/SC0", "busy").unwrap()
+        );
+        assert_eq!(
+            r.coupled.wait_barrier(Stage::Fragment, 1) as f64,
+            t.get("fragment/SC1", "c-barrier").unwrap()
+        );
+        assert_eq!(
+            r.decoupled.wait_upstream(Stage::Blend, 2) as f64,
+            t.get("blend/SC2", "d-upstream").unwrap()
+        );
+        let dram: u64 = p.mem.iter().map(|m| m.dram_requests).sum();
+        assert_eq!(r.dram_requests, dram, "mem counters fold too");
+        assert!(r.l1_hits > 0);
+    }
+
+    #[test]
+    fn diff_of_coupled_vs_decoupled_kills_barrier_waits_only() {
+        let p = small_profile();
+        let r = p.rollup();
+        let t = stall_diff_table(&r.coupled, &r.decoupled, "coupled -> decoupled");
+        assert_eq!(t.rows.len(), 2 + 3 * 4);
+        for row in &t.rows {
+            assert_eq!(
+                t.get(&row.label, "busy"),
+                Some(0.0),
+                "{}: busy cycles are mode-invariant",
+                row.label
+            );
+        }
+        let total_barrier: f64 = t
+            .rows
+            .iter()
+            .map(|r2| t.get(&r2.label, "barrier").unwrap())
+            .sum();
+        assert!(total_barrier < 0.0, "decoupling removes barrier waits");
+        // Any unit that barrier-waited under coupled loses 100% of it.
+        for row in &t.rows {
+            let delta = t.get(&row.label, "barrier").unwrap();
+            let pct = t.get(&row.label, "barrier%").unwrap();
+            if delta < 0.0 {
+                assert_eq!(pct, -100.0, "{}: pure decoupled zeroes the wait", row.label);
+            } else {
+                assert_eq!(pct, 0.0);
             }
         }
     }

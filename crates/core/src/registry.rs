@@ -1,0 +1,394 @@
+//! Daemon metrics registry with Prometheus text-format exposition.
+//!
+//! A fixed, statically-declared set of counters, gauges and one
+//! histogram covering the daemon-mode sweep stack — spool ingest,
+//! dispatch fleet, live merger and status plane. The registry is
+//! plain `std` atomics (no locks, no maps, no dependencies): every
+//! metric is a named struct field, so the exposition order, HELP and
+//! TYPE lines are compiled in and the render is deterministic for a
+//! given set of values.
+//!
+//! Two feeding disciplines keep Prometheus semantics honest:
+//!
+//! * **Event-fed counters** ([`Counter::inc`] / [`Counter::add`])
+//!   count occurrences the caller observes directly, e.g. a merge
+//!   swap.
+//! * **Snapshot-fed counters** ([`Counter::record_total`]) track an
+//!   absolute total computed elsewhere (batch counts, journal
+//!   coverage). `record_total` is a `fetch_max`, so a transient dip
+//!   in the source (a key flipping `failed` → `ok` on a retry pass
+//!   shrinks the failed count) can never make the exposed counter go
+//!   backwards — scrapers may rely on counter monotonicity.
+//!
+//! The daemon renders the registry with [`DaemonMetrics::render`] and
+//! publishes the text two ways: an atomically-swapped `metrics.prom`
+//! in the spool and a `metrics` line command on the status socket
+//! (see `docs/OBSERVABILITY.md` for the full inventory).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Feed from an absolute total: raise the counter to `total` if
+    /// that is higher, never lower it (see the module docs on
+    /// snapshot-fed counters).
+    pub fn record_total(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (seconds) of the job wall-clock histogram buckets;
+/// an implicit `+Inf` bucket follows. Rendered literally, so the
+/// exposed `le` labels never drift with float formatting.
+pub const WALL_CLOCK_BUCKETS: [(&str, u64); 7] = [
+    ("0.01", 10),
+    ("0.05", 50),
+    ("0.25", 250),
+    ("1", 1_000),
+    ("5", 5_000),
+    ("30", 30_000),
+    ("120", 120_000),
+];
+
+/// A fixed-bucket histogram of durations, fed in integer
+/// milliseconds (no float atomics needed) and exposed in seconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; WALL_CLOCK_BUCKETS.len()],
+    sum_ms: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation of `ms` milliseconds.
+    pub fn observe_ms(&self, ms: u64) {
+        for (i, (_, bound_ms)) in WALL_CLOCK_BUCKETS.iter().enumerate() {
+            if ms <= *bound_ms {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Render the `_bucket`/`_sum`/`_count` sample lines for a
+    /// histogram named `name` into `out`. Buckets are cumulative, as
+    /// the exposition format requires.
+    fn render_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        for (i, (le, _)) in WALL_CLOCK_BUCKETS.iter().enumerate() {
+            let v = self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {v}");
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let sum_ms = self.sum_ms.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_sum {}.{:03}", sum_ms / 1_000, sum_ms % 1_000);
+        let _ = writeln!(out, "{name}_count {count}");
+    }
+}
+
+/// Shard-restart causes tracked as `cause` label values on
+/// `dtexl_shard_restarts_total`. The first three mirror the
+/// [`DeathCause`](crate::dispatch) display prefixes; `other` absorbs
+/// anything a future cause adds without silently dropping it.
+pub const RESTART_CAUSES: [&str; 4] = ["crashed", "wedged", "oom-killed", "other"];
+
+/// The daemon's metric set. One instance lives for the whole daemon
+/// run; every field is independently thread-safe, so producer layers
+/// can share it behind a plain `&DaemonMetrics`.
+#[derive(Debug, Default)]
+pub struct DaemonMetrics {
+    /// Batches moved `incoming/` → `accepted/` (snapshot-fed).
+    pub batches_accepted: Counter,
+    /// Incoming batches dropped as duplicates (snapshot-fed).
+    pub batches_duplicate: Counter,
+    /// Incoming batches quarantined as corrupt (snapshot-fed).
+    pub batches_rejected: Counter,
+    /// Jobs in the accepted queue after key dedup (gauge).
+    pub jobs_submitted: Gauge,
+    /// Jobs not yet terminal in the merged journal (gauge).
+    pub queue_depth: Gauge,
+    /// Jobs currently running across the fleet (gauge).
+    pub jobs_in_flight: Gauge,
+    /// Jobs terminal-ok in the merged journal (snapshot-fed; includes
+    /// resume-skips, matching the status document's `ok` count).
+    pub jobs_ok: Counter,
+    /// Jobs terminal-failed in the merged journal (snapshot-fed).
+    pub jobs_failed: Counter,
+    /// Jobs quarantined as poisoned (snapshot-fed).
+    pub jobs_poisoned: Counter,
+    /// Shard restarts by cause, indexed as [`RESTART_CAUSES`]
+    /// (snapshot-fed from cumulative per-shard death lists).
+    pub shard_restarts: [Counter; RESTART_CAUSES.len()],
+    /// Live-merge passes that produced a new `merged.jsonl`
+    /// (event-fed).
+    pub merge_swaps: Counter,
+    /// Atomic swaps of `status.json` (snapshot-fed).
+    pub status_writes: Counter,
+    /// Peak bytes allocated by any job so far (gauge).
+    pub peak_alloc_bytes: Gauge,
+    /// Wall-clock seconds per terminal job, observed once per job as
+    /// it first turns terminal in the merged journal.
+    pub job_wall_clock: Histogram,
+}
+
+impl DaemonMetrics {
+    /// Fresh registry, all zeros.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one shard restart under `cause` — the
+    /// [`DeathCause`](crate::dispatch) display prefix (the text
+    /// before `" ("`). Unknown causes land on `other`.
+    pub fn record_restart_total(&self, cause: &str, total: u64) {
+        let idx = RESTART_CAUSES
+            .iter()
+            .position(|c| *c == cause)
+            .unwrap_or(RESTART_CAUSES.len() - 1);
+        self.shard_restarts[idx].record_total(total);
+    }
+
+    /// Render the whole registry as Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` and `# TYPE` lines for every metric
+    /// family, then its samples, in a fixed compiled-in order.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+        let mut simple = |name: &str, kind: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        simple(
+            "dtexl_batches_accepted_total",
+            "counter",
+            "Batches moved incoming/ to accepted/.",
+            self.batches_accepted.get(),
+        );
+        simple(
+            "dtexl_batches_duplicate_total",
+            "counter",
+            "Incoming batches dropped as duplicates of accepted ones.",
+            self.batches_duplicate.get(),
+        );
+        simple(
+            "dtexl_batches_rejected_total",
+            "counter",
+            "Incoming batches quarantined as corrupt.",
+            self.batches_rejected.get(),
+        );
+        simple(
+            "dtexl_jobs_submitted",
+            "gauge",
+            "Jobs in the accepted queue after key dedup.",
+            self.jobs_submitted.get(),
+        );
+        simple(
+            "dtexl_queue_depth",
+            "gauge",
+            "Jobs not yet terminal in the merged journal.",
+            self.queue_depth.get(),
+        );
+        simple(
+            "dtexl_jobs_in_flight",
+            "gauge",
+            "Jobs currently running across the fleet.",
+            self.jobs_in_flight.get(),
+        );
+        simple(
+            "dtexl_jobs_ok_total",
+            "counter",
+            "Jobs terminal-ok in the merged journal (including resume skips).",
+            self.jobs_ok.get(),
+        );
+        simple(
+            "dtexl_jobs_failed_total",
+            "counter",
+            "Jobs terminal-failed in the merged journal.",
+            self.jobs_failed.get(),
+        );
+        simple(
+            "dtexl_jobs_poisoned_total",
+            "counter",
+            "Jobs quarantined as poisoned (repeated unexplained worker death).",
+            self.jobs_poisoned.get(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP dtexl_shard_restarts_total Shard worker restarts by death cause."
+        );
+        let _ = writeln!(out, "# TYPE dtexl_shard_restarts_total counter");
+        for (i, cause) in RESTART_CAUSES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "dtexl_shard_restarts_total{{cause=\"{cause}\"}} {}",
+                self.shard_restarts[i].get()
+            );
+        }
+        let mut simple = |name: &str, kind: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        simple(
+            "dtexl_merge_swaps_total",
+            "counter",
+            "Live-merge passes that swapped in a new merged.jsonl.",
+            self.merge_swaps.get(),
+        );
+        simple(
+            "dtexl_status_writes_total",
+            "counter",
+            "Atomic swaps of status.json.",
+            self.status_writes.get(),
+        );
+        simple(
+            "dtexl_peak_alloc_bytes",
+            "gauge",
+            "Peak bytes allocated by any job so far.",
+            self.peak_alloc_bytes.get(),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP dtexl_job_wall_clock_seconds Wall-clock seconds per terminal job."
+        );
+        let _ = writeln!(out, "# TYPE dtexl_job_wall_clock_seconds histogram");
+        self.job_wall_clock
+            .render_into("dtexl_job_wall_clock_seconds", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_under_snapshot_feeding() {
+        let c = Counter::default();
+        c.record_total(5);
+        assert_eq!(c.get(), 5);
+        c.record_total(3);
+        assert_eq!(c.get(), 5, "a shrinking source never lowers the counter");
+        c.record_total(9);
+        assert_eq!(c.get(), 9);
+        c.inc();
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_is_seconds() {
+        let h = Histogram::default();
+        h.observe_ms(7); // le 0.01
+        h.observe_ms(40); // le 0.05
+        h.observe_ms(1_500); // le 5
+        h.observe_ms(999_999); // +Inf only
+        let mut out = String::new();
+        h.render_into("x", &mut out);
+        assert!(out.contains("x_bucket{le=\"0.01\"} 1"));
+        assert!(out.contains("x_bucket{le=\"0.05\"} 2"));
+        assert!(out.contains("x_bucket{le=\"0.25\"} 2"));
+        assert!(out.contains("x_bucket{le=\"5\"} 3"));
+        assert!(out.contains("x_bucket{le=\"120\"} 3"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 4"));
+        assert!(out.contains("x_sum 1001.546"));
+        assert!(out.contains("x_count 4"));
+    }
+
+    #[test]
+    fn render_is_valid_exposition_with_help_and_type_for_every_family() {
+        let m = DaemonMetrics::new();
+        m.batches_accepted.record_total(2);
+        m.jobs_ok.record_total(10);
+        m.jobs_in_flight.set(3);
+        m.record_restart_total("wedged", 1);
+        m.record_restart_total("heat-death", 4); // unknown → other
+        m.merge_swaps.inc();
+        m.job_wall_clock.observe_ms(120);
+        let text = m.render();
+
+        // Every sample line's family has HELP and TYPE lines.
+        for line in text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let name = line.split([' ', '{']).next().unwrap();
+            let family = if name.starts_with("dtexl_job_wall_clock_seconds") {
+                "dtexl_job_wall_clock_seconds"
+            } else {
+                name
+            };
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "sample {name} lacks a HELP line for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "sample {name} lacks a TYPE line for {family}"
+            );
+        }
+        assert!(text.contains("dtexl_batches_accepted_total 2"));
+        assert!(text.contains("dtexl_jobs_ok_total 10"));
+        assert!(text.contains("dtexl_jobs_in_flight 3"));
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"wedged\"} 1"));
+        assert!(text.contains("dtexl_shard_restarts_total{cause=\"other\"} 4"));
+        assert!(text.contains("dtexl_merge_swaps_total 1"));
+        assert!(text.contains("dtexl_job_wall_clock_seconds_count 1"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn render_is_deterministic_for_equal_values() {
+        let a = DaemonMetrics::new();
+        let b = DaemonMetrics::new();
+        a.jobs_ok.record_total(4);
+        b.jobs_ok.record_total(4);
+        assert_eq!(a.render(), b.render());
+    }
+}

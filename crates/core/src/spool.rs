@@ -14,7 +14,9 @@
 //!   merged.canon                    live canon view of merged.jsonl
 //!   status.json                     atomically-swapped status document
 //!   status.sock                     unix socket speaking status.json
+//!   metrics.prom                    Prometheus text-format metrics (atomic swap)
 //!   events.jsonl                    batch-level events (rejects, dups)
+//!   events.1.jsonl                  previous events generation (size-capped rotation)
 //!   drain                           marker: finish the queue and exit
 //! ```
 //!
@@ -312,6 +314,22 @@ impl Spool {
         self.root.join("events.jsonl")
     }
 
+    /// The previous events generation, produced by
+    /// [`Spool::rotate_events`] when the live journal crosses the
+    /// size cap. Exactly two generations are kept: rotating again
+    /// replaces this file.
+    #[must_use]
+    pub fn rotated_events_journal(&self) -> PathBuf {
+        self.root.join("events.1.jsonl")
+    }
+
+    /// The atomically-swapped Prometheus text-format metrics document
+    /// (see [`crate::registry`]).
+    #[must_use]
+    pub fn metrics_file(&self) -> PathBuf {
+        self.root.join("metrics.prom")
+    }
+
     /// The drain marker: present means "stop accepting, finish the
     /// accepted queue, exit".
     #[must_use]
@@ -495,7 +513,70 @@ impl Spool {
         writeln!(file, "{line}")?;
         file.flush()
     }
+
+    /// Rotate the events journal when it has grown past `cap_bytes`:
+    /// `events.jsonl` is renamed over `events.1.jsonl` (replacing the
+    /// previous generation — exactly two generations are kept) and a
+    /// fresh journal starts on the next [`Spool::append_event`].
+    /// Returns whether a rotation happened.
+    ///
+    /// # Errors
+    ///
+    /// [`RotateError`] when the size probe or the rename fails. The
+    /// error is advisory: the caller keeps appending to the (now
+    /// oversized) live journal and retries next pass — a full disk or
+    /// a permissions hiccup must never take the daemon down.
+    pub fn rotate_events(&self, cap_bytes: u64) -> Result<bool, RotateError> {
+        let live = self.events_journal();
+        let len = match std::fs::metadata(&live) {
+            Ok(meta) => meta.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => {
+                return Err(RotateError {
+                    path: live.display().to_string(),
+                    detail: format!("cannot stat events journal: {e}"),
+                })
+            }
+        };
+        if len < cap_bytes {
+            return Ok(false);
+        }
+        std::fs::rename(&live, self.rotated_events_journal()).map_err(|e| RotateError {
+            path: live.display().to_string(),
+            detail: format!("cannot rotate events journal: {e}"),
+        })?;
+        Ok(true)
+    }
 }
+
+/// Default size cap for [`Spool::rotate_events`]: once the live
+/// `events.jsonl` crosses this, the daemon rotates it at the next
+/// loop pass.
+pub const EVENTS_ROTATE_BYTES: u64 = 1 << 20;
+
+/// Typed, non-fatal failure from [`Spool::rotate_events`]. Carries
+/// the journal path and the underlying I/O detail; the daemon logs it
+/// and keeps running (the live journal just grows past the cap until
+/// a later pass succeeds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotateError {
+    /// The events journal that failed to rotate.
+    pub path: String,
+    /// What went wrong (stat or rename failure detail).
+    pub detail: String,
+}
+
+impl std::fmt::Display for RotateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "events rotation failed for {}: {}",
+            self.path, self.detail
+        )
+    }
+}
+
+impl std::error::Error for RotateError {}
 
 #[cfg(test)]
 mod tests {
@@ -636,6 +717,50 @@ mod tests {
         ];
         let jobs = jobs_from_specs(&specs, &PipelineConfig::default());
         assert_eq!(jobs.len(), 2, "the repeated CCS job collapses");
+    }
+
+    #[test]
+    fn events_rotation_keeps_two_generations() {
+        let spool = Spool::open(scratch("rotate")).unwrap();
+        assert_eq!(
+            spool.rotate_events(64),
+            Ok(false),
+            "no journal yet: nothing to rotate"
+        );
+        spool.append_event("{\"gen\":1}").unwrap();
+        assert_eq!(spool.rotate_events(1 << 20), Ok(false), "under the cap");
+
+        // Grow past a tiny cap and rotate: the live journal becomes
+        // the .1 generation and the next append starts fresh.
+        for _ in 0..8 {
+            spool
+                .append_event("{\"pad\":\"xxxxxxxxxxxxxxxx\"}")
+                .unwrap();
+        }
+        assert_eq!(spool.rotate_events(64), Ok(true));
+        assert!(!spool.events_journal().exists());
+        assert!(spool.rotated_events_journal().exists());
+        let gen1 = std::fs::read_to_string(spool.rotated_events_journal()).unwrap();
+        assert!(gen1.starts_with("{\"gen\":1}"));
+
+        // A second rotation replaces the old generation: exactly two
+        // files ever exist.
+        spool.append_event("{\"gen\":2}").unwrap();
+        assert_eq!(spool.rotate_events(0), Ok(true));
+        let gen2 = std::fs::read_to_string(spool.rotated_events_journal()).unwrap();
+        assert!(gen2.starts_with("{\"gen\":2}"));
+        let _ = std::fs::remove_dir_all(spool.root());
+    }
+
+    #[test]
+    fn rotate_error_is_typed_and_displayable() {
+        let err = RotateError {
+            path: "spool/events.jsonl".into(),
+            detail: "permission denied".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("events.jsonl"));
+        assert!(msg.contains("permission denied"));
     }
 
     #[test]

@@ -56,7 +56,10 @@
 //! the tests in this module.
 
 use dtexl_alloc::{meter_current_thread, AllocMeter};
-use dtexl_pipeline::{BarrierMode, FramePrefix, FrameResult, FrameSim, PipelineConfig, SimError};
+use dtexl_obs::{ObsRollup, RollupMode};
+use dtexl_pipeline::{
+    compose_frame_probed, BarrierMode, FramePrefix, FrameResult, FrameSim, PipelineConfig, SimError,
+};
 use dtexl_scene::{Game, SceneSpec};
 use dtexl_sched::ScheduleConfig;
 use parking_lot::Mutex;
@@ -224,6 +227,81 @@ impl SweepJob {
         // downstream validation error is never cached.
         cache.insert(key, prefix);
         Ok(result)
+    }
+
+    /// Like [`simulate_with`](Self::simulate_with), but with rollup
+    /// probes attached: the functional pass feeds the memory counters
+    /// and both frame-time compositions feed the per-unit stall totals
+    /// of the returned [`ObsRollup`]. Every input the probes see —
+    /// mem samples in canonical replay order, spans derived from the
+    /// thread-invariant `StageDurations` — is bit-identical across
+    /// `threads` settings and memoized vs fresh execution, so the
+    /// rollup is too (pinned by `tests/obs_rollup.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`SimError`] for invalid specs, configurations
+    /// or scenes.
+    pub fn simulate_rollup(
+        &self,
+        cache: Option<&PrefixCache>,
+    ) -> Result<(FrameResult, ObsRollup), SimError> {
+        let mut rollup = ObsRollup::default();
+        let result = match cache {
+            None => {
+                let spec = SceneSpec::try_new(self.width, self.height, self.frame)
+                    .map_err(SimError::Scene)?;
+                let scene = self.game.scene(&spec);
+                FrameSim::try_run_probed(
+                    &scene,
+                    &self.schedule,
+                    &self.pipeline,
+                    self.width,
+                    self.height,
+                    &mut rollup.probe(RollupMode::Sim),
+                )?
+            }
+            Some(cache) => {
+                let key = self.prefix_key();
+                if let Some(prefix) = cache.lookup(key) {
+                    FrameSim::try_run_prefixed_probed(
+                        &prefix,
+                        &self.schedule,
+                        &self.pipeline,
+                        &mut rollup.probe(RollupMode::Sim),
+                    )?
+                } else {
+                    let spec = SceneSpec::try_new(self.width, self.height, self.frame)
+                        .map_err(SimError::Scene)?;
+                    let scene = self.game.scene(&spec);
+                    let prefix = Arc::new(FramePrefix::build(
+                        &scene,
+                        &self.pipeline,
+                        self.width,
+                        self.height,
+                    )?);
+                    let result = FrameSim::try_run_prefixed_probed(
+                        &prefix,
+                        &self.schedule,
+                        &self.pipeline,
+                        &mut rollup.probe(RollupMode::Sim),
+                    )?;
+                    cache.insert(key, prefix);
+                    result
+                }
+            }
+        };
+        compose_frame_probed(
+            &result.durations,
+            BarrierMode::Coupled,
+            &mut rollup.probe(RollupMode::Coupled),
+        );
+        compose_frame_probed(
+            &result.durations,
+            BarrierMode::Decoupled,
+            &mut rollup.probe(RollupMode::Decoupled),
+        );
+        Ok((result, rollup))
     }
 }
 
@@ -686,6 +764,12 @@ pub struct SweepOptions {
     /// jobs run through [`SweepJob::simulate_with`] when set. `None`
     /// (the default) simulates every job from scratch.
     pub prefix_cache: Option<Arc<PrefixCache>>,
+    /// Attach rollup probes to every job
+    /// ([`SweepJob::simulate_rollup`]) and journal the resulting
+    /// [`ObsRollup`] as each record's `obs` object. Off by default —
+    /// the unprobed path monomorphizes against `NullProbe` and keeps
+    /// its allocation profile.
+    pub with_obs: bool,
 }
 
 impl Default for SweepOptions {
@@ -703,6 +787,7 @@ impl Default for SweepOptions {
             progress: None,
             progress_heartbeat: Duration::from_secs(1),
             prefix_cache: None,
+            with_obs: false,
         }
     }
 }
@@ -780,6 +865,13 @@ pub struct Progress {
     pub seq: u64,
     /// Terminal status; only present on [`ProgressKind::Done`].
     pub status: Option<JobStatus>,
+    /// The job's dominant stall category ([`ObsRollup::top_stall`]),
+    /// on `done` events of rollup-probed (`--with-obs`) runs — a fleet
+    /// operator sees *why* a job was slow without opening the journal.
+    pub top_stall: Option<String>,
+    /// The job's total DRAM requests, on `done` events of
+    /// rollup-probed runs.
+    pub dram_requests: Option<u64>,
 }
 
 impl Progress {
@@ -802,6 +894,12 @@ impl Progress {
         let _ = write!(s, ",\"pid\":{},\"seq\":{}", self.pid, self.seq);
         if let Some(status) = self.status {
             let _ = write!(s, ",\"status\":\"{}\"", status.name());
+        }
+        if let Some(top) = &self.top_stall {
+            let _ = write!(s, ",\"top_stall\":\"{}\"", json_escape(top));
+        }
+        if let Some(dram) = self.dram_requests {
+            let _ = write!(s, ",\"dram_requests\":{dram}");
         }
         s.push('}');
         s
@@ -836,6 +934,10 @@ pub struct ProgressLine {
     pub seq: Option<u64>,
     /// Terminal status wire name, on `done` events.
     pub status: Option<String>,
+    /// Dominant stall category, on `done` events of `--with-obs` runs.
+    pub top_stall: Option<String>,
+    /// Total DRAM requests, on `done` events of `--with-obs` runs.
+    pub dram_requests: Option<u64>,
 }
 
 /// Parse one progress JSONL line; `None` for blank, truncated or
@@ -857,6 +959,8 @@ pub fn parse_progress_line(line: &str) -> Option<ProgressLine> {
         pid: field_u64(line, "pid").and_then(|p| u32::try_from(p).ok()),
         seq: field_u64(line, "seq"),
         status: field_str(line, "status"),
+        top_stall: field_str(line, "top_stall"),
+        dram_requests: field_u64(line, "dram_requests"),
     })
 }
 
@@ -935,6 +1039,8 @@ pub struct JobRecord {
     pub peak_alloc: Option<u64>,
     /// The shard this record was produced under, when sharded.
     pub shard: Option<Shard>,
+    /// Per-job probe rollup, for successful jobs of `--with-obs` runs.
+    pub obs: Option<ObsRollup>,
 }
 
 /// End-of-sweep summary: one record per job plus the abort flag.
@@ -1066,7 +1172,8 @@ fn run_attempt(
     mem_budget: Option<u64>,
     heartbeat: Option<(Duration, &dyn Fn(u64))>,
     cache: Option<Arc<PrefixCache>>,
-) -> (Result<FrameResult, JobError>, u64) {
+    with_obs: bool,
+) -> (Result<(FrameResult, Option<ObsRollup>), JobError>, u64) {
     // Belt and braces: callers already translate a zero interval into
     // `None`, but a zero that slipped through would min-merge into the
     // watchdog slice below and busy-loop it.
@@ -1080,7 +1187,13 @@ fn run_attempt(
         // prefix build on a cache miss).
         let _tag = meter_current_thread(&job_meter);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job.simulate_with(cache.as_deref())
+            if with_obs {
+                job.simulate_rollup(cache.as_deref())
+                    .map(|(result, rollup)| (result, Some(rollup)))
+            } else {
+                job.simulate_with(cache.as_deref())
+                    .map(|result| (result, None))
+            }
         }));
         // The receiver may be gone (watchdog fired): ignore the send error.
         let _ = tx.send(outcome.map_err(|payload| {
@@ -1235,7 +1348,7 @@ where
                     continue;
                 }
                 let config_hash = job.config_hash();
-                let emit = |kind, attempt, elapsed, peak, status| {
+                let emit_obs = |kind, attempt, elapsed, peak, status, obs: Option<(&str, u64)>| {
                     if let Some(f) = opts.progress {
                         f(&Progress {
                             kind,
@@ -1251,8 +1364,13 @@ where
                             // events interleaving across workers.
                             seq: seq.fetch_add(1, Ordering::Relaxed),
                             status,
+                            top_stall: obs.map(|(top, _)| top.to_string()),
+                            dram_requests: obs.map(|(_, dram)| dram),
                         });
                     }
+                };
+                let emit = |kind, attempt, elapsed, peak, status| {
+                    emit_obs(kind, attempt, elapsed, peak, status, None);
                 };
                 emit(ProgressKind::Start, 0, Duration::ZERO, 0, None);
                 // Resume refuses to skip when the journaled config
@@ -1279,6 +1397,7 @@ where
                         config_hash,
                         peak_alloc: None,
                         shard: opts.shard,
+                        obs: None,
                     };
                     records.lock().push(record);
                     continue;
@@ -1313,6 +1432,7 @@ where
                         config_hash,
                         peak_alloc: None,
                         shard: opts.shard,
+                        obs: None,
                     });
                     continue;
                 }
@@ -1351,6 +1471,7 @@ where
                         opts.job_mem_budget,
                         heartbeat,
                         opts.prefix_cache.clone(),
+                        opts.with_obs,
                     );
                     peak_alloc = peak_alloc.max(peak);
                     match attempt {
@@ -1376,16 +1497,22 @@ where
                 } else {
                     JobStatus::Failed
                 };
-                emit(
+                // Done events of rollup-probed jobs carry the headline
+                // stall attribution inline.
+                let done_obs = outcome.as_ref().ok().and_then(|(_, rollup)| {
+                    rollup.as_ref().map(|r| (r.top_stall().0, r.dram_requests))
+                });
+                emit_obs(
                     ProgressKind::Done,
                     attempts,
                     elapsed,
                     peak_alloc,
                     Some(terminal),
+                    done_obs,
                 );
 
                 let record = match outcome {
-                    Ok(result) => {
+                    Ok((result, rollup)) => {
                         let metrics = JobMetrics::of(&result);
                         on_ok(&job, result);
                         JobRecord {
@@ -1399,6 +1526,7 @@ where
                             config_hash,
                             peak_alloc: Some(peak_alloc),
                             shard: opts.shard,
+                            obs: rollup,
                         }
                     }
                     Err(e) => {
@@ -1414,6 +1542,7 @@ where
                             config_hash,
                             peak_alloc: Some(peak_alloc),
                             shard: opts.shard,
+                            obs: None,
                         }
                     }
                 };
@@ -1456,6 +1585,7 @@ where
             config_hash: job.config_hash(),
             peak_alloc: None,
             shard: opts.shard,
+            obs: None,
         });
     }
     records.sort_by_key(|r| r.index);
@@ -1503,6 +1633,9 @@ pub fn journal_line(r: &JobRecord) -> String {
             ",\"coupled_cycles\":{},\"decoupled_cycles\":{},\"l2_accesses\":{}",
             m.coupled_cycles, m.decoupled_cycles, m.l2_accesses
         );
+    }
+    if let Some(o) = &r.obs {
+        let _ = write!(s, ",\"obs\":{}", o.to_json());
     }
     if let Some(p) = r.peak_alloc {
         let _ = write!(s, ",\"peak_alloc_bytes\":{p}");
@@ -1573,8 +1706,14 @@ pub struct JournalEntry {
     pub status: String,
     /// Attempts consumed.
     pub attempts: u64,
+    /// Journaled wall time in milliseconds (0 on lines that never ran
+    /// or pre-dated the field). The daemon's job-wall-clock histogram
+    /// is fed from this.
+    pub elapsed_ms: u64,
     /// Journaled metrics, when the entry is `ok`.
     pub metrics: Option<JobMetrics>,
+    /// Journaled per-job probe rollup, on `--with-obs` `ok` entries.
+    pub obs: Option<ObsRollup>,
     /// Journal-v2 config hash; `None` on pre-v2 lines.
     pub config_hash: Option<u64>,
     /// Allocator high-water mark (bytes); `None` on lines written
@@ -1609,11 +1748,20 @@ pub fn parse_journal_line(line: &str) -> Option<JournalEntry> {
         }),
         _ => None,
     };
+    // The rollup object contains no nested braces (pinned by its own
+    // tests), so slicing from its opening brace to the next `}` is
+    // exact.
+    let obs = line.find("\"obs\":{").and_then(|at| {
+        let body = &line[at + "\"obs\":".len()..];
+        ObsRollup::parse(&body[..=body.find('}')?])
+    });
     Some(JournalEntry {
         key,
         status,
         attempts: field_u64(line, "attempts").unwrap_or(0),
+        elapsed_ms: field_u64(line, "elapsed_ms").unwrap_or(0),
         metrics,
+        obs,
         config_hash: field_str(line, "config_hash").and_then(|h| u64::from_str_radix(&h, 16).ok()),
         peak_alloc_bytes: field_u64(line, "peak_alloc_bytes"),
         shard: field_str(line, "shard").and_then(|s| s.parse().ok()),
@@ -2013,13 +2161,20 @@ mod tests {
             config_hash: 0xdead_beef_0042,
             peak_alloc: Some(1_482_336),
             shard: Some(Shard { index: 1, count: 3 }),
+            obs: Some(ObsRollup {
+                l1_hits: 40,
+                dram_requests: 3,
+                ..ObsRollup::default()
+            }),
         };
         let line = journal_line(&ok);
         let e = parse_journal_line(&line).unwrap();
         assert_eq!(e.key, ok.key);
         assert_eq!(e.status, "ok");
         assert_eq!(e.attempts, 2);
+        assert_eq!(e.elapsed_ms, 7);
         assert_eq!(e.metrics, ok.metrics);
+        assert_eq!(e.obs, ok.obs);
         assert_eq!(e.config_hash, Some(0xdead_beef_0042));
         assert_eq!(e.peak_alloc_bytes, Some(1_482_336));
         assert_eq!(e.shard, Some(Shard { index: 1, count: 3 }));
@@ -2600,6 +2755,7 @@ mod tests {
             config_hash: jobs[0].config_hash(),
             peak_alloc: None,
             shard: None,
+            obs: None,
         };
         std::fs::write(&journal, format!("{}\n", journal_line(&poisoned))).unwrap();
 
@@ -2664,6 +2820,8 @@ mod tests {
             pid: 4242,
             seq: 17,
             status: None,
+            top_stall: None,
+            dram_requests: None,
         };
         assert_eq!(
             p.to_json(),
@@ -2675,11 +2833,14 @@ mod tests {
             kind: ProgressKind::Done,
             shard: Some(Shard::new(1, 4).unwrap()),
             status: Some(JobStatus::Ok),
+            top_stall: Some("c-barrier".into()),
+            dram_requests: Some(1234),
             ..p
         };
-        assert!(done
-            .to_json()
-            .ends_with(",\"shard\":\"1/4\",\"pid\":4242,\"seq\":17,\"status\":\"ok\"}"));
+        assert!(done.to_json().ends_with(
+            ",\"shard\":\"1/4\",\"pid\":4242,\"seq\":17,\"status\":\"ok\",\
+             \"top_stall\":\"c-barrier\",\"dram_requests\":1234}"
+        ));
         assert!(!done.to_json().contains('\n'));
     }
 
@@ -2696,6 +2857,8 @@ mod tests {
             pid: 77,
             seq: 9,
             status: Some(JobStatus::Failed),
+            top_stall: Some("d-upstream".into()),
+            dram_requests: Some(42),
         };
         let parsed = parse_progress_line(&p.to_json()).expect("round trip");
         assert_eq!(parsed.event, "done");
@@ -2708,6 +2871,8 @@ mod tests {
         assert_eq!(parsed.pid, Some(77));
         assert_eq!(parsed.seq, Some(9));
         assert_eq!(parsed.status.as_deref(), Some("failed"));
+        assert_eq!(parsed.top_stall.as_deref(), Some("d-upstream"));
+        assert_eq!(parsed.dram_requests, Some(42));
         // Truncated / corrupt lines parse to None, like journal lines.
         assert_eq!(parse_progress_line(""), None);
         assert_eq!(parse_progress_line("{\"event\":\"done\",\"key\":\"x"), None);

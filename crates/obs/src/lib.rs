@@ -26,6 +26,9 @@
 //!   as a [`dropped`](EventSink::dropped) count instead of silent loss.
 
 pub mod perfetto;
+pub mod rollup;
+
+pub use rollup::{ObsRollup, RollupMode, RollupProbe, StallRollup};
 
 /// A pipeline stage, in dataflow order. `Fetch` and `Raster` are serial
 /// units (their spans always carry `sc == 0`); the back half runs four
